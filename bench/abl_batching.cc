@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Ablation for §4's third optimization: batched pre-faulting of all
+ * pages in a faulting work request, versus strict ATS/PRI semantics
+ * (one page per page-fault event). The paper estimates that a cold
+ * 4 MB message would cost >220 ms without batching, versus ~0.35 ms
+ * with it.
+ */
+
+#include "bench/common.hh"
+#include "core/npf_controller.hh"
+
+using namespace npf;
+using namespace npf::bench;
+
+int
+main()
+{
+    header("Ablation: batched pre-faulting vs one-page-per-PRI-event");
+    row("%-10s %16s %18s %8s", "msg", "batched[ms]", "one-page[ms]",
+        "ratio");
+    for (std::size_t kb : {4, 64, 1024, 4096}) {
+        std::size_t bytes = kb * 1024;
+        double t[2];
+        int i = 0;
+        for (bool batched : {true, false}) {
+            sim::EventQueue eq;
+            mem::MemoryManager mm(1ull << 30);
+            auto &as = mm.createAddressSpace("iouser");
+            core::OdpConfig cfg;
+            cfg.batchedPrefault = batched;
+            core::NpfController npfc(eq, cfg);
+            auto ch = npfc.attach(as);
+            mem::VirtAddr buf = as.allocRegion(bytes);
+            // Resolve the whole message the way the NIC would: keep
+            // faulting until every page is mapped.
+            sim::Time total = 0;
+            while (!npfc.checkDma(ch, buf, bytes).ok) {
+                core::NpfBreakdown bd =
+                    npfc.computeResolve(ch, buf, bytes, true);
+                total += bd.total();
+            }
+            t[i++] = sim::toSeconds(total) * 1e3;
+        }
+        row("%-10zu %16.3f %18.3f %7.0fx", kb, t[0], t[1], t[1] / t[0]);
+    }
+    row("%s", "paper: a cold 4MB message would cost >220 ms under "
+              "strict ATS/PRI; batching makes it ~0.35 ms");
+    return 0;
+}

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Reproduces Table 5: aggregated throughput of 1-4 memcached VMs on
+ * an 8 GB host. Each VM believes it has 3 GB; its working set is
+ * under 2 GB. With NPFs, physical memory is allocated on demand and
+ * four VMs fit (4 x <2 GB < 8 GB); with pinning, the whole 3 GB per
+ * VM must be reserved up front, so at most two VMs can run.
+ *
+ * The memory feasibility constraint is what the experiment is about
+ * — the working sets themselves fit either way, so throughput is set
+ * by host contention (the calibrated HostModel), exactly as in the
+ * paper where NPF and pinning tie at 1-2 instances.
+ *
+ * Paper row: NPF 186/311/407/484 KTPS; pinning 185/310/N/A/N/A.
+ */
+
+#include "bench/common.hh"
+
+using namespace npf;
+using namespace npf::app;
+using namespace npf::bench;
+
+namespace {
+
+constexpr std::size_t kGiB = 1ull << 30;
+constexpr std::size_t kMiB = 1ull << 20;
+
+struct Vm
+{
+    std::unique_ptr<EthBed> bed;
+    std::unique_ptr<KvStore> kv;
+    std::unique_ptr<MemcachedServer> server;
+    std::vector<std::unique_ptr<RpcChannel>> chans;
+    std::unique_ptr<Memaslap> slap;
+};
+
+/** @return aggregated KTPS, or -1 when the configuration cannot run. */
+double
+runInstances(unsigned n, bool pinned)
+{
+    constexpr std::size_t kHostBytes = 8 * kGiB;
+    constexpr std::size_t kVmBytes = 3 * kGiB;
+
+    if (pinned && n * kVmBytes > kHostBytes)
+        return -1.0; // static pinning cannot fit: Table 5's N/A
+
+    HostModel host;
+    std::vector<std::unique_ptr<Vm>> vms;
+    for (unsigned i = 0; i < n; ++i) {
+        auto vm = std::make_unique<Vm>();
+        EthBed::Options o;
+        o.policy = pinned ? eth::RxFaultPolicy::Pin
+                          : eth::RxFaultPolicy::BackupRing;
+        o.ringSize = 256;
+        // NPF: the VM's memory comes from the shared 8 GB host pool,
+        // allocated on demand. Pinned: its full 3 GB is reserved.
+        o.serverMemBytes = pinned ? kVmBytes : kHostBytes / n;
+        vm->bed = std::make_unique<EthBed>(o);
+
+        host.addInstance();
+        vm->kv = std::make_unique<KvStore>(*vm->bed->serverAs,
+                                           2 * kGiB + 512 * kMiB, 1024);
+        vm->server = std::make_unique<MemcachedServer>(vm->bed->eq,
+                                                       *vm->kv, host);
+        // Working set < 2 GB: 1.7 M keys of ~1.1 KB.
+        constexpr std::uint64_t kKeys = 1700000;
+        for (std::uint64_t k = 0; k < kKeys; ++k)
+            vm->kv->set(k);
+
+        std::vector<RpcChannel *> raw;
+        for (std::uint32_t id = 1; id <= 4; ++id) {
+            vm->bed->connect(id);
+            vm->chans.push_back(std::make_unique<RpcChannel>(
+                vm->bed->client->connection(id),
+                vm->bed->server->connection(id)));
+            vm->server->serve(*vm->chans.back());
+            raw.push_back(vm->chans.back().get());
+        }
+        vm->slap = std::make_unique<Memaslap>(
+            vm->bed->eq, raw, MemaslapConfig{0.9, kKeys, 4, 64},
+            100 + i);
+        vm->slap->start();
+        vms.push_back(std::move(vm));
+    }
+
+    // Warm half a second, then measure one second.
+    for (auto &vm : vms)
+        vm->bed->eq.runUntil(vm->bed->eq.now() + sim::kSecond / 2);
+    for (auto &vm : vms)
+        vm->slap->resetCounters();
+    for (auto &vm : vms)
+        vm->bed->eq.runUntil(vm->bed->eq.now() + sim::kSecond);
+
+    double total = 0;
+    for (auto &vm : vms)
+        total += double(vm->slap->transactions()) / 1000.0;
+    return total;
+}
+
+} // namespace
+
+int
+main()
+{
+    header("Table 5: aggregated memcached throughput [KTPS]");
+    row("%-22s %8s %8s %8s %8s", "memcached instances", "1", "2", "3",
+        "4");
+    for (bool pinned : {false, true}) {
+        double v[4];
+        for (unsigned n = 1; n <= 4; ++n)
+            v[n - 1] = runInstances(n, pinned);
+        auto fmt = [](double x) {
+            static char b[8][16];
+            static int i = 0;
+            char *p = b[i++ % 8];
+            if (x < 0)
+                std::snprintf(p, 16, "%s", "N/A");
+            else
+                std::snprintf(p, 16, "%.0f", x);
+            return p;
+        };
+        row("%-22s %8s %8s %8s %8s", pinned ? "pinning" : "NPF",
+            fmt(v[0]), fmt(v[1]), fmt(v[2]), fmt(v[3]));
+    }
+    row("%s", "paper: NPF 186/311/407/484; pinning 185/310/N/A/N/A");
+    return 0;
+}

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * MPI-style collectives on an 8-node simulated InfiniBand cluster,
+ * comparing the three registration disciplines of §6.2: copying
+ * through bounce buffers, a pin-down cache, and NPF/ODP.
+ *
+ * Build & run:  ./build/examples/hpc_collectives
+ */
+
+#include <cstdio>
+
+#include "hpc/imb.hh"
+
+using namespace npf;
+using namespace npf::hpc;
+
+int
+main()
+{
+    ClusterConfig cfg; // 8 ranks, 56 Gb/s FDR
+    constexpr std::size_t kMsg = 128 * 1024;
+    constexpr unsigned kIters = 500;
+
+    std::printf("8-rank alltoall, %zu KB per pair, %u iterations "
+                "(off_cache)\n\n",
+                kMsg / 1024, kIters);
+    std::printf("%-16s %12s %14s %16s\n", "registration", "time [ms]",
+                "rNPFs", "pinned bytes/rank");
+    for (RegMode mode :
+         {RegMode::Copy, RegMode::PinDownCache, RegMode::Npf}) {
+        sim::EventQueue eq;
+        Cluster cluster(eq, cfg, mode);
+        double secs = runImb(cluster, ImbBenchmark::Alltoall, kMsg,
+                             kIters);
+        const char *pinned = mode == RegMode::PinDownCache
+                                 ? "grows with use"
+                                 : mode == RegMode::Copy
+                                       ? "bounce only"
+                                       : "zero";
+        std::printf("%-16s %12.2f %14llu %16s\n", regModeName(mode),
+                    secs * 1e3,
+                    static_cast<unsigned long long>(
+                        cluster.totalRnpfs()),
+                    pinned);
+        eq.run();
+    }
+    std::printf("\nNPF pays a one-time fault per buffer, then runs at "
+                "zero-copy speed\nwith nothing pinned — the middleware "
+                "needs no pin-down cache at all (§6.3).\n");
+    return 0;
+}

@@ -1,0 +1,78 @@
+#include "app/kv_store.hh"
+
+#include <cassert>
+
+namespace npf::app {
+
+KvStore::KvStore(mem::AddressSpace &as, std::size_t capacity_bytes,
+                 std::size_t value_bytes)
+    : as_(as), valueBytes_(value_bytes)
+{
+    // Item header + value, as memcached lays items out.
+    slotBytes_ = valueBytes_ + 64;
+    std::size_t capacity_items = capacity_bytes / slotBytes_;
+    assert(capacity_items > 0);
+    slots_.resize(capacity_items);
+    region_ = as_.allocRegion(capacity_items * slotBytes_, "kv-items");
+    freeSlots_.reserve(capacity_items);
+    for (std::size_t i = capacity_items; i-- > 0;)
+        freeSlots_.push_back(i);
+}
+
+KvResult
+KvStore::get(std::uint64_t key)
+{
+    KvResult res;
+    auto it = map_.find(key);
+    if (it == map_.end()) {
+        ++misses_;
+        return res;
+    }
+    ++hits_;
+    res.hit = true;
+    Entry &e = it->second;
+    lru_.splice(lru_.begin(), lru_, e.lruIt);
+    res.valueAddr = slotAddr(e.slot);
+    res.valueLen = valueBytes_;
+    // Reading the value touches its pages (swap-in if evicted).
+    mem::AccessResult ar = as_.touch(res.valueAddr, valueBytes_, false);
+    res.memCost = ar.cost;
+    res.majorFaults = ar.majorFaults;
+    return res;
+}
+
+KvResult
+KvStore::set(std::uint64_t key)
+{
+    KvResult res;
+    auto it = map_.find(key);
+    if (it != map_.end()) {
+        // Overwrite in place.
+        Entry &e = it->second;
+        lru_.splice(lru_.begin(), lru_, e.lruIt);
+        res.hit = true;
+        res.valueAddr = slotAddr(e.slot);
+    } else {
+        if (freeSlots_.empty()) {
+            // Evict the LRU item.
+            std::uint64_t victim = lru_.back();
+            lru_.pop_back();
+            auto vit = map_.find(victim);
+            assert(vit != map_.end());
+            freeSlots_.push_back(vit->second.slot);
+            map_.erase(vit);
+        }
+        std::size_t slot = freeSlots_.back();
+        freeSlots_.pop_back();
+        lru_.push_front(key);
+        map_[key] = Entry{key, slot, lru_.begin()};
+        res.valueAddr = slotAddr(slot);
+    }
+    res.valueLen = valueBytes_;
+    mem::AccessResult ar = as_.touch(res.valueAddr, valueBytes_, true);
+    res.memCost = ar.cost;
+    res.majorFaults = ar.majorFaults;
+    return res;
+}
+
+} // namespace npf::app

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * memcached-like LRU key-value cache whose item memory lives in a
+ * (demand-paged, unpinned) IOuser address space. Hits touch item
+ * pages, so working sets larger than the resident budget cause real
+ * swap traffic; capacity overflow causes real LRU misses — both
+ * effects the paper's §6.1 experiments measure.
+ */
+
+#ifndef NPF_APP_KV_STORE_HH
+#define NPF_APP_KV_STORE_HH
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "mem/address_space.hh"
+#include "sim/time.hh"
+
+namespace npf::app {
+
+/** Result of one KV operation. */
+struct KvResult
+{
+    bool hit = false;
+    sim::Time memCost = 0;           ///< page-fault latency incurred
+    mem::VirtAddr valueAddr = 0;     ///< item memory (DMA source)
+    std::size_t valueLen = 0;
+    unsigned majorFaults = 0;
+};
+
+/**
+ * LRU key-value cache (keys are integers; values are fixed-size).
+ */
+class KvStore
+{
+  public:
+    /**
+     * @param capacity_bytes cache memory limit (memcached -m).
+     * @param value_bytes size of every value.
+     */
+    KvStore(mem::AddressSpace &as, std::size_t capacity_bytes,
+            std::size_t value_bytes);
+
+    /** GET: touches the item memory on a hit. */
+    KvResult get(std::uint64_t key);
+
+    /** SET: inserts (evicting LRU) and writes the item memory. */
+    KvResult set(std::uint64_t key);
+
+    std::size_t items() const { return map_.size(); }
+    std::size_t capacityItems() const { return slots_.size(); }
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+    std::size_t valueBytes() const { return valueBytes_; }
+
+  private:
+    struct Entry
+    {
+        std::uint64_t key;
+        std::size_t slot;
+        std::list<std::uint64_t>::iterator lruIt;
+    };
+
+    mem::VirtAddr slotAddr(std::size_t slot) const
+    {
+        return region_ + slot * slotBytes_;
+    }
+
+    mem::AddressSpace &as_;
+    std::size_t valueBytes_;
+    std::size_t slotBytes_;   ///< value rounded up to whole pages? no:
+                              ///< value + item header, byte-packed
+    mem::VirtAddr region_ = 0;
+    std::vector<std::size_t> freeSlots_;
+    std::vector<std::size_t> slots_; ///< just for capacity count
+    std::unordered_map<std::uint64_t, Entry> map_;
+    std::list<std::uint64_t> lru_; ///< front = most recent
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+};
+
+} // namespace npf::app
+
+#endif // NPF_APP_KV_STORE_HH

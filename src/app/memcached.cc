@@ -1,0 +1,89 @@
+#include "app/memcached.hh"
+
+namespace npf::app {
+
+MemcachedServer::MemcachedServer(sim::EventQueue &eq, KvStore &store,
+                                 HostModel &host, MemcachedConfig cfg)
+    : eq_(eq), store_(store), host_(host), cfg_(cfg)
+{
+}
+
+void
+MemcachedServer::serve(RpcChannel &ch)
+{
+    ch.request.onMessage(
+        [this, &ch](std::uint64_t cookie, std::size_t /*len*/) {
+            handleRequest(ch, cookie);
+        });
+}
+
+void
+MemcachedServer::handleRequest(RpcChannel &ch, std::uint64_t cookie)
+{
+    // Serialize on the instance's worker core.
+    bool is_set = (cookie & kOpSet) != 0;
+    std::uint64_t key = cookie & ~(kOpSet | kHitFlag);
+
+    KvResult kr = is_set ? store_.set(key) : store_.get(key);
+    sim::Time cpu = host_.scaled(cfg_.baseOpCpu) + kr.memCost;
+    majorFaults_ += kr.majorFaults;
+
+    sim::Time start = std::max(eq_.now(), busyUntil_);
+    sim::Time done = start + cpu;
+    busyUntil_ = done;
+    ++ops_;
+
+    eq_.schedule(done, [this, &ch, cookie, kr, is_set] {
+        std::uint64_t rsp_cookie = cookie;
+        std::size_t rsp_len = cfg_.missReplyBytes;
+        if (!is_set && kr.hit) {
+            rsp_cookie |= kHitFlag;
+            rsp_len = cfg_.valueBytes + 48;
+        }
+        // The lwIP port copies the value into stack TX buffers (the
+        // CPU touch of item memory is charged in kr.memCost), so the
+        // NIC DMA-reads warm stack memory, not the item region.
+        ch.response.sendMessage(rsp_len, 0, rsp_cookie);
+    });
+}
+
+Memaslap::Memaslap(sim::EventQueue &eq, std::vector<RpcChannel *> channels,
+                   MemaslapConfig cfg, std::uint64_t seed)
+    : eq_(eq), channels_(std::move(channels)), cfg_(cfg), rng_(seed)
+{
+    for (std::size_t i = 0; i < channels_.size(); ++i) {
+        channels_[i]->response.onMessage(
+            [this, i](std::uint64_t cookie, std::size_t /*len*/) {
+                ++transactions_;
+                bool hit = (cookie & MemcachedServer::kHitFlag) != 0;
+                if (hit)
+                    ++hits_;
+                if (tpsSeries_)
+                    tpsSeries_->record(eq_.now());
+                if (hpsSeries_ && hit)
+                    hpsSeries_->record(eq_.now());
+                issue(i);
+            });
+    }
+}
+
+void
+Memaslap::start()
+{
+    for (std::size_t i = 0; i < channels_.size(); ++i) {
+        for (unsigned w = 0; w < cfg_.window; ++w)
+            issue(i);
+    }
+}
+
+void
+Memaslap::issue(std::size_t chan)
+{
+    std::uint64_t key = rng_.uniformInt(0, cfg_.keys - 1);
+    std::uint64_t cookie = key;
+    if (!rng_.bernoulli(cfg_.getRatio))
+        cookie |= MemcachedServer::kOpSet;
+    channels_[chan]->request.sendMessage(cfg_.requestBytes, 0, cookie);
+}
+
+} // namespace npf::app

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * The paper's running example (§5): a memcached server inside a
+ * lightweight VM, driven by memaslap (90% get / 10% set, 1 KB values
+ * by default) over a direct Ethernet channel with a user-level TCP
+ * stack.
+ */
+
+#ifndef NPF_APP_MEMCACHED_HH
+#define NPF_APP_MEMCACHED_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "app/host_model.hh"
+#include "app/kv_store.hh"
+#include "sim/random.hh"
+#include "sim/series.hh"
+#include "tcp/endpoint.hh"
+
+namespace npf::app {
+
+/**
+ * Both directions of one client<->server TCP connection, with
+ * message framing (the metadata travels out-of-band; see
+ * tcp::MessageStream).
+ */
+struct RpcChannel
+{
+    tcp::TcpConnection &client;
+    tcp::TcpConnection &server;
+    tcp::MessageStream request;  ///< client -> server
+    tcp::MessageStream response; ///< server -> client
+
+    RpcChannel(tcp::TcpConnection &cli, tcp::TcpConnection &srv)
+        : client(cli), server(srv), request(cli, srv), response(srv, cli)
+    {
+    }
+};
+
+/** Server-side parameters. */
+struct MemcachedConfig
+{
+    std::size_t valueBytes = 1024;
+    /** Per-request CPU (parse, hash, LRU). Calibrated so a single
+     *  uncontended instance serves ~186 KTPS (Table 5). */
+    sim::Time baseOpCpu = sim::fromMicroseconds(5.2);
+    std::size_t requestBytes = 64;
+    std::size_t missReplyBytes = 64;
+};
+
+/**
+ * memcached: decodes requests from RpcChannels, runs them through
+ * the KvStore on a single serialized "worker core", replies with the
+ * value (GET hit) or a small status (miss / SET ack).
+ *
+ * Cookies encode (op, key); bit 63 of the response cookie reports a
+ * hit.
+ */
+class MemcachedServer
+{
+  public:
+    static constexpr std::uint64_t kOpSet = 1ull << 62;
+    static constexpr std::uint64_t kHitFlag = 1ull << 63;
+
+    MemcachedServer(sim::EventQueue &eq, KvStore &store, HostModel &host,
+                    MemcachedConfig cfg = {});
+
+    /** Attach one client connection. */
+    void serve(RpcChannel &ch);
+
+    std::uint64_t opsServed() const { return ops_; }
+    std::uint64_t majorFaults() const { return majorFaults_; }
+
+  private:
+    void handleRequest(RpcChannel &ch, std::uint64_t cookie);
+
+    sim::EventQueue &eq_;
+    KvStore &store_;
+    HostModel &host_;
+    MemcachedConfig cfg_;
+    sim::Time busyUntil_ = 0;
+    std::uint64_t ops_ = 0;
+    std::uint64_t majorFaults_ = 0;
+};
+
+/** Load-generator parameters (memaslap defaults from the paper). */
+struct MemaslapConfig
+{
+    double getRatio = 0.9;
+    std::uint64_t keys = 1000;  ///< working-set size in items
+    unsigned window = 4;        ///< outstanding requests per channel
+    std::size_t requestBytes = 64;
+};
+
+/**
+ * memaslap: closed-loop generator over a set of RpcChannels.
+ * Counts transactions and hits; optionally records a rate series
+ * (for the throughput-versus-time figures).
+ */
+class Memaslap
+{
+  public:
+    Memaslap(sim::EventQueue &eq, std::vector<RpcChannel *> channels,
+             MemaslapConfig cfg, std::uint64_t seed = 99);
+
+    /** Begin issuing requests (channels must be established). */
+    void start();
+
+    /** Change the working set (Fig. 7's dynamic experiment). */
+    void setKeys(std::uint64_t keys) { cfg_.keys = keys; }
+
+    /** Attach a per-transaction rate recorder. */
+    void recordInto(sim::RateSeries *tps, sim::RateSeries *hps)
+    {
+        tpsSeries_ = tps;
+        hpsSeries_ = hps;
+    }
+
+    std::uint64_t transactions() const { return transactions_; }
+    std::uint64_t hits() const { return hits_; }
+
+    /** Reset counters (e.g. after warm-up). */
+    void
+    resetCounters()
+    {
+        transactions_ = 0;
+        hits_ = 0;
+    }
+
+  private:
+    void issue(std::size_t chan);
+
+    sim::EventQueue &eq_;
+    std::vector<RpcChannel *> channels_;
+    MemaslapConfig cfg_;
+    sim::Rng rng_;
+    std::uint64_t transactions_ = 0;
+    std::uint64_t hits_ = 0;
+    sim::RateSeries *tpsSeries_ = nullptr;
+    sim::RateSeries *hpsSeries_ = nullptr;
+};
+
+} // namespace npf::app
+
+#endif // NPF_APP_MEMCACHED_HH

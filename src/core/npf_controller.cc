@@ -1,0 +1,306 @@
+#include "core/npf_controller.hh"
+
+#include <cassert>
+
+#include "mem/memory_manager.hh"
+
+namespace npf::core {
+
+NpfController::NpfController(sim::EventQueue &eq, OdpConfig cfg,
+                             std::uint64_t seed)
+    : eq_(eq), cfg_(cfg), rng_(seed)
+{
+}
+
+ChannelId
+NpfController::attach(mem::AddressSpace &as)
+{
+    auto ch = static_cast<ChannelId>(channels_.size());
+    channels_.push_back(std::make_unique<Channel>(cfg_.iotlbCapacity));
+    Channel &c = *channels_.back();
+    c.as = &as;
+
+    // MMU notifier: reclaim invalidates the device mapping before
+    // reusing the frame (Fig. 2, a-d). Reclaim-path invalidations
+    // are charged an amortized cost (notifiers batch ranges); the
+    // full per-operation model is in invalidateRange().
+    as.registerInvalidateNotifier([this, ch](mem::Vpn vpn) -> sim::Time {
+        Channel &chn = chan(ch);
+        bool mapped = chn.iommu.invalidate(vpn);
+        ++stats_.invalidations;
+        if (!mapped)
+            return cfg_.invChecks / 4;
+        return (cfg_.invChecks + cfg_.invPtUpdateBase + cfg_.invSwUpdates) /
+               4;
+    });
+    return ch;
+}
+
+NpfController::DmaCheck
+NpfController::checkDma(ChannelId ch, mem::VirtAddr iova, std::size_t len)
+{
+    DmaCheck res;
+    if (len == 0)
+        return res;
+    Channel &c = chan(ch);
+    mem::Vpn first = mem::pageOf(iova);
+    mem::Vpn last = mem::pageOf(iova + len - 1);
+    for (mem::Vpn v = first; v <= last; ++v) {
+        if (c.iommu.wouldFault(v)) {
+            if (res.missingPages == 0)
+                res.firstMissing = v;
+            ++res.missingPages;
+            res.ok = false;
+        }
+    }
+    return res;
+}
+
+bool
+NpfController::dmaAccess(ChannelId ch, mem::VirtAddr iova, std::size_t len,
+                         bool write)
+{
+    if (len == 0)
+        return true;
+    Channel &c = chan(ch);
+    mem::Vpn first = mem::pageOf(iova);
+    mem::Vpn last = mem::pageOf(iova + len - 1);
+    for (mem::Vpn v = first; v <= last; ++v) {
+        iommu::Translation t = c.iommu.translate(v);
+        if (!t.ok)
+            return false;
+    }
+    // DMA touches the backing pages: keep referenced/dirty bits hot
+    // so reclaim prefers genuinely cold pages.
+    for (mem::Vpn v = first; v <= last; ++v) {
+        mem::Pte *pte = c.as->findPte(v);
+        if (pte != nullptr && pte->present) {
+            pte->referenced = true;
+            pte->dirty |= write;
+        }
+    }
+    return true;
+}
+
+void
+NpfController::raiseNpf(ChannelId ch, mem::VirtAddr iova, std::size_t len,
+                        bool write, ResolveCallback cb)
+{
+    Channel &c = chan(ch);
+
+    if (cfg_.firmwareBypass) {
+        DmaCheck check = checkDma(ch, iova, len);
+        if (check.ok) {
+            // Raced with a completed resolution: nothing to do.
+            NpfBreakdown bd;
+            bd.merged = true;
+            eq_.scheduleAfter(0, [cb = std::move(cb), bd] { cb(bd); });
+            return;
+        }
+        auto it = c.merges.find(check.firstMissing);
+        if (it != c.merges.end()) {
+            // A resolution covering this page is in flight: the
+            // firmware handles the duplicate silently (bitmap set),
+            // and this requester resumes when the first one does.
+            it->second.push_back(std::move(cb));
+            ++stats_.mergedNpfs;
+            return;
+        }
+    }
+
+    auto start = [this, ch, iova, len, write, cb = std::move(cb)]() mutable {
+        startResolve(ch, iova, len, write, std::move(cb));
+    };
+
+    if (c.inFlight >= cfg_.maxConcurrentNpfs) {
+        ++stats_.queuedNpfs;
+        c.waiting.push_back(std::move(start));
+        return;
+    }
+    ++c.inFlight;
+    start();
+}
+
+void
+NpfController::startResolve(ChannelId ch, mem::VirtAddr iova,
+                            std::size_t len, bool write, ResolveCallback cb)
+{
+    Channel &c = chan(ch);
+    ++stats_.npfs;
+
+    auto bd = std::make_shared<NpfBreakdown>();
+    bd->trigger = jittered(cfg_.fwTriggerInterrupt);
+
+    DmaCheck check = checkDma(ch, iova, len);
+    mem::Vpn merge_key = check.firstMissing;
+    if (cfg_.firmwareBypass && !check.ok)
+        c.merges.emplace(merge_key, std::vector<ResolveCallback>{});
+
+    eq_.scheduleAfter(bd->trigger, [this, ch, iova, len, write, bd,
+                                    merge_key, has_key = !check.ok,
+                                    cb = std::move(cb)]() mutable {
+        Channel &c = chan(ch);
+        resolvePages(c, iova, len, write, *bd);
+        bd->resume = jittered(cfg_.fwResume);
+        sim::Time rest = bd->driver + bd->ptUpdate + bd->resume;
+
+        eq_.scheduleAfter(rest, [this, ch, bd, merge_key, has_key,
+                                 cb = std::move(cb)]() mutable {
+            Channel &c = chan(ch);
+            cb(*bd);
+            if (has_key) {
+                auto it = c.merges.find(merge_key);
+                if (it != c.merges.end()) {
+                    auto merged = std::move(it->second);
+                    c.merges.erase(it);
+                    NpfBreakdown mbd = *bd;
+                    mbd.merged = true;
+                    for (auto &m : merged)
+                        m(mbd);
+                }
+            }
+            assert(c.inFlight > 0);
+            --c.inFlight;
+            if (!c.waiting.empty()) {
+                auto next = std::move(c.waiting.front());
+                c.waiting.pop_front();
+                ++c.inFlight;
+                next();
+            }
+        });
+    });
+}
+
+void
+NpfController::resolvePages(Channel &c, mem::VirtAddr iova, std::size_t len,
+                            bool write, NpfBreakdown &bd)
+{
+    bd.driver = jittered(cfg_.driverHandlerBase);
+    bd.ptUpdate = jittered(cfg_.ptUpdateBase);
+
+    if (len == 0)
+        return;
+    mem::Vpn first = mem::pageOf(iova);
+    mem::Vpn last = mem::pageOf(iova + len - 1);
+    for (mem::Vpn v = first; v <= last; ++v) {
+        if (!c.iommu.wouldFault(v))
+            continue;
+        mem::AccessResult ar = c.as->touchPage(v, write);
+        if (!ar.ok) {
+            bd.ok = false;
+            return;
+        }
+        bd.driver += ar.cost + cfg_.osPerPage;
+        bd.ptUpdate += cfg_.ptUpdatePerPage;
+        bd.majorFaults += ar.majorFaults;
+        const mem::Pte *pte = c.as->findPte(v);
+        assert(pte != nullptr && pte->present);
+        c.iommu.map(v, pte->pfn);
+        ++bd.pagesMapped;
+        ++stats_.pagesMapped;
+        stats_.majorFaults += ar.majorFaults;
+        if (!cfg_.batchedPrefault)
+            break; // strict ATS/PRI: one page per fault event
+    }
+
+    // Occasional scheduling/contention spike (Table 4 tail).
+    if (rng_.bernoulli(cfg_.tailSpikeProb)) {
+        bd.driver += static_cast<sim::Time>(
+            rng_.exponential(double(cfg_.tailSpikeMean)));
+    }
+}
+
+NpfBreakdown
+NpfController::computeResolve(ChannelId ch, mem::VirtAddr iova,
+                              std::size_t len, bool write)
+{
+    Channel &c = chan(ch);
+    ++stats_.npfs;
+    NpfBreakdown bd;
+    bd.trigger = jittered(cfg_.fwTriggerInterrupt);
+    resolvePages(c, iova, len, write, bd);
+    bd.resume = jittered(cfg_.fwResume);
+    return bd;
+}
+
+mem::AccessResult
+NpfController::prefault(ChannelId ch, mem::VirtAddr iova, std::size_t len,
+                        bool write)
+{
+    Channel &c = chan(ch);
+    mem::AccessResult res;
+    if (len == 0)
+        return res;
+    mem::Vpn first = mem::pageOf(iova);
+    mem::Vpn last = mem::pageOf(iova + len - 1);
+    for (mem::Vpn v = first; v <= last; ++v) {
+        mem::AccessResult one = c.as->touchPage(v, write);
+        res.cost += one.cost;
+        res.minorFaults += one.minorFaults;
+        res.majorFaults += one.majorFaults;
+        if (!one.ok) {
+            res.ok = false;
+            return res;
+        }
+        if (c.iommu.wouldFault(v)) {
+            const mem::Pte *pte = c.as->findPte(v);
+            c.iommu.map(v, pte->pfn);
+            res.cost += cfg_.ptUpdatePerPage;
+        }
+    }
+    return res;
+}
+
+InvalidationBreakdown
+NpfController::invalidateRange(ChannelId ch, mem::VirtAddr iova,
+                               std::size_t len)
+{
+    Channel &c = chan(ch);
+    InvalidationBreakdown bd;
+    bd.checks = cfg_.invChecks;
+    if (len == 0)
+        return bd;
+    mem::Vpn first = mem::pageOf(iova);
+    mem::Vpn last = mem::pageOf(iova + len - 1);
+    unsigned unmapped = 0;
+    for (mem::Vpn v = first; v <= last; ++v) {
+        if (c.iommu.invalidate(v))
+            ++unmapped;
+    }
+    stats_.invalidations += unmapped;
+    bd.wasMapped = unmapped > 0;
+    if (bd.wasMapped) {
+        bd.ptUpdate =
+            cfg_.invPtUpdateBase + unmapped * cfg_.invPtUpdatePerPage;
+        bd.swUpdates = cfg_.invSwUpdates;
+    }
+    return bd;
+}
+
+sim::Time
+NpfController::sampleResolveLatency(ChannelId ch, std::size_t pages,
+                                    bool major)
+{
+    Channel &c = chan(ch);
+    const mem::MemCostConfig &mc = c.as->manager().costs();
+    sim::Time t = jittered(cfg_.fwTriggerInterrupt);
+    t += jittered(cfg_.driverHandlerBase);
+    t += pages * (cfg_.osPerPage + mc.minorFaultCpu);
+    t += jittered(cfg_.ptUpdateBase) + pages * cfg_.ptUpdatePerPage;
+    t += jittered(cfg_.fwResume);
+    if (major)
+        t += c.as->manager().swap().readLatency(pages);
+    if (rng_.bernoulli(cfg_.tailSpikeProb))
+        t += static_cast<sim::Time>(
+            rng_.exponential(double(cfg_.tailSpikeMean)));
+    return t;
+}
+
+sim::Time
+NpfController::jittered(sim::Time base)
+{
+    double j = rng_.lognormalJitter(cfg_.hwJitterSigma);
+    return static_cast<sim::Time>(double(base) * j);
+}
+
+} // namespace npf::core

@@ -1,0 +1,160 @@
+#include "core/pinning.hh"
+
+#include <cassert>
+
+namespace npf::core {
+
+namespace {
+
+sim::Time
+pinCost(const PinCosts &c, std::size_t pages)
+{
+    return c.pinBase + pages * (c.pinPerPage + c.iommuMapPerPage);
+}
+
+sim::Time
+unpinCost(const PinCosts &c, std::size_t pages)
+{
+    return c.unpinBase + pages * c.unpinPerPage;
+}
+
+} // namespace
+
+// --- StaticPinning ---------------------------------------------------
+
+StaticPinning::StaticPinning(NpfController &npfc, ChannelId ch,
+                             PinCosts costs)
+    : npfc_(npfc), ch_(ch), costs_(costs)
+{
+}
+
+sim::Time
+StaticPinning::setup(mem::VirtAddr base, std::size_t len)
+{
+    mem::AddressSpace &as = npfc_.space(ch_);
+    mem::AccessResult res = as.pinRange(base, len);
+    if (!res.ok) {
+        ok_ = false;
+        return res.cost;
+    }
+    std::size_t pages = mem::pagesCovering(base, len);
+    pinnedBytes_ += pages * mem::kPageSize;
+    // Map everything in the IOMMU once; DMAs never fault again.
+    mem::AccessResult pf = npfc_.prefault(ch_, base, len, /*write=*/true);
+    return res.cost + pf.cost + pinCost(costs_, pages);
+}
+
+// --- FineGrainedPinning ------------------------------------------------
+
+FineGrainedPinning::FineGrainedPinning(NpfController &npfc, ChannelId ch,
+                                       PinCosts costs)
+    : npfc_(npfc), ch_(ch), costs_(costs)
+{
+}
+
+sim::Time
+FineGrainedPinning::beforeDma(mem::VirtAddr addr, std::size_t len)
+{
+    mem::AddressSpace &as = npfc_.space(ch_);
+    mem::AccessResult res = as.pinRange(addr, len);
+    if (!res.ok) {
+        ok_ = false;
+        return res.cost;
+    }
+    std::size_t pages = mem::pagesCovering(addr, len);
+    pinnedBytes_ += pages * mem::kPageSize;
+    mem::AccessResult pf = npfc_.prefault(ch_, addr, len, /*write=*/true);
+    return res.cost + pf.cost + pinCost(costs_, pages);
+}
+
+sim::Time
+FineGrainedPinning::afterDma(mem::VirtAddr addr, std::size_t len)
+{
+    mem::AddressSpace &as = npfc_.space(ch_);
+    as.unpinRange(addr, len);
+    std::size_t pages = mem::pagesCovering(addr, len);
+    assert(pinnedBytes_ >= pages * mem::kPageSize);
+    pinnedBytes_ -= pages * mem::kPageSize;
+    InvalidationBreakdown inv = npfc_.invalidateRange(ch_, addr, len);
+    return unpinCost(costs_, pages) + inv.total();
+}
+
+// --- PinDownCache ------------------------------------------------------
+
+PinDownCache::PinDownCache(NpfController &npfc, ChannelId ch,
+                           std::size_t capacity_bytes, PinCosts costs)
+    : npfc_(npfc), ch_(ch), capacity_(capacity_bytes), costs_(costs)
+{
+}
+
+sim::Time
+PinDownCache::beforeDma(mem::VirtAddr addr, std::size_t len)
+{
+    // Hit if one cached region covers the whole extent.
+    auto it = regions_.upper_bound(addr);
+    if (it != regions_.begin()) {
+        --it;
+        const Region &r = it->second;
+        if (addr >= r.base && addr + len <= r.base + r.len) {
+            ++hits_;
+            lru_.splice(lru_.begin(), lru_, it->second.lruIt);
+            return costs_.cacheLookup;
+        }
+    }
+
+    ++misses_;
+    sim::Time cost = 0;
+    std::size_t pages = mem::pagesCovering(addr, len);
+    std::size_t bytes = pages * mem::kPageSize;
+
+    while (capacity_ != 0 && pinnedBytes_ + bytes > capacity_ &&
+           !regions_.empty()) {
+        cost += evictOne();
+    }
+
+    mem::AddressSpace &as = npfc_.space(ch_);
+    mem::AccessResult res = as.pinRange(addr, len);
+    if (!res.ok) {
+        // Under memory pressure keep evicting; if nothing is left to
+        // evict, report failure.
+        while (!res.ok && !regions_.empty()) {
+            cost += evictOne();
+            res = as.pinRange(addr, len);
+        }
+        if (!res.ok) {
+            ok_ = false;
+            return cost + res.cost;
+        }
+    }
+    cost += res.cost;
+    mem::AccessResult pf = npfc_.prefault(ch_, addr, len, /*write=*/true);
+    cost += pf.cost + pinCost(costs_, pages) + costs_.regMrBase;
+
+    pinnedBytes_ += bytes;
+    lru_.push_front(addr);
+    regions_[addr] = Region{addr, bytes, lru_.begin()};
+    return cost;
+}
+
+sim::Time
+PinDownCache::evictOne()
+{
+    assert(!regions_.empty());
+    mem::VirtAddr victim = lru_.back();
+    lru_.pop_back();
+    auto it = regions_.find(victim);
+    assert(it != regions_.end());
+    Region r = it->second;
+    regions_.erase(it);
+
+    mem::AddressSpace &as = npfc_.space(ch_);
+    as.unpinRange(r.base, r.len);
+    assert(pinnedBytes_ >= r.len);
+    pinnedBytes_ -= r.len;
+    ++evictions_;
+    InvalidationBreakdown inv = npfc_.invalidateRange(ch_, r.base, r.len);
+    std::size_t pages = mem::pagesFor(r.len);
+    return unpinCost(costs_, pages) + inv.total();
+}
+
+} // namespace npf::core

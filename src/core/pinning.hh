@@ -1,0 +1,187 @@
+/**
+ * @file
+ * The four memory-registration disciplines the paper compares
+ * (Table 3): static pinning, fine-grained pinning, a coarse-grained
+ * pin-down cache, and NPF ("none"). Applications and the HPC
+ * middleware call beforeDma()/afterDma() around each transfer and
+ * are charged whatever the discipline costs.
+ */
+
+#ifndef NPF_CORE_PINNING_HH
+#define NPF_CORE_PINNING_HH
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "core/npf_controller.hh"
+#include "mem/address_space.hh"
+#include "sim/time.hh"
+
+namespace npf::core {
+
+/** Cost knobs for pin/unpin/register operations (§2.2 overheads). */
+struct PinCosts
+{
+    /** mlock/get_user_pages fixed syscall cost. */
+    sim::Time pinBase = sim::fromMicroseconds(1.5);
+    /** Per-page pin cost (page walk + refcount). */
+    sim::Time pinPerPage = 1200;
+    /** Per-page IOMMU/MTT map cost on the pin path. */
+    sim::Time iommuMapPerPage = 800;
+    /** Unpin fixed cost. */
+    sim::Time unpinBase = sim::fromMicroseconds(1.0);
+    /** Per-page unpin + IOMMU unmap + IOTLB invalidate cost. */
+    sim::Time unpinPerPage = 600;
+    /** Memory-region registration (ibv_reg_mr-style) fixed cost.
+     *  Mietke et al. measure registration in the hundreds of us on
+     *  Mellanox stacks. */
+    sim::Time regMrBase = sim::fromMicroseconds(120);
+    /** Pin-down cache hit lookup cost. */
+    sim::Time cacheLookup = 200;
+};
+
+/**
+ * Interface of a registration discipline.
+ *
+ * ensureResident() is the one-time setup (static pinning pays here);
+ * beforeDma()/afterDma() bracket each transfer. All methods return
+ * the latency charged to the caller. ok() reports whether setup
+ * succeeded — static pinning fails when memory cannot hold the whole
+ * footprint, which is exactly the paper's Table 5 / Fig. 8(a)
+ * "N/A / fails to load" outcome.
+ */
+class PinningStrategy
+{
+  public:
+    virtual ~PinningStrategy() = default;
+
+    virtual const char *name() const = 0;
+
+    /** One-time setup for a buffer pool of [base, base+len). */
+    virtual sim::Time setup(mem::VirtAddr base, std::size_t len) = 0;
+
+    /** Per-transfer preparation of [addr, addr+len). */
+    virtual sim::Time beforeDma(mem::VirtAddr addr, std::size_t len) = 0;
+
+    /** Per-transfer teardown. */
+    virtual sim::Time afterDma(mem::VirtAddr addr, std::size_t len) = 0;
+
+    /** False after a failed setup (out of memory / pin limit). */
+    bool ok() const { return ok_; }
+
+    /** Bytes currently pinned by this strategy. */
+    std::size_t pinnedBytes() const { return pinnedBytes_; }
+
+  protected:
+    bool ok_ = true;
+    std::size_t pinnedBytes_ = 0;
+};
+
+/**
+ * Static pinning: pin everything up front (SRIOV-to-VM style).
+ * Simple and fast, but the memory is lost to overcommitment forever.
+ */
+class StaticPinning : public PinningStrategy
+{
+  public:
+    StaticPinning(NpfController &npfc, ChannelId ch, PinCosts costs = {});
+
+    const char *name() const override { return "static"; }
+    sim::Time setup(mem::VirtAddr base, std::size_t len) override;
+    sim::Time beforeDma(mem::VirtAddr, std::size_t) override { return 0; }
+    sim::Time afterDma(mem::VirtAddr, std::size_t) override { return 0; }
+
+  private:
+    NpfController &npfc_;
+    ChannelId ch_;
+    PinCosts costs_;
+};
+
+/**
+ * Fine-grained pinning: pin/map before every DMA, unmap/unpin after
+ * (the kernel DMA-API discipline). Safe, memory-friendly, slow.
+ */
+class FineGrainedPinning : public PinningStrategy
+{
+  public:
+    FineGrainedPinning(NpfController &npfc, ChannelId ch,
+                       PinCosts costs = {});
+
+    const char *name() const override { return "fine-grained"; }
+    sim::Time setup(mem::VirtAddr, std::size_t) override { return 0; }
+    sim::Time beforeDma(mem::VirtAddr addr, std::size_t len) override;
+    sim::Time afterDma(mem::VirtAddr addr, std::size_t len) override;
+
+  private:
+    NpfController &npfc_;
+    ChannelId ch_;
+    PinCosts costs_;
+};
+
+/**
+ * Coarse-grained pin-down cache (§2.2): registered regions stay
+ * pinned until LRU eviction makes room under a byte budget. The
+ * state-of-the-art HPC middleware discipline the paper benchmarks
+ * against in Fig. 9 / Table 6.
+ */
+class PinDownCache : public PinningStrategy
+{
+  public:
+    /**
+     * @param capacity_bytes pinned-byte budget; 0 = unlimited (the
+     *   HPC common case where the cache degenerates to pin-everything).
+     */
+    PinDownCache(NpfController &npfc, ChannelId ch,
+                 std::size_t capacity_bytes, PinCosts costs = {});
+
+    const char *name() const override { return "pin-down-cache"; }
+    sim::Time setup(mem::VirtAddr, std::size_t) override { return 0; }
+    sim::Time beforeDma(mem::VirtAddr addr, std::size_t len) override;
+    sim::Time afterDma(mem::VirtAddr, std::size_t) override { return 0; }
+
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+    std::uint64_t evictions() const { return evictions_; }
+
+  private:
+    struct Region
+    {
+        mem::VirtAddr base;
+        std::size_t len;
+        std::list<mem::VirtAddr>::iterator lruIt;
+    };
+
+    sim::Time evictOne();
+
+    NpfController &npfc_;
+    ChannelId ch_;
+    std::size_t capacity_;
+    PinCosts costs_;
+    std::map<mem::VirtAddr, Region> regions_; ///< by base address
+    std::list<mem::VirtAddr> lru_;            ///< front = most recent
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+    std::uint64_t evictions_ = 0;
+};
+
+/**
+ * NPF / ODP: no pinning at all. DMA faults are handled by the NIC +
+ * NpfController at access time; before/after are free.
+ */
+class NpfPinning : public PinningStrategy
+{
+  public:
+    explicit NpfPinning() = default;
+
+    const char *name() const override { return "npf"; }
+    sim::Time setup(mem::VirtAddr, std::size_t) override { return 0; }
+    sim::Time beforeDma(mem::VirtAddr, std::size_t) override { return 0; }
+    sim::Time afterDma(mem::VirtAddr, std::size_t) override { return 0; }
+};
+
+} // namespace npf::core
+
+#endif // NPF_CORE_PINNING_HH

@@ -1,0 +1,157 @@
+#include "eth/backup_ring.hh"
+
+#include <cassert>
+
+#include "eth/eth_nic.hh"
+
+namespace npf::eth {
+
+BackupRingManager::BackupRingManager(sim::EventQueue &eq, EthNic &nic,
+                                     std::size_t capacity)
+    : eq_(eq), nic_(nic), capacity_(capacity)
+{
+}
+
+bool
+BackupRingManager::store(BackupEntry e)
+{
+    if (hwRing_.size() >= capacity_) {
+        ++stats_.overflowDrops;
+        return false;
+    }
+    hwRing_.push_back(std::move(e));
+    ++stats_.parked;
+    ++pendingCount_;
+    scheduleIsr();
+    return true;
+}
+
+void
+BackupRingManager::scheduleIsr()
+{
+    if (isrPending_)
+        return; // coalesced, NAPI-style
+    isrPending_ = true;
+    eq_.scheduleAfter(nic_.config().interruptLatency, [this] {
+        isrPending_ = false;
+        isr();
+    });
+}
+
+void
+BackupRingManager::isr()
+{
+    // Drain the pinned hardware ring into per-IOuser software queues
+    // ("promptly replenish the backup ring so as not to run out of
+    // buffers", §5), then wake the per-ring resolver threads.
+    while (!hwRing_.empty()) {
+        BackupEntry e = std::move(hwRing_.front());
+        hwRing_.pop_front();
+        unsigned rid = e.ringId;
+        swQueues_[rid].push_back(std::move(e));
+        if (!resolverBusy_[rid]) {
+            resolverBusy_[rid] = true;
+            eq_.scheduleAfter(0, [this, rid] { pumpResolver(rid); });
+        }
+    }
+}
+
+void
+BackupRingManager::pumpResolver(unsigned ring_id)
+{
+    auto &q = swQueues_[ring_id];
+    if (q.empty()) {
+        resolverBusy_[ring_id] = false;
+        return;
+    }
+
+    RxRing &r = nic_.ring(ring_id);
+    BackupEntry &e = q.front();
+
+    // Step 1: wait until the IOuser has posted the descriptor this
+    // packet belongs at ("T first blocks until there is room").
+    if (e.idx >= r.tail) {
+        ++stats_.waitsForRoom;
+        r.tailAdvanceHook = [this, ring_id] {
+            RxRing &ring = nic_.ring(ring_id);
+            ring.tailAdvanceHook = nullptr;
+            eq_.scheduleAfter(0, [this, ring_id] { pumpResolver(ring_id); });
+        };
+        return;
+    }
+
+    RxDescriptor &d = r.slot(e.idx);
+    core::ChannelId ch = nic_.ringChannel(ring_id);
+    core::NpfController &npfc = nic_.npfc();
+
+    if (e.synthetic) {
+        // What-if injection: the page is actually resident; charge
+        // only the modeled resolution latency.
+        std::size_t pages = mem::pagesCovering(d.buf, d.len);
+        sim::Time lat =
+            npfc.sampleResolveLatency(ch, pages, e.syntheticMajor);
+        eq_.scheduleAfter(lat, [this, ring_id] { finishEntry(ring_id); });
+        return;
+    }
+
+    // Step 2: ensure the buffer pages are present and IOMMU-mapped.
+    if (!npfc.checkDma(ch, d.buf, d.len).ok) {
+        npfc.raiseNpf(ch, d.buf, d.len, /*write=*/true,
+                      [this, ring_id](const core::NpfBreakdown &bd) {
+                          if (!bd.ok) {
+                              // Out of memory: back off and retry —
+                              // reclaim needs time to make progress.
+                              ++stats_.resolutionRetries;
+                              eq_.scheduleAfter(sim::kMillisecond,
+                                                [this, ring_id] {
+                                                    pumpResolver(ring_id);
+                                                });
+                              return;
+                          }
+                          finishEntry(ring_id);
+                      });
+        return;
+    }
+    finishEntry(ring_id);
+}
+
+void
+BackupRingManager::finishEntry(unsigned ring_id)
+{
+    auto &q = swQueues_[ring_id];
+    assert(!q.empty());
+    BackupEntry e = std::move(q.front());
+    q.pop_front();
+    assert(pendingCount_ > 0);
+    --pendingCount_;
+
+    RxRing &r = nic_.ring(ring_id);
+    RxDescriptor &d = r.slot(e.idx);
+
+    // Step 3: copy the packet into the IOuser buffer (CPU copy, page
+    // faults handled transparently — we are on the CPU now), then
+    // step 4: tell the NIC the rNPF is resolved.
+    double copy_secs =
+        double(e.frame.bytes) / nic_.config().copyBytesPerSec;
+    sim::Time copy_cost = sim::fromSeconds(copy_secs);
+
+    std::uint64_t bit_index = e.bitIndex;
+    eq_.scheduleAfter(copy_cost, [this, ring_id, bit_index,
+                                  idx = e.idx,
+                                  frame = std::move(e.frame)]() mutable {
+        RxRing &ring = nic_.ring(ring_id);
+        RxDescriptor &dd = ring.slot(idx);
+        dd.frame = std::move(frame);
+        dd.filled = true;
+        core::ChannelId ch = nic_.ringChannel(ring_id);
+        nic_.npfc().dmaAccess(ch, dd.buf,
+                              std::min(dd.len, dd.frame.bytes),
+                              /*write=*/true);
+        ++stats_.resolved;
+        nic_.resolveRnpf(ring_id, bit_index);
+        pumpResolver(ring_id);
+    });
+    (void)d;
+}
+
+} // namespace npf::eth

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * IOprovider driver side of the backup-ring design (Fig. 5): a
+ * small pinned ring the NIC parks faulting packets in, an interrupt
+ * handler that drains it into per-IOuser software queues, and a
+ * resolver "thread" per IOuser that faults pages in, copies packets
+ * into place, and tells the NIC to sweep (§5 "Driver").
+ */
+
+#ifndef NPF_ETH_BACKUP_RING_HH
+#define NPF_ETH_BACKUP_RING_HH
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+
+#include "eth/frame.hh"
+#include "sim/event_queue.hh"
+#include "sim/time.hh"
+
+namespace npf::eth {
+
+class EthNic;
+
+/** One parked packet plus the metadata the NIC attaches (Fig. 6). */
+struct BackupEntry
+{
+    unsigned ringId = 0;
+    std::uint64_t idx = 0;      ///< IOuser-ring index it belongs at
+    std::uint64_t bitIndex = 0; ///< Fig. 6 bitmap position
+    Frame frame;
+    bool synthetic = false;     ///< what-if injection: latency only
+    bool syntheticMajor = false;
+};
+
+/**
+ * Driver-side manager of the pinned backup ring.
+ */
+class BackupRingManager
+{
+  public:
+    struct Stats
+    {
+        std::uint64_t parked = 0;        ///< entries accepted
+        std::uint64_t overflowDrops = 0; ///< hardware ring full
+        std::uint64_t resolved = 0;      ///< merged back into IOusers
+        std::uint64_t resolutionRetries = 0;
+        std::uint64_t waitsForRoom = 0;  ///< stalls on a full IOuser ring
+    };
+
+    BackupRingManager(sim::EventQueue &eq, EthNic &nic,
+                      std::size_t capacity);
+
+    /**
+     * Hardware side: park an entry. @return false when the pinned
+     * ring is full (the packet is then dropped — the only loss the
+     * backup design permits).
+     */
+    bool store(BackupEntry e);
+
+    /** Entries currently parked (hardware ring + software queues). */
+    std::size_t pending() const { return pendingCount_; }
+
+    const Stats &stats() const { return stats_; }
+
+  private:
+    /** Interrupt handler: drain hw ring into per-ring sw queues. */
+    void isr();
+    void scheduleIsr();
+    /** Resolver thread body for one IOuser ring. */
+    void pumpResolver(unsigned ring_id);
+    void finishEntry(unsigned ring_id);
+
+    sim::EventQueue &eq_;
+    EthNic &nic_;
+    std::size_t capacity_;
+    Stats stats_;
+    std::deque<BackupEntry> hwRing_;
+    std::unordered_map<unsigned, std::deque<BackupEntry>> swQueues_;
+    std::unordered_map<unsigned, bool> resolverBusy_;
+    bool isrPending_ = false;
+    std::size_t pendingCount_ = 0;
+};
+
+} // namespace npf::eth
+
+#endif // NPF_ETH_BACKUP_RING_HH

@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Ethernet frame abstraction. Payload content is opaque to the NIC
+ * (a shared_ptr the protocol layer downcasts), mirroring how the
+ * hardware sees only bytes.
+ */
+
+#ifndef NPF_ETH_FRAME_HH
+#define NPF_ETH_FRAME_HH
+
+#include <cstdint>
+#include <memory>
+
+namespace npf::eth {
+
+/** One frame on the wire / in a receive ring. */
+struct Frame
+{
+    unsigned dstRing = 0;          ///< steering target (IOchannel)
+    std::size_t bytes = 0;         ///< payload length
+    std::shared_ptr<void> payload; ///< protocol payload (opaque)
+    std::uint64_t seq = 0;         ///< NIC-assigned arrival number
+};
+
+} // namespace npf::eth
+
+#endif // NPF_ETH_FRAME_HH

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Receive-ring state for the backup-ring NIC of the paper's §5.
+ * Field names follow the hardware pseudo-code of Figure 6: head,
+ * head_offset, bitmap, bm_index, bm_size. Indices are monotonically
+ * increasing 64-bit values; slot = index % size.
+ */
+
+#ifndef NPF_ETH_RX_RING_HH
+#define NPF_ETH_RX_RING_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "eth/frame.hh"
+#include "mem/types.hh"
+
+namespace npf::eth {
+
+/** How a ring reacts to receive NPFs (the Fig. 4 configurations). */
+enum class RxFaultPolicy {
+    Pin,        ///< buffers pre-pinned: the baseline, faults impossible
+    Drop,       ///< discard faulting packets (the failed strawman)
+    BackupRing, ///< the paper's solution
+};
+
+/** Per-ring configuration. */
+struct RxRingConfig
+{
+    std::size_t size = 256;    ///< descriptor count
+    std::size_t bmSize = 64;   ///< Fig. 6 bm_size: provider's bound on
+                               ///< packets parked for this ring
+    RxFaultPolicy policy = RxFaultPolicy::BackupRing;
+
+    /** §6.4 what-if: synthetic rNPF probability per packet. */
+    double syntheticRnpfProb = 0.0;
+    bool syntheticMajor = false;
+
+    /**
+     * §3 "Completeness" optimization: upon an rNPF, also pre-fault
+     * the buffers of the next N posted descriptors, shortening cold
+     * sequences. 0 disables (the paper notes pre-faulting helps but
+     * is not a complete solution by itself).
+     */
+    unsigned prefaultAhead = 0;
+};
+
+/** One receive descriptor posted by the IOuser. */
+struct RxDescriptor
+{
+    mem::VirtAddr buf = 0;
+    std::size_t len = 0;
+    Frame frame;         ///< filled on completion
+    bool filled = false; ///< frame stored (directly or via backup)
+};
+
+/**
+ * Receive ring state (hardware + a little IOuser bookkeeping).
+ *
+ * Invariants (property-tested in tests/eth):
+ *   userHead <= head <= head + headOffset <= tail <= userHead + size
+ *   headOffset == number of in-window entries after `head`, of which
+ *   the ones with bitmap bit set are unresolved rNPFs.
+ */
+struct RxRing
+{
+    unsigned id = 0;
+    RxRingConfig cfg;
+    std::vector<RxDescriptor> desc;
+    std::vector<std::uint8_t> bitmap; ///< Fig. 6 bitmap[bm_size]
+
+    std::uint64_t tail = 0;       ///< next post index (IOuser producer)
+    std::uint64_t head = 0;       ///< completion boundary (Fig. 6 head)
+    std::uint64_t headOffset = 0; ///< Fig. 6 head_offset
+    std::uint64_t bmIndex = 0;    ///< Fig. 6 bm_index
+    std::uint64_t userHead = 0;   ///< IOuser consumption boundary
+
+    /** IOuser rx callback, invoked per consumed frame. */
+    std::function<void(const Frame &)> rxHandler;
+    /** Driver hook: fires when the IOuser advances tail (the paper's
+     *  "ask the NIC to interrupt whenever the IOuser changes the
+     *  tail" while rNPF resolution waits for ring room). */
+    std::function<void()> tailAdvanceHook;
+
+    bool interruptPending = false; ///< coalescing flag
+
+    struct Stats
+    {
+        std::uint64_t delivered = 0;      ///< frames handed to IOuser
+        std::uint64_t storedDirect = 0;   ///< stored without fault
+        std::uint64_t rnpfs = 0;          ///< faulting packets
+        std::uint64_t toBackup = 0;       ///< parked in the backup ring
+        std::uint64_t dropped = 0;        ///< lost (policy or overflow)
+        std::uint64_t resolved = 0;       ///< rNPFs merged back
+    };
+    Stats stats;
+
+    RxDescriptor &slot(std::uint64_t idx) { return desc[idx % cfg.size]; }
+    std::uint8_t &bit(std::uint64_t bit_index)
+    {
+        return bitmap[bit_index % cfg.bmSize];
+    }
+
+    /** Descriptors the IOuser may still post without overrunning. */
+    std::uint64_t
+    postableSlots() const
+    {
+        return cfg.size - (tail - userHead);
+    }
+};
+
+} // namespace npf::eth
+
+#endif // NPF_ETH_RX_RING_HH

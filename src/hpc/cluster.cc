@@ -1,0 +1,203 @@
+#include "hpc/cluster.hh"
+
+#include <cassert>
+
+namespace npf::hpc {
+
+namespace {
+
+constexpr std::size_t kBounceBytes = 8ull << 20; ///< covers 4 MB msgs
+
+} // namespace
+
+const char *
+regModeName(RegMode m)
+{
+    switch (m) {
+      case RegMode::Copy:
+        return "copy";
+      case RegMode::PinDownCache:
+        return "pin";
+      case RegMode::Npf:
+        return "npf";
+    }
+    return "?";
+}
+
+Cluster::Cluster(sim::EventQueue &eq, ClusterConfig cfg, RegMode mode)
+    : eq_(eq), cfg_(cfg), mode_(mode)
+{
+    fabric_ = std::make_unique<net::Fabric>(eq_, cfg_.ranks, cfg_.fabric);
+
+    for (unsigned r = 0; r < cfg_.ranks; ++r) {
+        hosts_.push_back(
+            std::make_unique<mem::MemoryManager>(cfg_.memoryPerRank));
+        spaces_.push_back(
+            &hosts_.back()->createAddressSpace("rank" + std::to_string(r)));
+        npfcs_.push_back(std::make_unique<core::NpfController>(
+            eq_, core::OdpConfig{}, 0xc0ffee + r));
+        channels_.push_back(npfcs_.back()->attach(*spaces_.back()));
+
+        // Eager/bounce buffers: pre-pinned, as real middleware does.
+        mem::VirtAddr bs = spaces_[r]->allocRegion(kBounceBytes, "bounce-s");
+        mem::VirtAddr br = spaces_[r]->allocRegion(kBounceBytes, "bounce-r");
+        spaces_[r]->pinRange(bs, kBounceBytes);
+        spaces_[r]->pinRange(br, kBounceBytes);
+        npfcs_[r]->prefault(channels_[r], bs, kBounceBytes, true);
+        npfcs_[r]->prefault(channels_[r], br, kBounceBytes, true);
+        bounceSend_.push_back(bs);
+        bounceRecv_.push_back(br);
+
+        if (mode_ == RegMode::PinDownCache) {
+            pinStrategy_.push_back(std::make_unique<core::PinDownCache>(
+                *npfcs_[r], channels_[r], cfg_.pinDownCacheBytes,
+                cfg_.pinCosts));
+        } else {
+            pinStrategy_.push_back(nullptr);
+        }
+    }
+
+    // Full QP mesh.
+    qps_.resize(cfg_.ranks);
+    pending_.resize(cfg_.ranks);
+    for (unsigned a = 0; a < cfg_.ranks; ++a) {
+        qps_[a].resize(cfg_.ranks);
+        pending_[a].resize(cfg_.ranks);
+        for (unsigned b = 0; b < cfg_.ranks; ++b) {
+            if (a == b)
+                continue;
+            qps_[a][b] = std::make_unique<ib::QueuePair>(
+                eq_, *fabric_, a, *npfcs_[a], channels_[a], cfg_.qp,
+                0xdead + a * 64 + b);
+        }
+    }
+    for (unsigned a = 0; a < cfg_.ranks; ++a) {
+        for (unsigned b = 0; b < cfg_.ranks; ++b) {
+            if (a == b)
+                continue;
+            qps_[a][b]->connect(*qps_[b][a]);
+            qps_[a][b]->onCompletion([this, a, b](const ib::Completion &c) {
+                auto &ops = pending_[a][b];
+                auto &map = c.isRecv ? ops.recvs : ops.sends;
+                auto it = map.find(c.wrId);
+                if (it == map.end())
+                    return;
+                Done done = std::move(it->second);
+                map.erase(it);
+                if (done)
+                    done();
+            });
+        }
+    }
+}
+
+Cluster::~Cluster() = default;
+
+mem::VirtAddr
+Cluster::allocBuffer(unsigned rank, std::size_t bytes)
+{
+    mem::VirtAddr buf = spaces_[rank]->allocRegion(bytes, "mpi-buf");
+    // The application initializes its buffers: CPU-present,
+    // IOMMU-cold.
+    spaces_[rank]->touch(buf, bytes, /*write=*/true);
+    return buf;
+}
+
+void
+Cluster::isend(unsigned src, unsigned dst, mem::VirtAddr buf,
+               std::size_t len, Done done)
+{
+    assert(src != dst);
+    std::uint64_t id = nextWrId_++;
+    pending_[src][dst].sends[id] = std::move(done);
+
+    bool eager = len <= cfg_.eagerThreshold;
+    mem::VirtAddr dma_src = buf;
+    sim::Time pre = 0;
+
+    if (eager || mode_ == RegMode::Copy) {
+        pre = copyCost(len);
+        dma_src = bounceSend_[src];
+    } else if (mode_ == RegMode::PinDownCache) {
+        pre = pinStrategy_[src]->beforeDma(buf, len);
+    }
+    // Npf: post directly; NPFs (if any) happen inside the NIC.
+
+    auto post = [this, src, dst, dma_src, len, id] {
+        ib::WorkRequest w;
+        w.op = ib::Opcode::Send;
+        w.local = dma_src;
+        w.len = len;
+        w.wrId = id;
+        qp(src, dst).postSend(w);
+    };
+    if (pre == 0)
+        post();
+    else
+        eq_.scheduleAfter(pre, post);
+}
+
+void
+Cluster::irecv(unsigned dst, unsigned src, mem::VirtAddr buf,
+               std::size_t len, Done done)
+{
+    assert(src != dst);
+    std::uint64_t id = nextWrId_++;
+
+    bool eager = len <= cfg_.eagerThreshold;
+    mem::VirtAddr dma_dst = buf;
+    sim::Time pre = 0;
+    bool copy_out = false;
+
+    if (eager || mode_ == RegMode::Copy) {
+        dma_dst = bounceRecv_[dst];
+        copy_out = true;
+    } else if (mode_ == RegMode::PinDownCache) {
+        pre = pinStrategy_[dst]->beforeDma(buf, len);
+    }
+
+    Done wrapped = std::move(done);
+    if (copy_out) {
+        // Deliver after the CPU copies out of the bounce buffer.
+        wrapped = [this, len, inner = std::move(wrapped)] {
+            eq_.scheduleAfter(copyCost(len), inner);
+        };
+    }
+    pending_[dst][src].recvs[id] = std::move(wrapped);
+
+    auto post = [this, dst, src, dma_dst, len, id] {
+        ib::WorkRequest w;
+        w.local = dma_dst;
+        w.len = len;
+        w.wrId = id;
+        qp(dst, src).postRecv(w);
+    };
+    if (pre == 0)
+        post();
+    else
+        eq_.scheduleAfter(pre, post);
+}
+
+std::uint64_t
+Cluster::totalRnpfs() const
+{
+    std::uint64_t n = 0;
+    for (const auto &c : npfcs_)
+        n += c->stats().npfs;
+    return n;
+}
+
+std::uint64_t
+Cluster::totalRegMisses() const
+{
+    std::uint64_t n = 0;
+    for (const auto &p : pinStrategy_) {
+        if (p) {
+            auto *pdc = static_cast<core::PinDownCache *>(p.get());
+            n += pdc->misses();
+        }
+    }
+    return n;
+}
+
+} // namespace npf::hpc

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * An MPI-like communication substrate over the simulated InfiniBand
+ * fabric: N single-process ranks, a full mesh of RC queue pairs, and
+ * the three §6.2 registration disciplines — copying through bounce
+ * buffers, a pin-down cache, and NPF/ODP.
+ */
+
+#ifndef NPF_HPC_CLUSTER_HH
+#define NPF_HPC_CLUSTER_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "core/pinning.hh"
+#include "ib/queue_pair.hh"
+#include "mem/memory_manager.hh"
+#include "net/fabric.hh"
+
+namespace npf::hpc {
+
+/** Which registration discipline the middleware uses (Fig. 9). */
+enum class RegMode { Copy, PinDownCache, Npf };
+
+const char *regModeName(RegMode m);
+
+/** Cluster parameters (defaults model the paper's IB testbed). */
+struct ClusterConfig
+{
+    unsigned ranks = 8;
+    std::size_t memoryPerRank = 4ull << 30;
+    net::FabricConfig fabric = {
+        net::LinkConfig{56e9, 300, 32}, ///< 56 Gb/s FDR, IB headers
+        200,
+    };
+    ib::QpConfig qp;
+    /** Bounce-buffer memcpy bandwidth (copy mode, both sides). */
+    double copyBwBytesPerSec = 12e9;
+    /** CPU reduction bandwidth (allreduce). */
+    double reduceBwBytesPerSec = 8e9;
+    /** Messages at or below this ride the eager (always-copied) path
+     *  in every mode, as real MPI middleware does. */
+    std::size_t eagerThreshold = 8192;
+    /** Pin-down cache budget per rank; 0 = unlimited. */
+    std::size_t pinDownCacheBytes = 0;
+    core::PinCosts pinCosts;
+};
+
+/**
+ * The cluster: owns per-rank hosts (memory manager, address space,
+ * NPF controller) and the QP mesh, and provides tagged-free ordered
+ * isend/irecv between ranks with registration costs applied.
+ */
+class Cluster
+{
+  public:
+    using Done = std::function<void()>;
+
+    Cluster(sim::EventQueue &eq, ClusterConfig cfg, RegMode mode);
+    ~Cluster();
+
+    unsigned ranks() const { return cfg_.ranks; }
+    RegMode mode() const { return mode_; }
+    sim::EventQueue &eventQueue() { return eq_; }
+    mem::AddressSpace &space(unsigned rank) { return *spaces_[rank]; }
+    core::NpfController &npfc(unsigned rank) { return *npfcs_[rank]; }
+    const ClusterConfig &config() const { return cfg_; }
+
+    /** Allocate a buffer in @p rank's address space (CPU-touched, so
+     *  pages are present; IOMMU-cold unless pinned). */
+    mem::VirtAddr allocBuffer(unsigned rank, std::size_t bytes);
+
+    /** Nonblocking ordered send of [buf, buf+len) to @p dst. */
+    void isend(unsigned src, unsigned dst, mem::VirtAddr buf,
+               std::size_t len, Done done);
+
+    /** Nonblocking ordered receive from @p src into [buf, buf+len). */
+    void irecv(unsigned dst, unsigned src, mem::VirtAddr buf,
+               std::size_t len, Done done);
+
+    /** CPU cost of reducing @p len bytes (allreduce step). */
+    sim::Time
+    reduceCost(std::size_t len) const
+    {
+        return sim::fromSeconds(double(len) / cfg_.reduceBwBytesPerSec);
+    }
+
+    /** Aggregate rNPFs seen across all ranks (reporting). */
+    std::uint64_t totalRnpfs() const;
+    /** Aggregate pin-down cache misses across ranks (reporting). */
+    std::uint64_t totalRegMisses() const;
+
+  private:
+    struct PendingOps
+    {
+        std::unordered_map<std::uint64_t, Done> sends;
+        std::unordered_map<std::uint64_t, Done> recvs;
+    };
+
+    ib::QueuePair &qp(unsigned a, unsigned b) { return *qps_[a][b]; }
+    sim::Time copyCost(std::size_t len) const
+    {
+        return sim::fromSeconds(double(len) / cfg_.copyBwBytesPerSec);
+    }
+
+    sim::EventQueue &eq_;
+    ClusterConfig cfg_;
+    RegMode mode_;
+    std::unique_ptr<net::Fabric> fabric_;
+    std::vector<std::unique_ptr<mem::MemoryManager>> hosts_;
+    std::vector<mem::AddressSpace *> spaces_;
+    std::vector<std::unique_ptr<core::NpfController>> npfcs_;
+    std::vector<core::ChannelId> channels_;
+    std::vector<std::unique_ptr<core::PinningStrategy>> pinStrategy_;
+    std::vector<std::vector<std::unique_ptr<ib::QueuePair>>> qps_;
+    std::vector<std::vector<PendingOps>> pending_; ///< [rank][peer]
+    std::vector<mem::VirtAddr> bounceSend_;
+    std::vector<mem::VirtAddr> bounceRecv_;
+    std::uint64_t nextWrId_ = 1;
+};
+
+} // namespace npf::hpc
+
+#endif // NPF_HPC_CLUSTER_HH

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Blocking collectives over the Cluster, with the standard
+ * algorithms MPI middleware uses at this scale: ring sendrecv,
+ * binomial-tree broadcast, pairwise-exchange alltoall, and
+ * recursive-doubling allreduce.
+ */
+
+#ifndef NPF_HPC_COLLECTIVES_HH
+#define NPF_HPC_COLLECTIVES_HH
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "hpc/cluster.hh"
+
+namespace npf::hpc {
+
+/**
+ * Per-rank buffer pools used by the collectives. The IMB "off_cache"
+ * mode rotates through @p depth distinct buffers per rank so the
+ * pin-down cache has to register more than one region (§6.2).
+ */
+class BufferPool
+{
+  public:
+    BufferPool(Cluster &c, std::size_t max_bytes, unsigned depth);
+
+    mem::VirtAddr send(unsigned rank, unsigned iter) const
+    {
+        return sbuf_[rank][iter % sbuf_[rank].size()];
+    }
+    mem::VirtAddr recv(unsigned rank, unsigned iter) const
+    {
+        return rbuf_[rank][iter % rbuf_[rank].size()];
+    }
+
+  private:
+    std::vector<std::vector<mem::VirtAddr>> sbuf_;
+    std::vector<std::vector<mem::VirtAddr>> rbuf_;
+};
+
+/**
+ * Collective operations. Each call runs asynchronously and invokes
+ * @p done once every rank finished. Buffers come from a BufferPool
+ * indexed by iteration (for off_cache rotation).
+ */
+class Collectives
+{
+  public:
+    using Done = std::function<void()>;
+
+    Collectives(Cluster &c, BufferPool &pool) : c_(c), pool_(pool) {}
+
+    /** Ring exchange: rank r sends to r+1, receives from r-1. */
+    void sendrecv(std::size_t len, unsigned iter, Done done);
+
+    /** Binomial-tree broadcast from rank 0. */
+    void bcast(std::size_t len, unsigned iter, Done done);
+
+    /** Pairwise-exchange (XOR) alltoall; @p len per pair. */
+    void alltoall(std::size_t len, unsigned iter, Done done);
+
+    /** Recursive-doubling allreduce with CPU reduction per step. */
+    void allreduce(std::size_t len, unsigned iter, Done done);
+
+  private:
+    struct Counter
+    {
+        int pending = 0;
+        Done done;
+    };
+
+    static void finish(const std::shared_ptr<Counter> &ctr);
+
+    Cluster &c_;
+    BufferPool &pool_;
+};
+
+} // namespace npf::hpc
+
+#endif // NPF_HPC_COLLECTIVES_HH

@@ -1,0 +1,631 @@
+#include "ib/queue_pair.hh"
+
+#include <cassert>
+
+#include "sim/log.hh"
+
+namespace npf::ib {
+
+QueuePair::QueuePair(sim::EventQueue &eq, net::Fabric &fabric, unsigned node,
+                     core::NpfController &npfc, core::ChannelId channel,
+                     QpConfig cfg, std::uint64_t seed)
+    : eq_(eq), fabric_(fabric), node_(node), npfc_(npfc), channel_(channel),
+      cfg_(cfg), rng_(seed)
+{
+}
+
+void
+QueuePair::postSend(WorkRequest wr)
+{
+    assert(wr.len > 0 || wr.op == Opcode::RdmaRead);
+    sendQueue_.push_back(wr);
+    pumpSend();
+}
+
+void
+QueuePair::postRecv(WorkRequest wr)
+{
+    recvQueue_.push_back(wr);
+}
+
+// --- sender -----------------------------------------------------------
+
+void
+QueuePair::pumpSend()
+{
+    if (error_)
+        return;
+    while (!sendQueue_.empty() && inflight_.size() < cfg_.maxOutstandingWrs) {
+        WorkRequest &wr = sendQueue_.front();
+        if (wr.op == Opcode::RdmaRead && readInit_.active)
+            break; // one outstanding read per QP
+
+        InflightWr ifw;
+        ifw.wr = wr;
+        ifw.firstPsn = nextPsn_;
+        if (wr.op == Opcode::RdmaRead) {
+            // A read request occupies one PSN; responses flow on a
+            // separate read stream.
+            ifw.lastPsn = ifw.firstPsn;
+            readInit_.active = true;
+            readInit_.wr = wr;
+            readInit_.readId = nextReadId_++;
+            readInit_.expectedPsn = 0;
+            readInit_.limitPsn =
+                (wr.len + cfg_.pathMtu - 1) / cfg_.pathMtu;
+            readInit_.faultPending = false;
+        } else {
+            std::size_t pkts = (wr.len + cfg_.pathMtu - 1) / cfg_.pathMtu;
+            ifw.lastPsn = ifw.firstPsn + pkts - 1;
+        }
+        nextPsn_ = ifw.lastPsn + 1;
+        inflight_.push_back(ifw);
+        sendQueue_.pop_front();
+    }
+    if (!txScheduled_ && !senderPaused_ && !localFaultPending_ &&
+        txPsn_ < nextPsn_) {
+        txScheduled_ = true;
+        eq_.scheduleAfter(0, [this] {
+            txScheduled_ = false;
+            transmitOne();
+        });
+    }
+}
+
+std::optional<QueuePair::Packet>
+QueuePair::buildPacketAt(std::uint64_t psn)
+{
+    for (const InflightWr &ifw : inflight_) {
+        if (psn < ifw.firstPsn || psn > ifw.lastPsn)
+            continue;
+        Packet pkt;
+        pkt.psn = psn;
+        pkt.op = ifw.wr.op;
+        pkt.wrId = ifw.wr.wrId;
+        if (ifw.wr.op == Opcode::RdmaRead) {
+            pkt.type = Packet::Type::ReadRequest;
+            pkt.remoteAddr = ifw.wr.remote;
+            pkt.msgLen = ifw.wr.len;
+            pkt.readId = readInit_.readId;
+            pkt.bytes = 0;
+            return pkt;
+        }
+        pkt.type = Packet::Type::Data;
+        pkt.offset = std::size_t(psn - ifw.firstPsn) * cfg_.pathMtu;
+        pkt.bytes = std::min(cfg_.pathMtu, ifw.wr.len - pkt.offset);
+        pkt.msgLen = ifw.wr.len;
+        pkt.firstOfMsg = psn == ifw.firstPsn;
+        pkt.lastOfMsg = psn == ifw.lastPsn;
+        pkt.remoteAddr = ifw.wr.remote;
+        return pkt;
+    }
+    return std::nullopt;
+}
+
+void
+QueuePair::transmitOne()
+{
+    if (error_ || senderPaused_ || localFaultPending_)
+        return;
+    if (txPsn_ >= nextPsn_)
+        return;
+    assert(peer_ != nullptr && "QP not connected");
+
+    auto maybe_pkt = buildPacketAt(txPsn_);
+    assert(maybe_pkt.has_value() && "txPsn_ outside inflight window");
+    Packet pkt = *maybe_pkt;
+
+    // Sender-side NPF: the NIC reads the local buffer via DMA. Local
+    // data, so the QP simply stalls until the fault resolves (§4).
+    if (pkt.type == Packet::Type::Data) {
+        const InflightWr *owner = nullptr;
+        for (const InflightWr &ifw : inflight_) {
+            if (txPsn_ >= ifw.firstPsn && txPsn_ <= ifw.lastPsn) {
+                owner = &ifw;
+                break;
+            }
+        }
+        assert(owner != nullptr);
+        mem::VirtAddr src = owner->wr.local + pkt.offset;
+        if (!npfc_.dmaAccess(channel_, src, pkt.bytes, /*write=*/false)) {
+            ++stats_.sendNpfs;
+            localFaultPending_ = true;
+            // Batched pre-fault: resolve the whole WR's buffer.
+            npfc_.raiseNpf(channel_, owner->wr.local, owner->wr.len,
+                           /*write=*/false,
+                           [this](const core::NpfBreakdown &) {
+                               localFaultPending_ = false;
+                               pumpSend();
+                           });
+            return;
+        }
+    }
+
+    if (txPsn_ < highestTxPsn_)
+        ++stats_.retransmitted;
+    else
+        highestTxPsn_ = txPsn_ + 1;
+    ++stats_.dataPacketsSent;
+
+    QueuePair *peer = peer_;
+    fabric_.send(node_, peer->node_, pkt.bytes,
+                 [peer, pkt] { peer->handlePacket(pkt); });
+    ++txPsn_;
+
+    armRetransmitTimer();
+    if (txPsn_ < nextPsn_ && !txScheduled_) {
+        txScheduled_ = true;
+        eq_.schedule(fabric_.uplink(node_).busyUntil(), [this] {
+            txScheduled_ = false;
+            transmitOne();
+        });
+    }
+}
+
+void
+QueuePair::armRetransmitTimer()
+{
+    if (error_ || retransmitTimer_ != sim::kInvalidEvent)
+        return;
+    ackedAtArm_ = ackedPsn_;
+    retransmitTimer_ =
+        eq_.scheduleAfter(cfg_.retransmitTimeout, [this] {
+            retransmitTimer_ = sim::kInvalidEvent;
+            if (ackedPsn_ >= nextPsn_)
+                return; // everything acked; nothing to do
+            if (senderPaused_ || localFaultPending_) {
+                armRetransmitTimer();
+                return;
+            }
+            if (ackedPsn_ == ackedAtArm_ && txPsn_ > ackedPsn_) {
+                // No progress: rewind to the oldest unacked PSN.
+                ++stats_.rewinds;
+                txPsn_ = ackedPsn_;
+                pumpSend();
+            }
+            armRetransmitTimer();
+        });
+}
+
+void
+QueuePair::handleAck(std::uint64_t ackPsn)
+{
+    if (ackPsn <= ackedPsn_)
+        return;
+    ackedPsn_ = ackPsn;
+    rnrRetries_ = 0;
+    while (!inflight_.empty() && inflight_.front().lastPsn < ackedPsn_) {
+        InflightWr done = inflight_.front();
+        inflight_.pop_front();
+        if (done.wr.op != Opcode::RdmaRead) {
+            Completion c;
+            c.wrId = done.wr.wrId;
+            c.ok = true;
+            c.isRecv = false;
+            c.bytes = done.wr.len;
+            c.at = eq_.now();
+            deliverCompletion(c);
+        }
+        // Reads complete when the response stream finishes.
+    }
+    pumpSend();
+}
+
+void
+QueuePair::handleRnrNack(std::uint64_t resumePsn)
+{
+    ++stats_.rnrNacksReceived;
+    ++stats_.rewinds;
+    ++rnrRetries_;
+    txPsn_ = resumePsn;
+    if (rnrRetries_ > cfg_.rnrRetryLimit) {
+        // Fatal QP error: flush every posted WR with an error
+        // completion and stop all transmit machinery for good.
+        error_ = true;
+        if (retransmitTimer_ != sim::kInvalidEvent) {
+            eq_.cancel(retransmitTimer_);
+            retransmitTimer_ = sim::kInvalidEvent;
+        }
+        auto flush = [this](const WorkRequest &wr) {
+            Completion c;
+            c.wrId = wr.wrId;
+            c.ok = false;
+            c.at = eq_.now();
+            deliverCompletion(c);
+        };
+        while (!inflight_.empty()) {
+            flush(inflight_.front().wr);
+            inflight_.pop_front();
+        }
+        while (!sendQueue_.empty()) {
+            flush(sendQueue_.front());
+            sendQueue_.pop_front();
+        }
+        txPsn_ = nextPsn_;
+        return;
+    }
+    senderPaused_ = true;
+    eq_.scheduleAfter(npfc_.config().rnrTimer, [this] {
+        senderPaused_ = false;
+        pumpSend();
+    });
+}
+
+void
+QueuePair::sendControl(Packet pkt)
+{
+    assert(peer_ != nullptr);
+    QueuePair *peer = peer_;
+    fabric_.send(node_, peer->node_, cfg_.controlBytes,
+                 [peer, pkt] { peer->handlePacket(pkt); });
+}
+
+// --- receiver -----------------------------------------------------------
+
+void
+QueuePair::handlePacket(Packet pkt)
+{
+    switch (pkt.type) {
+      case Packet::Type::Ack:
+        handleAck(pkt.ackPsn);
+        return;
+      case Packet::Type::RnrNack:
+        handleRnrNack(pkt.psn);
+        return;
+      case Packet::Type::NakSeq:
+        // Rewind request for the read-response stream.
+        if (readResp_.readId == pkt.readId) {
+            readResp_.active = true;
+            readResp_.nextPsn = pkt.psn;
+            pumpReadResponse();
+        }
+        return;
+      case Packet::Type::ReadRnr:
+        // Extension (§4 proposal): the faulting initiator suspends
+        // us; rewind to its PSN and retry after the RNR timer.
+        if (readResp_.readId == pkt.readId) {
+            ++stats_.readRnrReceived;
+            readResp_.active = true;
+            readResp_.paused = true;
+            readResp_.nextPsn = pkt.psn;
+            eq_.scheduleAfter(npfc_.config().rnrTimer, [this] {
+                readResp_.paused = false;
+                pumpReadResponse();
+            });
+        }
+        return;
+      case Packet::Type::ReadResponse:
+        handleReadResponse(pkt);
+        return;
+      case Packet::Type::Data:
+      case Packet::Type::ReadRequest:
+        handleData(pkt);
+        return;
+    }
+}
+
+void
+QueuePair::handleData(const Packet &pkt)
+{
+    if (pkt.psn < expectedPsn_) {
+        // Duplicate of something already received: re-ack.
+        maybeAck(/*force=*/true);
+        return;
+    }
+    if (rnpfPending_) {
+        // Resolution still in progress: drop, and if this is the
+        // sender already retrying the faulting PSN, NACK again so it
+        // re-pauses instead of burning its retransmit timeout.
+        ++stats_.dataPacketsDropped;
+        if (pkt.psn == expectedPsn_) {
+            ++stats_.rnrNacksSent;
+            Packet nack;
+            nack.type = Packet::Type::RnrNack;
+            nack.psn = pkt.psn;
+            sendControl(nack);
+        }
+        return;
+    }
+    if (pkt.psn > expectedPsn_) {
+        // Follows a dropped packet; the sender will rewind.
+        ++stats_.dataPacketsDropped;
+        return;
+    }
+
+    if (pkt.type == Packet::Type::ReadRequest) {
+        ++expectedPsn_;
+        maybeAck(/*force=*/true);
+        startRead(pkt);
+        return;
+    }
+
+    // Establish inbound message state on the first packet.
+    if (pkt.firstOfMsg) {
+        if (pkt.op == Opcode::Send) {
+            if (recvQueue_.empty()) {
+                // The classic RNR case: no receive WQE posted.
+                ++stats_.rnrNacksSent;
+                Packet nack;
+                nack.type = Packet::Type::RnrNack;
+                nack.psn = pkt.psn;
+                sendControl(nack);
+                return;
+            }
+            const WorkRequest &rwr = recvQueue_.front();
+            inbound_.base = rwr.local;
+            inbound_.wrId = rwr.wrId;
+        } else {
+            inbound_.base = pkt.remoteAddr;
+            inbound_.wrId = 0;
+        }
+        inbound_.active = true;
+        inbound_.op = pkt.op;
+        inbound_.len = pkt.msgLen;
+        inbound_.received = 0;
+    }
+    if (!inbound_.active) {
+        // Mid-message packet without state (sender rewound past a
+        // message boundary); drop and wait for the retransmission.
+        ++stats_.dataPacketsDropped;
+        return;
+    }
+
+    mem::VirtAddr target = inbound_.base + pkt.offset;
+
+    // §6.4 what-if: synthetic rNPF injection.
+    if (cfg_.syntheticRnpfProb > 0.0 &&
+        rng_.bernoulli(cfg_.syntheticRnpfProb)) {
+        ++stats_.recvNpfs;
+        ++stats_.dataPacketsDropped;
+        rnpfPending_ = true;
+        ++stats_.rnrNacksSent;
+        Packet nack;
+        nack.type = Packet::Type::RnrNack;
+        nack.psn = pkt.psn;
+        sendControl(nack);
+        std::size_t pages = mem::pagesCovering(target, pkt.bytes);
+        sim::Time lat = npfc_.sampleResolveLatency(channel_, pages,
+                                                   cfg_.syntheticMajor);
+        eq_.scheduleAfter(lat, [this] { rnpfPending_ = false; });
+        return;
+    }
+
+    // Real DMA write into the (possibly cold) IOuser buffer.
+    if (!npfc_.dmaAccess(channel_, target, pkt.bytes, /*write=*/true)) {
+        raiseRnpf(target, inbound_.len - pkt.offset, pkt.psn);
+        ++stats_.dataPacketsDropped;
+        return;
+    }
+
+    ++expectedPsn_;
+    ++unackedArrivals_;
+    ++stats_.dataPacketsDelivered;
+    inbound_.received += pkt.bytes;
+
+    if (pkt.lastOfMsg) {
+        inbound_.active = false;
+        ++stats_.messagesDelivered;
+        stats_.bytesDelivered += inbound_.len;
+        if (inbound_.op == Opcode::Send) {
+            WorkRequest rwr = recvQueue_.front();
+            recvQueue_.pop_front();
+            Completion c;
+            c.wrId = rwr.wrId;
+            c.ok = true;
+            c.isRecv = true;
+            c.bytes = inbound_.len;
+            c.at = eq_.now();
+            deliverCompletion(c);
+        }
+        maybeAck(/*force=*/true);
+    } else {
+        maybeAck(/*force=*/false);
+    }
+}
+
+void
+QueuePair::raiseRnpf(mem::VirtAddr addr, std::size_t len, std::uint64_t psn)
+{
+    ++stats_.recvNpfs;
+    rnpfPending_ = true;
+    // RC lets the receiver suspend the sender: RNR NACK (§4).
+    ++stats_.rnrNacksSent;
+    Packet nack;
+    nack.type = Packet::Type::RnrNack;
+    nack.psn = psn;
+    sendControl(nack);
+    // Resolve the fault; batched pre-fault covers the rest of the
+    // message so one flow suffices in the common case.
+    npfc_.raiseNpf(channel_, addr, len, /*write=*/true,
+                   [this](const core::NpfBreakdown &) {
+                       rnpfPending_ = false;
+                   });
+}
+
+void
+QueuePair::maybeAck(bool force)
+{
+    if (!force && unackedArrivals_ < cfg_.ackEvery)
+        return;
+    unackedArrivals_ = 0;
+    Packet ack;
+    ack.type = Packet::Type::Ack;
+    ack.ackPsn = expectedPsn_;
+    sendControl(ack);
+}
+
+void
+QueuePair::deliverCompletion(Completion c)
+{
+    if (completionHandler_)
+        completionHandler_(c);
+}
+
+// --- RDMA read ------------------------------------------------------------
+
+void
+QueuePair::startRead(const Packet &req)
+{
+    readResp_.active = true;
+    readResp_.base = req.remoteAddr;
+    readResp_.len = req.msgLen;
+    readResp_.readId = req.readId;
+    readResp_.nextPsn = 0;
+    readResp_.limitPsn = (req.msgLen + cfg_.pathMtu - 1) / cfg_.pathMtu;
+    readResp_.paused = false;
+    pumpReadResponse();
+}
+
+void
+QueuePair::pumpReadResponse()
+{
+    if (!readResp_.active || readResp_.paused)
+        return;
+    if (readResp_.nextPsn >= readResp_.limitPsn) {
+        readResp_.active = false;
+        return;
+    }
+
+    std::size_t offset = std::size_t(readResp_.nextPsn) * cfg_.pathMtu;
+    std::size_t bytes = std::min(cfg_.pathMtu, readResp_.len - offset);
+    mem::VirtAddr src = readResp_.base + offset;
+
+    // Responder-side fault on the read source: local data, so the
+    // responder just waits for resolution before streaming (§4).
+    if (!npfc_.dmaAccess(channel_, src, bytes, /*write=*/false)) {
+        ++stats_.sendNpfs;
+        readResp_.paused = true;
+        npfc_.raiseNpf(channel_, readResp_.base, readResp_.len,
+                       /*write=*/false,
+                       [this](const core::NpfBreakdown &) {
+                           readResp_.paused = false;
+                           pumpReadResponse();
+                       });
+        return;
+    }
+
+    Packet pkt;
+    pkt.type = Packet::Type::ReadResponse;
+    pkt.psn = readResp_.nextPsn;
+    pkt.readId = readResp_.readId;
+    pkt.offset = offset;
+    pkt.bytes = bytes;
+    pkt.msgLen = readResp_.len;
+    pkt.lastOfMsg = readResp_.nextPsn + 1 == readResp_.limitPsn;
+
+    ++stats_.dataPacketsSent;
+    QueuePair *peer = peer_;
+    fabric_.send(node_, peer->node_, bytes,
+                 [peer, pkt] { peer->handlePacket(pkt); });
+    ++readResp_.nextPsn;
+
+    if (!readRespScheduled_) {
+        readRespScheduled_ = true;
+        eq_.schedule(fabric_.uplink(node_).busyUntil(), [this] {
+            readRespScheduled_ = false;
+            pumpReadResponse();
+        });
+    }
+}
+
+void
+QueuePair::handleReadResponse(const Packet &pkt)
+{
+    ReadInitiatorState &ri = readInit_;
+    if (!ri.active || pkt.readId != ri.readId) {
+        ++stats_.dataPacketsDropped;
+        return;
+    }
+    if (ri.faultPending || pkt.psn != ri.expectedPsn) {
+        ++stats_.dataPacketsDropped;
+        // Extension: a retry of the faulting PSN while resolution is
+        // still pending earns another suspension, mirroring the
+        // Send/Write RNR path.
+        if (cfg_.readRnrExtension && ri.faultPending &&
+            pkt.psn == ri.expectedPsn) {
+            ++stats_.readRnrSent;
+            Packet rnr;
+            rnr.type = Packet::Type::ReadRnr;
+            rnr.psn = ri.expectedPsn;
+            rnr.readId = ri.readId;
+            sendControl(rnr);
+        }
+        return;
+    }
+
+    mem::VirtAddr target = ri.wr.local + pkt.offset;
+
+    if (cfg_.syntheticRnpfProb > 0.0 &&
+        rng_.bernoulli(cfg_.syntheticRnpfProb)) {
+        ++stats_.recvNpfs;
+        ++stats_.dataPacketsDropped;
+        ri.faultPending = true;
+        std::size_t pages = mem::pagesCovering(target, pkt.bytes);
+        sim::Time lat = npfc_.sampleResolveLatency(channel_, pages,
+                                                   cfg_.syntheticMajor);
+        eq_.scheduleAfter(lat, [this] {
+            readInit_.faultPending = false;
+            ++stats_.nakSeqSent;
+            Packet nak;
+            nak.type = Packet::Type::NakSeq;
+            nak.psn = readInit_.expectedPsn;
+            nak.readId = readInit_.readId;
+            sendControl(nak);
+        });
+        return;
+    }
+
+    if (!npfc_.dmaAccess(channel_, target, pkt.bytes, /*write=*/true)) {
+        ++stats_.recvNpfs;
+        ++stats_.dataPacketsDropped;
+        ri.faultPending = true;
+        if (cfg_.readRnrExtension) {
+            // Extension (§4 proposal): suspend the responder right
+            // away, exactly like the Send/Write RNR path.
+            ++stats_.readRnrSent;
+            Packet rnr;
+            rnr.type = Packet::Type::ReadRnr;
+            rnr.psn = ri.expectedPsn;
+            rnr.readId = ri.readId;
+            sendControl(rnr);
+            npfc_.raiseNpf(channel_, ri.wr.local, ri.wr.len,
+                           /*write=*/true,
+                           [this](const core::NpfBreakdown &) {
+                               readInit_.faultPending = false;
+                           });
+            return;
+        }
+        // Standard RC provides no RNR for read responses: drop
+        // everything and ask for a rewind only once the fault is
+        // resolved (§4).
+        npfc_.raiseNpf(channel_, ri.wr.local, ri.wr.len, /*write=*/true,
+                       [this](const core::NpfBreakdown &) {
+                           readInit_.faultPending = false;
+                           ++stats_.nakSeqSent;
+                           Packet nak;
+                           nak.type = Packet::Type::NakSeq;
+                           nak.psn = readInit_.expectedPsn;
+                           nak.readId = readInit_.readId;
+                           sendControl(nak);
+                       });
+        return;
+    }
+
+    ++ri.expectedPsn;
+    ++stats_.dataPacketsDelivered;
+    if (ri.expectedPsn == ri.limitPsn) {
+        ri.active = false;
+        ++stats_.messagesDelivered;
+        stats_.bytesDelivered += ri.wr.len;
+        Completion c;
+        c.wrId = ri.wr.wrId;
+        c.ok = true;
+        c.isRecv = false;
+        c.bytes = ri.wr.len;
+        c.at = eq_.now();
+        deliverCompletion(c);
+        pumpSend();
+    }
+}
+
+} // namespace npf::ib

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Verbs-style work-request and completion types for the InfiniBand
+ * RC model (§4 of the paper).
+ */
+
+#ifndef NPF_IB_VERBS_HH
+#define NPF_IB_VERBS_HH
+
+#include <cstdint>
+
+#include "mem/types.hh"
+#include "sim/time.hh"
+
+namespace npf::ib {
+
+/** RC operations the model supports. */
+enum class Opcode {
+    Send,      ///< channel semantics; consumes a receive WQE
+    RdmaWrite, ///< writes remote memory; no receive WQE
+    RdmaRead,  ///< reads remote memory into a local buffer
+};
+
+/** A work request posted to a queue pair. */
+struct WorkRequest
+{
+    Opcode op = Opcode::Send;
+    mem::VirtAddr local = 0;  ///< local buffer (source for Send/Write,
+                              ///< destination for Read/Recv)
+    std::size_t len = 0;
+    mem::VirtAddr remote = 0; ///< remote address for RDMA ops
+    std::uint64_t wrId = 0;   ///< opaque application cookie
+};
+
+/** A work completion. */
+struct Completion
+{
+    std::uint64_t wrId = 0;
+    bool ok = true;
+    bool isRecv = false;
+    std::size_t bytes = 0;
+    sim::Time at = 0;
+};
+
+} // namespace npf::ib
+
+#endif // NPF_IB_VERBS_HH

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Device-side I/O page table. In the paper's prototype this is the
+ * on-NIC IOMMU's DRAM-resident table whose PTEs are allowed to be
+ * invalid — the property that makes NPFs possible at all (§4).
+ */
+
+#ifndef NPF_IOMMU_IO_PAGE_TABLE_HH
+#define NPF_IOMMU_IO_PAGE_TABLE_HH
+
+#include <cstddef>
+#include <optional>
+#include <unordered_map>
+
+#include "mem/types.hh"
+
+namespace npf::iommu {
+
+/**
+ * Sparse IOVA -> PFN mapping for one IOchannel. Entries absent from
+ * the map are invalid PTEs; a device access to one raises an NPF.
+ */
+class IoPageTable
+{
+  public:
+    /** Translation; std::nullopt when the PTE is invalid. */
+    std::optional<mem::Pfn>
+    lookup(mem::Vpn vpn) const
+    {
+        auto it = table_.find(vpn);
+        if (it == table_.end())
+            return std::nullopt;
+        return it->second;
+    }
+
+    /** Install a valid PTE (driver fills this after resolving). */
+    void
+    map(mem::Vpn vpn, mem::Pfn pfn)
+    {
+        table_[vpn] = pfn;
+    }
+
+    /**
+     * Invalidate a PTE.
+     * @return true if the page was mapped (drives the cheap/expensive
+     *   split in the invalidation breakdown of Fig. 3(b)).
+     */
+    bool
+    unmap(mem::Vpn vpn)
+    {
+        return table_.erase(vpn) > 0;
+    }
+
+    bool isMapped(mem::Vpn vpn) const { return table_.count(vpn) > 0; }
+
+    std::size_t mappedPages() const { return table_.size(); }
+
+    void clear() { table_.clear(); }
+
+  private:
+    std::unordered_map<mem::Vpn, mem::Pfn> table_;
+};
+
+} // namespace npf::iommu
+
+#endif // NPF_IOMMU_IO_PAGE_TABLE_HH

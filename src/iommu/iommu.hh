@@ -1,0 +1,117 @@
+/**
+ * @file
+ * The per-IOchannel IOMMU unit: page table + IOTLB + fault
+ * bookkeeping. Mirrors Figure 1's right-hand side. Purely
+ * mechanical — latency modeling lives in core::NpfController.
+ */
+
+#ifndef NPF_IOMMU_IOMMU_HH
+#define NPF_IOMMU_IOMMU_HH
+
+#include <cstdint>
+#include <optional>
+
+#include "iommu/io_page_table.hh"
+#include "iommu/iotlb.hh"
+#include "mem/types.hh"
+
+namespace npf::iommu {
+
+/** Result of a device-side translation attempt. */
+struct Translation
+{
+    bool ok = false;       ///< false => DMA page fault (NPF)
+    bool tlbHit = false;   ///< satisfied by the IOTLB
+    mem::Pfn pfn = mem::kNoFrame;
+};
+
+/**
+ * One IOchannel's translation unit.
+ *
+ * Devices call translate() per page of every DMA. A miss in both the
+ * IOTLB and the page table is an NPF; the IOprovider later installs
+ * the mapping with map() and the device retries. Invalidations go
+ * through invalidate(), which keeps the IOTLB coherent with the page
+ * table — the core invariant tested in tests/iommu.
+ */
+class IoMmu
+{
+  public:
+    struct Stats
+    {
+        std::uint64_t translations = 0;
+        std::uint64_t faults = 0;
+        std::uint64_t mapped = 0;
+        std::uint64_t unmapped = 0;
+    };
+
+    explicit IoMmu(std::size_t tlb_capacity = 256) : tlb_(tlb_capacity) {}
+
+    /** Translate one IOVA page. */
+    Translation
+    translate(mem::Vpn vpn)
+    {
+        ++stats_.translations;
+        Translation t;
+        if (auto pfn = tlb_.lookup(vpn)) {
+            t.ok = true;
+            t.tlbHit = true;
+            t.pfn = *pfn;
+            return t;
+        }
+        if (auto pfn = table_.lookup(vpn)) {
+            t.ok = true;
+            t.pfn = *pfn;
+            tlb_.insert(vpn, *pfn);
+            return t;
+        }
+        ++stats_.faults;
+        return t;
+    }
+
+    /** Peek whether a DMA would fault, without stats/TLB effects. */
+    bool
+    wouldFault(mem::Vpn vpn) const
+    {
+        return !table_.isMapped(vpn);
+    }
+
+    /** Install a valid PTE (NPF resolution, step 4 of Fig. 2). */
+    void
+    map(mem::Vpn vpn, mem::Pfn pfn)
+    {
+        // A remap must never leave a stale cached translation: the
+        // driver invalidates the IOTLB entry along with the PT write.
+        tlb_.invalidate(vpn);
+        table_.map(vpn, pfn);
+        ++stats_.mapped;
+    }
+
+    /**
+     * Invalidation flow (Fig. 2 a-d): drop PTE and IOTLB entry.
+     * @return true if the page was actually mapped.
+     */
+    bool
+    invalidate(mem::Vpn vpn)
+    {
+        tlb_.invalidate(vpn);
+        bool was_mapped = table_.unmap(vpn);
+        if (was_mapped)
+            ++stats_.unmapped;
+        return was_mapped;
+    }
+
+    IoPageTable &pageTable() { return table_; }
+    const IoPageTable &pageTable() const { return table_; }
+    IoTlb &tlb() { return tlb_; }
+    const Stats &stats() const { return stats_; }
+
+  private:
+    IoPageTable table_;
+    IoTlb tlb_;
+    Stats stats_;
+};
+
+} // namespace npf::iommu
+
+#endif // NPF_IOMMU_IOMMU_HH

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * IOTLB: the device's translation cache. Because translations are
+ * cached, the IOprovider must explicitly invalidate entries when
+ * mappings change — the (a)-(d) flow of Figure 2.
+ */
+
+#ifndef NPF_IOMMU_IOTLB_HH
+#define NPF_IOMMU_IOTLB_HH
+
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <unordered_map>
+
+#include "mem/types.hh"
+
+namespace npf::iommu {
+
+/** Fully associative LRU translation cache. */
+class IoTlb
+{
+  public:
+    struct Stats
+    {
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;
+        std::uint64_t invalidations = 0;
+        std::uint64_t evictions = 0;
+    };
+
+    explicit IoTlb(std::size_t capacity = 256) : capacity_(capacity) {}
+
+    /** Look up a translation, refreshing its LRU position on a hit. */
+    std::optional<mem::Pfn>
+    lookup(mem::Vpn vpn)
+    {
+        auto it = map_.find(vpn);
+        if (it == map_.end()) {
+            ++stats_.misses;
+            return std::nullopt;
+        }
+        ++stats_.hits;
+        lru_.splice(lru_.begin(), lru_, it->second.lruIt);
+        return it->second.pfn;
+    }
+
+    /** Insert (or refresh) a translation, evicting LRU if full. */
+    void
+    insert(mem::Vpn vpn, mem::Pfn pfn)
+    {
+        auto it = map_.find(vpn);
+        if (it != map_.end()) {
+            it->second.pfn = pfn;
+            lru_.splice(lru_.begin(), lru_, it->second.lruIt);
+            return;
+        }
+        if (map_.size() >= capacity_) {
+            map_.erase(lru_.back());
+            lru_.pop_back();
+            ++stats_.evictions;
+        }
+        lru_.push_front(vpn);
+        map_[vpn] = Entry{pfn, lru_.begin()};
+    }
+
+    /** Drop one translation (invalidation flow). */
+    void
+    invalidate(mem::Vpn vpn)
+    {
+        auto it = map_.find(vpn);
+        if (it == map_.end())
+            return;
+        lru_.erase(it->second.lruIt);
+        map_.erase(it);
+        ++stats_.invalidations;
+    }
+
+    /** Drop everything. */
+    void
+    flush()
+    {
+        stats_.invalidations += map_.size();
+        map_.clear();
+        lru_.clear();
+    }
+
+    std::size_t size() const { return map_.size(); }
+    std::size_t capacity() const { return capacity_; }
+    const Stats &stats() const { return stats_; }
+
+  private:
+    struct Entry
+    {
+        mem::Pfn pfn;
+        std::list<mem::Vpn>::iterator lruIt;
+    };
+
+    std::size_t capacity_;
+    std::list<mem::Vpn> lru_;
+    std::unordered_map<mem::Vpn, Entry> map_;
+    Stats stats_;
+};
+
+} // namespace npf::iommu
+
+#endif // NPF_IOMMU_IOTLB_HH

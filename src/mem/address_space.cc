@@ -1,0 +1,195 @@
+#include "mem/address_space.hh"
+
+#include <cassert>
+
+#include "mem/memory_manager.hh"
+
+namespace npf::mem {
+
+AddressSpace::AddressSpace(MemoryManager &mm, std::string name,
+                           Cgroup *cgroup)
+    : mm_(mm), name_(std::move(name)), cgroup_(cgroup)
+{
+}
+
+AddressSpace::~AddressSpace() = default;
+
+VirtAddr
+AddressSpace::allocRegion(std::size_t bytes, std::string label,
+                          bool file_backed)
+{
+    std::size_t pages = pagesFor(bytes);
+    VirtAddr base = nextRegionBase_;
+    // Leave a guard page between regions to catch overruns in tests.
+    nextRegionBase_ += addrOf(pages + 1);
+    regions_.push_back(Region{base, pages, std::move(label), file_backed});
+    return base;
+}
+
+void
+AddressSpace::freeRegion(VirtAddr base)
+{
+    for (auto it = regions_.begin(); it != regions_.end(); ++it) {
+        if (it->base != base)
+            continue;
+        Vpn first = pageOf(it->base);
+        for (Vpn vpn = first; vpn < first + it->pages; ++vpn) {
+            auto pit = pageTable_.find(vpn);
+            if (pit == pageTable_.end())
+                continue;
+            if (pit->second.present)
+                mm_.dropPage(*this, vpn, pit->second);
+            pageTable_.erase(pit);
+        }
+        regions_.erase(it);
+        return;
+    }
+    assert(false && "freeRegion: unknown region base");
+}
+
+AccessResult
+AddressSpace::touch(VirtAddr addr, std::size_t len, bool write)
+{
+    AccessResult res;
+    if (len == 0)
+        return res;
+    Vpn first = pageOf(addr);
+    Vpn last = pageOf(addr + len - 1);
+    for (Vpn vpn = first; vpn <= last && res.ok; ++vpn) {
+        AccessResult one = touchPage(vpn, write);
+        res.cost += one.cost;
+        res.minorFaults += one.minorFaults;
+        res.majorFaults += one.majorFaults;
+        res.ok = one.ok;
+    }
+    return res;
+}
+
+AccessResult
+AddressSpace::touchPage(Vpn vpn, bool write)
+{
+    AccessResult res;
+    Pte &entry = pte(vpn);
+    if (entry.present) {
+        entry.referenced = true;
+        entry.dirty |= write;
+        return res;
+    }
+    FaultResult fr = mm_.faultIn(*this, vpn, write);
+    res.cost = fr.cost;
+    res.ok = fr.ok;
+    if (fr.ok) {
+        if (fr.major)
+            res.majorFaults = 1;
+        else
+            res.minorFaults = 1;
+    }
+    return res;
+}
+
+AccessResult
+AddressSpace::pinRange(VirtAddr addr, std::size_t len)
+{
+    AccessResult res;
+    if (len == 0)
+        return res;
+    std::size_t pages = pagesCovering(addr, len);
+    if (!mm_.chargePin(pages)) {
+        res.ok = false;
+        return res;
+    }
+    Vpn first = pageOf(addr);
+    for (Vpn vpn = first; vpn < first + pages; ++vpn) {
+        AccessResult one = touchPage(vpn, /*write=*/false);
+        res.cost += one.cost;
+        res.minorFaults += one.minorFaults;
+        res.majorFaults += one.majorFaults;
+        if (!one.ok) {
+            // Roll back pins taken so far.
+            for (Vpn v = first; v < vpn; ++v) {
+                Pte &p = pte(v);
+                assert(p.pinCount > 0);
+                if (--p.pinCount == 0)
+                    --pinnedPages_;
+            }
+            mm_.unchargePin(pages);
+            res.ok = false;
+            return res;
+        }
+        Pte &p = pte(vpn);
+        if (p.pinCount++ == 0)
+            ++pinnedPages_;
+    }
+    return res;
+}
+
+void
+AddressSpace::unpinRange(VirtAddr addr, std::size_t len)
+{
+    if (len == 0)
+        return;
+    std::size_t pages = pagesCovering(addr, len);
+    Vpn first = pageOf(addr);
+    for (Vpn vpn = first; vpn < first + pages; ++vpn) {
+        Pte &p = pte(vpn);
+        assert(p.pinCount > 0 && "unpin of unpinned page");
+        if (--p.pinCount == 0)
+            --pinnedPages_;
+    }
+    mm_.unchargePin(pages);
+}
+
+bool
+AddressSpace::isPresent(Vpn vpn) const
+{
+    const Pte *p = findPte(vpn);
+    return p != nullptr && p->present;
+}
+
+const Pte *
+AddressSpace::findPte(Vpn vpn) const
+{
+    auto it = pageTable_.find(vpn);
+    return it == pageTable_.end() ? nullptr : &it->second;
+}
+
+Pte *
+AddressSpace::findPte(Vpn vpn)
+{
+    auto it = pageTable_.find(vpn);
+    return it == pageTable_.end() ? nullptr : &it->second;
+}
+
+Pte &
+AddressSpace::pte(Vpn vpn)
+{
+    auto [it, inserted] = pageTable_.try_emplace(vpn);
+    if (inserted) {
+        // Inherit file-backed-ness from the containing region.
+        for (const Region &r : regions_) {
+            Vpn first = pageOf(r.base);
+            if (vpn >= first && vpn < first + r.pages) {
+                it->second.fileBacked = r.fileBacked;
+                break;
+            }
+        }
+    }
+    return it->second;
+}
+
+void
+AddressSpace::registerInvalidateNotifier(InvalidateNotifier fn)
+{
+    notifiers_.push_back(std::move(fn));
+}
+
+sim::Time
+AddressSpace::notifyInvalidate(Vpn vpn)
+{
+    sim::Time cost = 0;
+    for (auto &fn : notifiers_)
+        cost += fn(vpn);
+    return cost;
+}
+
+} // namespace npf::mem

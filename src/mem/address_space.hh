@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Per-IOuser virtual address space: a sparse page table with demand
+ * paging, pinning, and MMU-notifier callbacks into device page
+ * tables (the invalidation flow of the paper's Figure 2, a-d).
+ */
+
+#ifndef NPF_MEM_ADDRESS_SPACE_HH
+#define NPF_MEM_ADDRESS_SPACE_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "mem/types.hh"
+#include "sim/time.hh"
+
+namespace npf::mem {
+
+class MemoryManager;
+struct Cgroup;
+
+/** Software page-table entry. */
+struct Pte
+{
+    Pfn pfn = kNoFrame;
+    bool present = false;
+    bool referenced = false; ///< second-chance bit for the clock
+    bool dirty = false;      ///< must go to swap when evicted
+    bool fileBacked = false; ///< clean drop on eviction; re-read by owner
+    bool inSwap = false;     ///< content lives in the backing store
+    std::uint32_t pinCount = 0;
+};
+
+/** Outcome of a CPU (or DMA-resolution) memory access. */
+struct AccessResult
+{
+    sim::Time cost = 0;       ///< total latency charged to the accessor
+    unsigned minorFaults = 0; ///< pages that needed only a frame
+    unsigned majorFaults = 0; ///< pages that also required a swap read
+    bool ok = true;           ///< false on out-of-memory
+};
+
+/**
+ * An IOuser's virtual address space.
+ *
+ * Regions are reserved with allocRegion() (delayed allocation: no
+ * frames until first touch). CPU accesses go through touch(); the
+ * NPF engine resolves device faults through the same MemoryManager
+ * fault path. Invalidation notifiers model Linux MMU notifiers: the
+ * reclaim path calls them before stealing a page so the IOMMU page
+ * table never maps a reused frame.
+ */
+class AddressSpace
+{
+  public:
+    /** Called with the vpn being unmapped; returns the latency. */
+    using InvalidateNotifier = std::function<sim::Time(Vpn)>;
+
+    AddressSpace(MemoryManager &mm, std::string name, Cgroup *cgroup);
+    ~AddressSpace();
+
+    AddressSpace(const AddressSpace &) = delete;
+    AddressSpace &operator=(const AddressSpace &) = delete;
+
+    const std::string &name() const { return name_; }
+    Cgroup *cgroup() const { return cgroup_; }
+    MemoryManager &manager() { return mm_; }
+
+    /**
+     * Reserve @p bytes of virtual address space.
+     * No physical memory is consumed until pages are touched.
+     * @return the base address of the region.
+     */
+    VirtAddr allocRegion(std::size_t bytes, std::string label = {},
+                         bool file_backed = false);
+
+    /** Release a region and all frames backing it. */
+    void freeRegion(VirtAddr base);
+
+    /**
+     * CPU access to [addr, addr + len): faults in absent pages and
+     * returns the accumulated latency. @p write marks pages dirty.
+     */
+    AccessResult touch(VirtAddr addr, std::size_t len, bool write);
+
+    /** Fault in a single page (used by the NPF resolution path). */
+    AccessResult touchPage(Vpn vpn, bool write);
+
+    /**
+     * Pin [addr, addr + len): fault pages in and exclude them from
+     * reclaim. Fails (rolling back) if memory or the pinning limit
+     * is exhausted.
+     */
+    AccessResult pinRange(VirtAddr addr, std::size_t len);
+
+    /** Undo one pinRange() of the same extent. */
+    void unpinRange(VirtAddr addr, std::size_t len);
+
+    /** True if the page is resident. */
+    bool isPresent(Vpn vpn) const;
+
+    /** PTE lookup; nullptr when the page was never touched. */
+    const Pte *findPte(Vpn vpn) const;
+    Pte *findPte(Vpn vpn);
+
+    /** PTE lookup, creating an absent entry on demand. */
+    Pte &pte(Vpn vpn);
+
+    /** Register an MMU-notifier for device page-table invalidation. */
+    void registerInvalidateNotifier(InvalidateNotifier fn);
+
+    /** Invoke all notifiers for @p vpn; returns accumulated latency. */
+    sim::Time notifyInvalidate(Vpn vpn);
+
+    std::size_t residentPages() const { return residentPages_; }
+    std::size_t pinnedPages() const { return pinnedPages_; }
+
+    /** Resident bytes (the RSS the paper plots in Fig. 8(b)). */
+    std::size_t residentBytes() const { return residentPages_ * kPageSize; }
+
+  private:
+    friend class MemoryManager;
+
+    struct Region
+    {
+        VirtAddr base;
+        std::size_t pages;
+        std::string label;
+        bool fileBacked;
+    };
+
+    MemoryManager &mm_;
+    std::string name_;
+    Cgroup *cgroup_;
+    std::unordered_map<Vpn, Pte> pageTable_;
+    std::vector<Region> regions_;
+    std::vector<InvalidateNotifier> notifiers_;
+    VirtAddr nextRegionBase_ = 0x10000000ull;
+    std::size_t residentPages_ = 0;
+    std::size_t pinnedPages_ = 0;
+};
+
+} // namespace npf::mem
+
+#endif // NPF_MEM_ADDRESS_SPACE_HH

@@ -1,0 +1,235 @@
+#include "mem/memory_manager.hh"
+
+#include <cassert>
+
+namespace npf::mem {
+
+namespace {
+
+/** Default cgroup name for spaces created without one. */
+const std::string kRootCgroup = "root";
+
+} // namespace
+
+MemoryManager::MemoryManager(std::size_t total_bytes, MemCostConfig cost,
+                             BackingStoreConfig swap)
+    : phys_(total_bytes), swap_(swap), cost_(cost)
+{
+    cgroups_[kRootCgroup] =
+        std::make_unique<Cgroup>(Cgroup{kRootCgroup, 0, 0});
+    // Keep a small low-watermark free so the reclaim path itself
+    // never deadlocks (mirrors min_free_kbytes).
+    reserveFrames_ = phys_.totalFrames() / 256;
+}
+
+MemoryManager::~MemoryManager() = default;
+
+Cgroup &
+MemoryManager::createCgroup(const std::string &name, std::size_t limit_bytes)
+{
+    auto &slot = cgroups_[name];
+    assert(!slot && "cgroup already exists");
+    slot = std::make_unique<Cgroup>(
+        Cgroup{name, limit_bytes / kPageSize, 0});
+    return *slot;
+}
+
+AddressSpace &
+MemoryManager::createAddressSpace(const std::string &name,
+                                  const std::string &cgroup)
+{
+    const std::string &cg = cgroup.empty() ? kRootCgroup : cgroup;
+    auto it = cgroups_.find(cg);
+    assert(it != cgroups_.end() && "unknown cgroup");
+    spaces_.push_back(
+        std::make_unique<AddressSpace>(*this, name, it->second.get()));
+    return *spaces_.back();
+}
+
+void
+MemoryManager::destroyAddressSpace(AddressSpace &as)
+{
+    for (auto &[vpn, pte] : as.pageTable_) {
+        if (pte.present) {
+            pte.pinCount = 0; // teardown overrides pins
+            dropPage(as, vpn, pte);
+        }
+    }
+    as.pageTable_.clear();
+    for (auto it = spaces_.begin(); it != spaces_.end(); ++it) {
+        if (it->get() == &as) {
+            spaces_.erase(it);
+            return;
+        }
+    }
+    assert(false && "destroyAddressSpace: unknown space");
+}
+
+FaultResult
+MemoryManager::faultIn(AddressSpace &as, Vpn vpn, bool write)
+{
+    FaultResult res;
+    Pte &pte = as.pte(vpn);
+    if (pte.present) {
+        pte.referenced = true;
+        pte.dirty |= write;
+        return res;
+    }
+
+    Cgroup *cg = as.cgroup();
+
+    // Cgroup pressure: stay within the per-tenant budget.
+    while (cg->limitPages != 0 && cg->usedPages >= cg->limitPages) {
+        auto evicted = evictOne(cg);
+        if (!evicted) {
+            ++stats_.oomFailures;
+            res.ok = false;
+            return res;
+        }
+        res.cost += *evicted;
+    }
+
+    // Global pressure: keep the low watermark free.
+    while (phys_.freeFrames() <= reserveFrames_) {
+        auto evicted = evictOne(nullptr);
+        if (!evicted) {
+            ++stats_.oomFailures;
+            res.ok = false;
+            return res;
+        }
+        res.cost += *evicted;
+    }
+
+    auto pfn = phys_.allocate(&as, vpn);
+    if (!pfn) {
+        ++stats_.oomFailures;
+        res.ok = false;
+        return res;
+    }
+
+    res.cost += cost_.minorFaultCpu;
+    if (pte.inSwap) {
+        res.cost += swap_.readLatency(1);
+        swap_.freeSlot();
+        pte.inSwap = false;
+        res.major = true;
+        ++stats_.majorFaults;
+        ++stats_.swapIns;
+    } else {
+        ++stats_.minorFaults;
+    }
+
+    pte.pfn = *pfn;
+    pte.present = true;
+    pte.referenced = true;
+    pte.dirty = write;
+    ++as.residentPages_;
+    ++cg->usedPages;
+    clock_.push_back(*pfn);
+    return res;
+}
+
+sim::Time
+MemoryManager::reclaimPages(std::size_t pages)
+{
+    sim::Time cost = 0;
+    for (std::size_t i = 0; i < pages; ++i) {
+        auto evicted = evictOne(nullptr);
+        if (!evicted)
+            break;
+        cost += *evicted;
+    }
+    return cost;
+}
+
+bool
+MemoryManager::chargePin(std::size_t pages)
+{
+    if (cost_.maxPinnableBytes != 0) {
+        std::size_t limit = cost_.maxPinnableBytes / kPageSize;
+        if (pinnedPages_ + pages > limit)
+            return false;
+    }
+    pinnedPages_ += pages;
+    return true;
+}
+
+void
+MemoryManager::unchargePin(std::size_t pages)
+{
+    assert(pinnedPages_ >= pages);
+    pinnedPages_ -= pages;
+}
+
+void
+MemoryManager::dropPage(AddressSpace &as, Vpn vpn, Pte &pte)
+{
+    assert(pte.present);
+    as.notifyInvalidate(vpn);
+    phys_.release(pte.pfn);
+    pte.pfn = kNoFrame;
+    pte.present = false;
+    assert(as.residentPages_ > 0);
+    --as.residentPages_;
+    assert(as.cgroup()->usedPages > 0);
+    --as.cgroup()->usedPages;
+}
+
+std::optional<sim::Time>
+MemoryManager::evictOne(Cgroup *target)
+{
+    // Clock with second chance: scan at most two full revolutions
+    // (the first clears referenced bits, the second must find a
+    // victim unless everything is pinned or foreign).
+    std::size_t budget = clock_.size() * 2 + 1;
+    while (budget-- > 0 && !clock_.empty()) {
+        Pfn pfn = clock_.front();
+        clock_.pop_front();
+
+        const Frame &frame = phys_.frame(pfn);
+        if (frame.owner == nullptr)
+            continue; // stale entry: frame freed by other paths
+
+        AddressSpace &as = *frame.owner;
+        Pte *pte = as.findPte(frame.vpn);
+        if (pte == nullptr || !pte->present || pte->pfn != pfn)
+            continue; // stale entry
+
+        if (target != nullptr && as.cgroup() != target) {
+            clock_.push_back(pfn); // foreign cgroup: skip
+            continue;
+        }
+        if (pte->pinCount > 0) {
+            clock_.push_back(pfn); // pinned: never reclaimed
+            continue;
+        }
+        if (pte->referenced) {
+            pte->referenced = false; // second chance
+            clock_.push_back(pfn);
+            continue;
+        }
+
+        // Victim found: invalidate device mappings, write back, free.
+        sim::Time cost = cost_.evictCpu;
+        cost += as.notifyInvalidate(frame.vpn);
+        if (pte->dirty && !pte->fileBacked) {
+            cost += swap_.writeLatency(1);
+            swap_.storePage();
+            pte->inSwap = true;
+            ++stats_.swapOuts;
+        }
+        pte->dirty = false;
+        phys_.release(pfn);
+        pte->pfn = kNoFrame;
+        pte->present = false;
+        assert(as.residentPages_ > 0);
+        --as.residentPages_;
+        assert(as.cgroup()->usedPages > 0);
+        --as.cgroup()->usedPages;
+        ++stats_.evictions;
+        return cost;
+    }
+    return std::nullopt;
+}
+
+} // namespace npf::mem

@@ -1,0 +1,44 @@
+#include "mem/page_cache.hh"
+
+namespace npf::mem {
+
+PageCache::PageCache(AddressSpace &as, std::size_t file_bytes,
+                     MissRead miss_read)
+    : as_(as), fileBytes_(file_bytes), missRead_(std::move(miss_read))
+{
+    base_ = as_.allocRegion(file_bytes, "page-cache", /*file_backed=*/true);
+}
+
+sim::Time
+PageCache::access(std::uint64_t offset, std::size_t len)
+{
+    if (len == 0)
+        return 0;
+    VirtAddr addr = base_ + offset;
+    Vpn first = pageOf(addr);
+    Vpn last = pageOf(addr + len - 1);
+
+    bool all_present = true;
+    for (Vpn v = first; v <= last; ++v) {
+        if (!as_.isPresent(v)) {
+            all_present = false;
+            break;
+        }
+    }
+
+    if (all_present) {
+        ++hits_;
+        // Mark referenced so the clock keeps hot pages.
+        as_.touch(addr, len, /*write=*/false);
+        return 0;
+    }
+
+    ++misses_;
+    sim::Time cost = missRead_(offset, len);
+    AccessResult res = as_.touch(addr, len, /*write=*/false);
+    if (res.ok)
+        cost += res.cost;
+    return cost;
+}
+
+} // namespace npf::mem

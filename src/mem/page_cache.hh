@@ -1,0 +1,79 @@
+/**
+ * @file
+ * File/page cache built on the demand-paging machinery: cached file
+ * pages live in an (unpinned, file-backed) address-space region, so
+ * the global reclaim clock naturally trades them off against other
+ * memory consumers — the effect the paper's storage experiment
+ * (Fig. 8) exploits.
+ */
+
+#ifndef NPF_MEM_PAGE_CACHE_HH
+#define NPF_MEM_PAGE_CACHE_HH
+
+#include <cstdint>
+#include <functional>
+
+#include "mem/address_space.hh"
+#include "sim/time.hh"
+
+namespace npf::mem {
+
+/**
+ * Cache of one file/LUN's pages.
+ *
+ * access() checks whether all pages of the extent are resident; a
+ * miss charges the caller the backing-device read latency via the
+ * missRead callback and faults the pages in (file-backed: clean
+ * eviction drops them without swap I/O).
+ */
+class PageCache
+{
+  public:
+    /** Charged on a miss: (offset, bytes) -> device read latency. */
+    using MissRead =
+        std::function<sim::Time(std::uint64_t offset, std::size_t bytes)>;
+
+    /**
+     * @param as address space holding the cache pages (typically the
+     *   storage daemon's).
+     * @param file_bytes size of the cached file/LUN.
+     */
+    PageCache(AddressSpace &as, std::size_t file_bytes, MissRead miss_read);
+
+    /**
+     * Access [offset, offset + len) of the file.
+     * @return latency (0 on a full hit) — out-of-memory during
+     *   fault-in is absorbed by treating the access as uncached.
+     */
+    sim::Time access(std::uint64_t offset, std::size_t len);
+
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+
+    /** Resident fraction of the file, for reporting. */
+    double
+    residentFraction() const
+    {
+        std::size_t pages = pagesFor(fileBytes_);
+        if (pages == 0)
+            return 0.0;
+        std::size_t resident = 0;
+        Vpn first = pageOf(base_);
+        for (Vpn v = first; v < first + pages; ++v)
+            if (as_.isPresent(v))
+                ++resident;
+        return double(resident) / double(pages);
+    }
+
+  private:
+    AddressSpace &as_;
+    std::size_t fileBytes_;
+    VirtAddr base_;
+    MissRead missRead_;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+};
+
+} // namespace npf::mem
+
+#endif // NPF_MEM_PAGE_CACHE_HH

@@ -1,0 +1,38 @@
+#include "mem/physical_memory.hh"
+
+#include <cassert>
+
+namespace npf::mem {
+
+PhysicalMemory::PhysicalMemory(std::size_t total_bytes)
+    : frames_(total_bytes / kPageSize)
+{
+    freeList_.reserve(frames_.size());
+    // Hand out low frame numbers first (push high numbers deepest).
+    for (std::size_t i = frames_.size(); i-- > 0;)
+        freeList_.push_back(static_cast<Pfn>(i));
+}
+
+std::optional<Pfn>
+PhysicalMemory::allocate(AddressSpace *owner, Vpn vpn)
+{
+    if (freeList_.empty())
+        return std::nullopt;
+    Pfn pfn = freeList_.back();
+    freeList_.pop_back();
+    frames_[pfn].owner = owner;
+    frames_[pfn].vpn = vpn;
+    return pfn;
+}
+
+void
+PhysicalMemory::release(Pfn pfn)
+{
+    assert(pfn < frames_.size());
+    assert(frames_[pfn].owner != nullptr && "double free of frame");
+    frames_[pfn].owner = nullptr;
+    frames_[pfn].vpn = 0;
+    freeList_.push_back(pfn);
+}
+
+} // namespace npf::mem

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Host physical memory: a frame allocator with per-frame reverse
+ * mapping metadata used by the reclaim path.
+ */
+
+#ifndef NPF_MEM_PHYSICAL_MEMORY_HH
+#define NPF_MEM_PHYSICAL_MEMORY_HH
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "mem/types.hh"
+
+namespace npf::mem {
+
+class AddressSpace;
+
+/** Reverse-map metadata for one physical frame. */
+struct Frame
+{
+    AddressSpace *owner = nullptr; ///< nullptr when free
+    Vpn vpn = 0;                   ///< owning virtual page when allocated
+};
+
+/**
+ * A fixed pool of physical frames. Allocation is O(1); the reclaim
+ * logic in MemoryManager walks frames via the reverse map.
+ */
+class PhysicalMemory
+{
+  public:
+    /** @param total_bytes capacity; rounded down to whole frames. */
+    explicit PhysicalMemory(std::size_t total_bytes);
+
+    std::size_t totalFrames() const { return frames_.size(); }
+    std::size_t freeFrames() const { return freeList_.size(); }
+    std::size_t usedFrames() const { return totalFrames() - freeFrames(); }
+
+    /**
+     * Allocate one frame for (@p owner, @p vpn).
+     * @return the frame number, or std::nullopt when exhausted.
+     */
+    std::optional<Pfn> allocate(AddressSpace *owner, Vpn vpn);
+
+    /** Return frame @p pfn to the free pool. */
+    void release(Pfn pfn);
+
+    /** Reverse-map entry for @p pfn. */
+    const Frame &frame(Pfn pfn) const { return frames_[pfn]; }
+
+  private:
+    std::vector<Frame> frames_;
+    std::vector<Pfn> freeList_;
+};
+
+} // namespace npf::mem
+
+#endif // NPF_MEM_PHYSICAL_MEMORY_HH

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Switched fabric: N nodes star-wired through one switch (the
+ * paper's InfiniBand testbed is 8 servers on a SwitchX-2). Each node
+ * has a dedicated uplink and downlink, so congestion appears at the
+ * receiver's downlink — the place incast shows up.
+ */
+
+#ifndef NPF_NET_FABRIC_HH
+#define NPF_NET_FABRIC_HH
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "net/link.hh"
+#include "sim/event_queue.hh"
+
+namespace npf::net {
+
+/** Fabric parameters. */
+struct FabricConfig
+{
+    LinkConfig link;                         ///< per-port link
+    sim::Time switchLatency = 200;           ///< cut-through forwarding
+};
+
+/**
+ * Output-queued single-switch fabric.
+ */
+class Fabric
+{
+  public:
+    Fabric(sim::EventQueue &eq, unsigned nodes, FabricConfig cfg = {})
+        : eq_(eq), cfg_(cfg)
+    {
+        for (unsigned i = 0; i < nodes; ++i) {
+            up_.push_back(std::make_unique<Link>(eq_, cfg_.link));
+            down_.push_back(std::make_unique<Link>(eq_, cfg_.link));
+        }
+    }
+
+    unsigned nodes() const { return static_cast<unsigned>(up_.size()); }
+
+    /**
+     * Send @p bytes from @p src to @p dst; @p deliver runs at the
+     * destination's arrival time. Loopback (src == dst) bypasses the
+     * wire with just the switch latency.
+     */
+    void
+    send(unsigned src, unsigned dst, std::size_t bytes,
+         std::function<void()> deliver)
+    {
+        if (src == dst) {
+            eq_.scheduleAfter(cfg_.switchLatency, std::move(deliver));
+            return;
+        }
+        up_[src]->send(bytes, [this, dst, bytes,
+                               deliver = std::move(deliver)]() mutable {
+            eq_.scheduleAfter(cfg_.switchLatency,
+                              [this, dst, bytes,
+                               deliver = std::move(deliver)]() mutable {
+                                  down_[dst]->send(bytes,
+                                                   std::move(deliver));
+                              });
+        });
+    }
+
+    Link &uplink(unsigned node) { return *up_[node]; }
+    Link &downlink(unsigned node) { return *down_[node]; }
+    const FabricConfig &config() const { return cfg_; }
+
+  private:
+    sim::EventQueue &eq_;
+    FabricConfig cfg_;
+    std::vector<std::unique_ptr<Link>> up_;
+    std::vector<std::unique_ptr<Link>> down_;
+};
+
+} // namespace npf::net
+
+#endif // NPF_NET_FABRIC_HH

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Point-to-point link model: FIFO serialization at a configured
+ * bandwidth plus propagation delay. Payloads travel inside the
+ * delivery closures, so the link is protocol-agnostic.
+ */
+
+#ifndef NPF_NET_LINK_HH
+#define NPF_NET_LINK_HH
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/event_queue.hh"
+#include "sim/time.hh"
+
+namespace npf::net {
+
+/** Static link parameters. */
+struct LinkConfig
+{
+    double bandwidthBitsPerSec = 40e9;
+    sim::Time propagation = 500; ///< cable + PHY, one way
+    /** Framing overhead added to every packet (headers, preamble,
+     *  inter-frame gap). */
+    std::size_t perPacketOverheadBytes = 38;
+};
+
+/**
+ * Unidirectional link. send() queues the packet behind earlier
+ * traffic (transmission starts when the wire frees up) and schedules
+ * the delivery callback at arrival time. Lossless: loss in npfsim
+ * happens at NIC rings, never on the wire.
+ */
+class Link
+{
+  public:
+    struct Stats
+    {
+        std::uint64_t packets = 0;
+        std::uint64_t payloadBytes = 0;
+        std::uint64_t wireBytes = 0;
+    };
+
+    Link(sim::EventQueue &eq, LinkConfig cfg = {}) : eq_(eq), cfg_(cfg) {}
+
+    /**
+     * Transmit @p bytes of payload; @p deliver runs at arrival.
+     * @return the arrival time.
+     */
+    sim::Time
+    send(std::size_t bytes, std::function<void()> deliver)
+    {
+        std::size_t wire_bytes = bytes + cfg_.perPacketOverheadBytes;
+        sim::Time tx_time = transmissionTime(wire_bytes);
+        sim::Time start = std::max(eq_.now(), busyUntil_);
+        busyUntil_ = start + tx_time;
+        sim::Time arrival = busyUntil_ + cfg_.propagation;
+
+        ++stats_.packets;
+        stats_.payloadBytes += bytes;
+        stats_.wireBytes += wire_bytes;
+
+        eq_.schedule(arrival, std::move(deliver));
+        return arrival;
+    }
+
+    /** Wire time to clock out @p wire_bytes. */
+    sim::Time
+    transmissionTime(std::size_t wire_bytes) const
+    {
+        double secs = double(wire_bytes) * 8.0 / cfg_.bandwidthBitsPerSec;
+        return sim::fromSeconds(secs);
+    }
+
+    /** Earliest time a new packet could start transmitting. */
+    sim::Time busyUntil() const { return busyUntil_; }
+
+    const LinkConfig &config() const { return cfg_; }
+    const Stats &stats() const { return stats_; }
+
+  private:
+    sim::EventQueue &eq_;
+    LinkConfig cfg_;
+    sim::Time busyUntil_ = 0;
+    Stats stats_;
+};
+
+} // namespace npf::net
+
+#endif // NPF_NET_LINK_HH

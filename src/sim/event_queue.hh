@@ -1,0 +1,173 @@
+/**
+ * @file
+ * The discrete-event engine at the heart of npfsim.
+ *
+ * Every model in the library (NICs, IOMMU, TCP timers, application
+ * workloads) advances time exclusively by scheduling callbacks on a
+ * shared EventQueue. Events scheduled for the same tick execute in
+ * FIFO order of scheduling, which makes runs fully deterministic.
+ */
+
+#ifndef NPF_SIM_EVENT_QUEUE_HH
+#define NPF_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/time.hh"
+
+namespace npf::sim {
+
+/** Opaque handle identifying a scheduled event, usable to cancel it. */
+using EventId = std::uint64_t;
+
+/** EventId value that never names a live event. */
+constexpr EventId kInvalidEvent = 0;
+
+/**
+ * Deterministic discrete-event queue.
+ *
+ * Not thread safe; a simulation runs on a single thread. Event
+ * callbacks may schedule further events (including at the current
+ * time, which run after all previously scheduled same-tick events).
+ */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    EventQueue() = default;
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Current simulated time. */
+    Time now() const { return now_; }
+
+    /**
+     * Schedule @p cb to run at absolute time @p when.
+     * Scheduling in the past is clamped to now().
+     * @return a handle that can be passed to cancel().
+     */
+    EventId
+    schedule(Time when, Callback cb)
+    {
+        if (when < now_)
+            when = now_;
+        EventId id = nextId_++;
+        heap_.push(Entry{when, id, std::move(cb)});
+        return id;
+    }
+
+    /** Schedule @p cb to run @p delay after the current time. */
+    EventId
+    scheduleAfter(Time delay, Callback cb)
+    {
+        return schedule(now_ + delay, std::move(cb));
+    }
+
+    /**
+     * Cancel a previously scheduled event. Cancelling an event that
+     * already ran (or was already cancelled) is a harmless no-op.
+     */
+    void
+    cancel(EventId id)
+    {
+        if (id != kInvalidEvent)
+            cancelled_.insert(id);
+    }
+
+    /** Number of events still in the queue (may include cancelled). */
+    std::size_t pending() const { return heap_.size(); }
+
+    /** True when no events remain in the queue. */
+    bool empty() const { return heap_.empty(); }
+
+    /**
+     * Run a single event, advancing time to it.
+     * @return false when the queue is empty.
+     */
+    bool
+    step()
+    {
+        while (!heap_.empty()) {
+            Entry e = std::move(const_cast<Entry &>(heap_.top()));
+            heap_.pop();
+            if (auto it = cancelled_.find(e.id); it != cancelled_.end()) {
+                cancelled_.erase(it);
+                continue;
+            }
+            now_ = e.when;
+            e.cb();
+            return true;
+        }
+        return false;
+    }
+
+    /** Run all events up to and including time @p until. */
+    void
+    runUntil(Time until)
+    {
+        while (!heap_.empty() && heap_.top().when <= until) {
+            if (!step())
+                break;
+        }
+        if (now_ < until)
+            now_ = until;
+    }
+
+    /** Run until the queue drains completely. */
+    void
+    run()
+    {
+        while (step()) {
+        }
+    }
+
+    /**
+     * Run until @p predicate becomes true (checked after each event),
+     * the queue drains, or @p deadline passes.
+     * @return true if the predicate was satisfied.
+     */
+    bool
+    runUntilCondition(const std::function<bool()> &predicate, Time deadline)
+    {
+        if (predicate())
+            return true;
+        while (!heap_.empty() && heap_.top().when <= deadline) {
+            if (!step())
+                break;
+            if (predicate())
+                return true;
+        }
+        return predicate();
+    }
+
+  private:
+    struct Entry
+    {
+        Time when;
+        EventId id;
+        Callback cb;
+
+        bool
+        operator>(const Entry &o) const
+        {
+            // Earlier time first; FIFO among equal times via id.
+            if (when != o.when)
+                return when > o.when;
+            return id > o.id;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+    std::unordered_set<EventId> cancelled_;
+    Time now_ = 0;
+    EventId nextId_ = 1;
+};
+
+} // namespace npf::sim
+
+#endif // NPF_SIM_EVENT_QUEUE_HH

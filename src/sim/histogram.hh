@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Sample collector with percentile queries, used for the paper's
+ * latency tables (Table 4) and general statistics.
+ */
+
+#ifndef NPF_SIM_HISTOGRAM_HH
+#define NPF_SIM_HISTOGRAM_HH
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+namespace npf::sim {
+
+/**
+ * Stores raw samples and answers mean/percentile/extreme queries.
+ * Percentile queries sort lazily and cache the sorted order.
+ */
+class Histogram
+{
+  public:
+    /** Add one sample. */
+    void
+    record(double v)
+    {
+        samples_.push_back(v);
+        sorted_ = false;
+        sum_ += v;
+    }
+
+    std::size_t count() const { return samples_.size(); }
+    bool empty() const { return samples_.empty(); }
+
+    /** Arithmetic mean; 0 when empty. */
+    double
+    mean() const
+    {
+        return samples_.empty() ? 0.0 : sum_ / double(samples_.size());
+    }
+
+    /** Population standard deviation; 0 when fewer than 2 samples. */
+    double
+    stddev() const
+    {
+        if (samples_.size() < 2)
+            return 0.0;
+        double m = mean(), acc = 0.0;
+        for (double v : samples_)
+            acc += (v - m) * (v - m);
+        return std::sqrt(acc / double(samples_.size()));
+    }
+
+    /**
+     * Percentile by nearest-rank. @p p in [0, 100]. p == 100 returns
+     * the maximum. Returns 0 when empty.
+     */
+    double
+    percentile(double p) const
+    {
+        if (samples_.empty())
+            return 0.0;
+        ensureSorted();
+        if (p <= 0.0)
+            return samples_.front();
+        if (p >= 100.0)
+            return samples_.back();
+        auto rank = static_cast<std::size_t>(
+            std::ceil(p / 100.0 * double(samples_.size())));
+        if (rank == 0)
+            rank = 1;
+        return samples_[rank - 1];
+    }
+
+    double min() const { return percentile(0); }
+    double max() const { return percentile(100); }
+
+    /** Discard all samples. */
+    void
+    clear()
+    {
+        samples_.clear();
+        sum_ = 0.0;
+        sorted_ = true;
+    }
+
+  private:
+    void
+    ensureSorted() const
+    {
+        if (!sorted_) {
+            std::sort(samples_.begin(), samples_.end());
+            sorted_ = true;
+        }
+    }
+
+    mutable std::vector<double> samples_;
+    mutable bool sorted_ = true;
+    double sum_ = 0.0;
+};
+
+} // namespace npf::sim
+
+#endif // NPF_SIM_HISTOGRAM_HH

@@ -1,0 +1,34 @@
+#include "sim/log.hh"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace npf::sim {
+
+LogLevel &
+logLevel()
+{
+    static LogLevel level = LogLevel::Warn;
+    return level;
+}
+
+bool
+logEnabled(LogLevel lvl)
+{
+    return static_cast<int>(lvl) <= static_cast<int>(logLevel());
+}
+
+void
+logf(LogLevel lvl, Time now, const char *fmt, ...)
+{
+    if (!logEnabled(lvl))
+        return;
+    std::fprintf(stderr, "[%12.6f] ", toSeconds(now));
+    va_list ap;
+    va_start(ap, fmt);
+    std::vfprintf(stderr, fmt, ap);
+    va_end(ap);
+    std::fputc('\n', stderr);
+}
+
+} // namespace npf::sim

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Minimal leveled logging for debugging simulations. Disabled by
+ * default; tests and benches run silent unless NPF_LOG is raised.
+ */
+
+#ifndef NPF_SIM_LOG_HH
+#define NPF_SIM_LOG_HH
+
+#include <cstdio>
+
+#include "sim/time.hh"
+
+namespace npf::sim {
+
+enum class LogLevel { None = 0, Warn = 1, Info = 2, Debug = 3 };
+
+/** Global log level; settable by programs (default: warnings only). */
+LogLevel &logLevel();
+
+/** True if messages at @p lvl should be emitted. */
+bool logEnabled(LogLevel lvl);
+
+/** printf-style log with a simulated-time prefix. */
+void logf(LogLevel lvl, Time now, const char *fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+
+} // namespace npf::sim
+
+#endif // NPF_SIM_LOG_HH

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Deterministic random number utilities for workload generation and
+ * latency jitter. A thin wrapper over std::mt19937_64 so every model
+ * draws from an explicitly seeded stream.
+ */
+
+#ifndef NPF_SIM_RANDOM_HH
+#define NPF_SIM_RANDOM_HH
+
+#include <cstdint>
+#include <random>
+
+namespace npf::sim {
+
+/**
+ * Seeded random stream.
+ *
+ * Each stochastic model (workload generator, jitter model) owns its
+ * own Rng so interleaving of events never perturbs another model's
+ * draw sequence.
+ */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) : gen_(seed) {}
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform01()
+    {
+        return std::uniform_real_distribution<double>(0.0, 1.0)(gen_);
+    }
+
+    /** Uniform double in [lo, hi). */
+    double
+    uniform(double lo, double hi)
+    {
+        return std::uniform_real_distribution<double>(lo, hi)(gen_);
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::uint64_t
+    uniformInt(std::uint64_t lo, std::uint64_t hi)
+    {
+        return std::uniform_int_distribution<std::uint64_t>(lo, hi)(gen_);
+    }
+
+    /** Bernoulli trial with probability @p p of returning true. */
+    bool
+    bernoulli(double p)
+    {
+        if (p <= 0.0)
+            return false;
+        if (p >= 1.0)
+            return true;
+        return uniform01() < p;
+    }
+
+    /** Exponentially distributed value with the given mean. */
+    double
+    exponential(double mean)
+    {
+        return std::exponential_distribution<double>(1.0 / mean)(gen_);
+    }
+
+    /**
+     * Log-normal multiplicative jitter with median 1.0 and the given
+     * sigma of the underlying normal. Used by the NPF latency model.
+     */
+    double
+    lognormalJitter(double sigma)
+    {
+        return std::lognormal_distribution<double>(0.0, sigma)(gen_);
+    }
+
+    /** Normally distributed value. */
+    double
+    normal(double mean, double stddev)
+    {
+        return std::normal_distribution<double>(mean, stddev)(gen_);
+    }
+
+    /** Underlying engine, for std distributions not wrapped here. */
+    std::mt19937_64 &engine() { return gen_; }
+
+  private:
+    std::mt19937_64 gen_;
+};
+
+} // namespace npf::sim
+
+#endif // NPF_SIM_RANDOM_HH

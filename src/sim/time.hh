@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Simulated time: 64-bit unsigned nanoseconds since simulation start.
+ *
+ * All latencies in npfsim are expressed in this unit. Helpers convert
+ * to and from floating-point seconds/microseconds for reporting.
+ */
+
+#ifndef NPF_SIM_TIME_HH
+#define NPF_SIM_TIME_HH
+
+#include <cstdint>
+
+namespace npf::sim {
+
+/** Simulated time in nanoseconds. */
+using Time = std::uint64_t;
+
+constexpr Time kNanosecond = 1;
+constexpr Time kMicrosecond = 1000;
+constexpr Time kMillisecond = 1000 * 1000;
+constexpr Time kSecond = 1000ull * 1000 * 1000;
+
+/** Convert simulated time to seconds. */
+constexpr double
+toSeconds(Time t)
+{
+    return static_cast<double>(t) / static_cast<double>(kSecond);
+}
+
+/** Convert simulated time to microseconds. */
+constexpr double
+toMicroseconds(Time t)
+{
+    return static_cast<double>(t) / static_cast<double>(kMicrosecond);
+}
+
+/** Convert seconds to simulated time, rounding to the nearest ns. */
+constexpr Time
+fromSeconds(double s)
+{
+    return static_cast<Time>(s * static_cast<double>(kSecond) + 0.5);
+}
+
+/** Convert microseconds to simulated time, rounding to the nearest ns. */
+constexpr Time
+fromMicroseconds(double us)
+{
+    return static_cast<Time>(us * static_cast<double>(kMicrosecond) + 0.5);
+}
+
+} // namespace npf::sim
+
+#endif // NPF_SIM_TIME_HH

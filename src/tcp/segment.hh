@@ -1,0 +1,31 @@
+/**
+ * @file
+ * TCP segment metadata. npfsim does not move payload bytes, only
+ * counts them, so a segment is pure header state.
+ */
+
+#ifndef NPF_TCP_SEGMENT_HH
+#define NPF_TCP_SEGMENT_HH
+
+#include <cstdint>
+
+namespace npf::tcp {
+
+/** One TCP segment (header-only; payload is byte-counted). */
+struct Segment
+{
+    std::uint32_t connId = 0; ///< demux key on the shared ring
+    std::uint64_t seq = 0;    ///< first payload byte
+    std::size_t len = 0;      ///< payload bytes
+    std::uint64_t ack = 0;    ///< next expected byte (cumulative)
+    bool syn = false;
+    bool synAck = false;
+    bool fin = false;
+};
+
+/** TCP/IP header bytes added to every segment on the wire. */
+constexpr std::size_t kTcpIpHeaderBytes = 40;
+
+} // namespace npf::tcp
+
+#endif // NPF_TCP_SEGMENT_HH

@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Application-layer tests: the KV store's LRU semantics and paging
+ * interaction, the memcached/memaslap loop end-to-end over the NIC
+ * testbed, the disk model, and the tgt/fio storage pipeline over
+ * simulated RDMA.
+ */
+
+#include <gtest/gtest.h>
+
+#include "app/disk.hh"
+#include "app/kv_store.hh"
+#include "app/memcached.hh"
+#include "app/storage.hh"
+#include "net/fabric.hh"
+#include "testbed.hh"
+
+using namespace npf;
+using namespace npf::app;
+
+namespace {
+
+constexpr std::size_t MiB = 1ull << 20;
+
+} // namespace
+
+TEST(KvStore, GetMissThenSetThenHit)
+{
+    mem::MemoryManager mm(64 * MiB);
+    auto &as = mm.createAddressSpace("kv");
+    KvStore kv(as, 16 * MiB, 1024);
+    EXPECT_FALSE(kv.get(7).hit);
+    KvResult s = kv.set(7);
+    EXPECT_GT(s.valueAddr, 0u);
+    KvResult g = kv.get(7);
+    EXPECT_TRUE(g.hit);
+    EXPECT_EQ(g.valueLen, 1024u);
+    EXPECT_EQ(kv.hits(), 1u);
+    EXPECT_EQ(kv.misses(), 1u);
+}
+
+TEST(KvStore, LruEvictionAtCapacity)
+{
+    mem::MemoryManager mm(64 * MiB);
+    auto &as = mm.createAddressSpace("kv");
+    KvStore kv(as, 10 * (1024 + 64), 1024); // exactly 10 items
+    ASSERT_EQ(kv.capacityItems(), 10u);
+    for (std::uint64_t k = 0; k < 10; ++k)
+        kv.set(k);
+    kv.get(0); // refresh key 0
+    kv.set(100); // evicts LRU = key 1
+    EXPECT_TRUE(kv.get(0).hit);
+    EXPECT_FALSE(kv.get(1).hit);
+    EXPECT_TRUE(kv.get(100).hit);
+    EXPECT_EQ(kv.items(), 10u);
+}
+
+TEST(KvStore, SwappedItemsCostMajorFaultsOnGet)
+{
+    mem::MemoryManager mm(8 * MiB);
+    auto &as = mm.createAddressSpace("kv");
+    KvStore kv(as, 32 * MiB, 20 * 1024); // working set >> memory
+    for (std::uint64_t k = 0; k < 1000; ++k)
+        kv.set(k);
+    // Early keys were swapped out by later sets.
+    KvResult g = kv.get(0);
+    ASSERT_TRUE(g.hit) << "LRU capacity not exceeded: logical hit";
+    EXPECT_GT(g.majorFaults, 0u) << "but the pages went to swap";
+    EXPECT_GT(g.memCost, 0u);
+}
+
+TEST(Disk, ReadLatency)
+{
+    DiskConfig cfg;
+    cfg.seek = sim::kMillisecond;
+    cfg.bandwidthBytesPerSec = 1e9;
+    Disk d(cfg);
+    sim::Time t = d.read(512 * 1024);
+    EXPECT_NEAR(sim::toMicroseconds(t), 1000.0 + 524.3, 5.0);
+    EXPECT_EQ(d.reads(), 1u);
+    EXPECT_EQ(d.bytesRead(), 512u * 1024);
+}
+
+TEST(Memcached, EndToEndOverBackupRing)
+{
+    test::EthTestbed tb(eth::RxFaultPolicy::BackupRing, 256);
+    HostModel host;
+    host.addInstance();
+    KvStore kv(*tb.serverAs, 32 * MiB, 1024);
+    MemcachedServer server(tb.eq, kv, host);
+
+    ASSERT_TRUE(tb.connect(1));
+    RpcChannel ch(tb.client->connection(1), tb.server->connection(1));
+    server.serve(ch);
+
+    // Pre-populate so gets hit (memaslap warms the store similarly).
+    for (std::uint64_t k = 0; k < 500; ++k)
+        kv.set(k);
+
+    MemaslapConfig mcfg;
+    mcfg.keys = 500;
+    mcfg.window = 4;
+    Memaslap slap(tb.eq, {&ch}, mcfg);
+    slap.start();
+
+    tb.eq.runUntilCondition([&] { return slap.transactions() >= 2000; },
+                            tb.eq.now() + 120 * sim::kSecond);
+    EXPECT_GE(slap.transactions(), 2000u);
+    // 90% gets over a 500-key space quickly becomes mostly hits.
+    EXPECT_GT(double(slap.hits()) / double(slap.transactions()), 0.85);
+    EXPECT_GE(server.opsServed(), slap.transactions());
+}
+
+TEST(Memcached, ThroughputCalibrationSingleInstance)
+{
+    test::EthTestbed tb(eth::RxFaultPolicy::Pin, 512);
+    HostModel host;
+    host.addInstance();
+    KvStore kv(*tb.serverAs, 64 * MiB, 1024);
+    MemcachedServer server(tb.eq, kv, host);
+
+    std::vector<std::unique_ptr<RpcChannel>> chans;
+    std::vector<RpcChannel *> raw;
+    for (std::uint32_t id = 1; id <= 4; ++id) {
+        ASSERT_TRUE(tb.connect(id));
+        chans.push_back(std::make_unique<RpcChannel>(
+            tb.client->connection(id), tb.server->connection(id)));
+        server.serve(*chans.back());
+        raw.push_back(chans.back().get());
+    }
+    Memaslap slap(tb.eq, raw, MemaslapConfig{0.9, 2000, 4, 64});
+    slap.start();
+    // Warm up, then measure 1 simulated second.
+    tb.eq.runUntil(tb.eq.now() + sim::kSecond);
+    slap.resetCounters();
+    sim::Time start = tb.eq.now();
+    tb.eq.runUntil(start + sim::kSecond);
+    double ktps = double(slap.transactions()) / 1000.0;
+    // Table 5 calibration: a single instance serves ~186 KTPS.
+    EXPECT_NEAR(ktps, 186.0, 25.0);
+}
+
+TEST(Storage, TargetServesReadsOverRdma)
+{
+    sim::EventQueue eq;
+    net::Fabric fabric(eq, 2,
+                       net::FabricConfig{net::LinkConfig{56e9, 300, 32},
+                                         200});
+    mem::MemoryManager tgtMm(4ull << 30), iniMm(1ull << 30);
+    auto &tgtAs = tgtMm.createAddressSpace("tgt");
+    auto &iniAs = iniMm.createAddressSpace("fio");
+    core::NpfController tgtNpfc(eq), iniNpfc(eq);
+    auto tgtCh = tgtNpfc.attach(tgtAs);
+    auto iniCh = iniNpfc.attach(iniAs);
+
+    ib::QueuePair qpT(eq, fabric, 0, tgtNpfc, tgtCh);
+    ib::QueuePair qpI(eq, fabric, 1, iniNpfc, iniCh);
+    qpT.connect(qpI);
+    qpI.connect(qpT);
+
+    StorageConfig scfg;
+    scfg.lunBytes = 1ull << 30;
+    scfg.pinned = false; // NPF mode
+    StorageTarget tgt(eq, tgtAs, scfg);
+    ASSERT_TRUE(tgt.ok());
+
+    auto queue = std::make_shared<std::deque<IoRequest>>();
+    tgt.addSession(qpT, queue);
+    FioClient fio(eq, qpI, iniAs, queue, 512 * 1024, 8, scfg.lunBytes, 3);
+    fio.start();
+
+    eq.runUntilCondition([&] { return fio.completed() >= 100; },
+                         eq.now() + 60 * sim::kSecond);
+    EXPECT_GE(fio.completed(), 100u);
+    EXPECT_EQ(fio.bytesRead(), fio.completed() * 512 * 1024);
+    EXPECT_GE(tgt.iosServed(), fio.completed());
+    EXPECT_GT(tgt.disk().reads(), 0u) << "cold cache went to disk";
+    // NPF mode: the 1 GB comm pool is demand-paged — resident memory
+    // stays far below the pinned baseline.
+    EXPECT_LT(tgt.residentBytes(), 300 * MiB);
+}
+
+TEST(Storage, PinnedModeFailsWithoutPinnableMemory)
+{
+    sim::EventQueue eq;
+    mem::MemCostConfig costs;
+    costs.maxPinnableBytes = 512 * MiB; // policy: too little for 1 GB
+    mem::MemoryManager mm(4ull << 30, costs);
+    auto &as = mm.createAddressSpace("tgt");
+    StorageConfig scfg;
+    scfg.pinned = true;
+    StorageTarget tgt(eq, as, scfg);
+    EXPECT_FALSE(tgt.ok()) << "Fig. 8(a): tgt fails to load";
+}
+
+TEST(Storage, PinnedModeHoldsTheWholePoolResident)
+{
+    sim::EventQueue eq;
+    mem::MemoryManager mm(4ull << 30);
+    auto &as = mm.createAddressSpace("tgt");
+    StorageConfig scfg;
+    scfg.pinned = true;
+    StorageTarget tgt(eq, as, scfg);
+    ASSERT_TRUE(tgt.ok());
+    EXPECT_GE(tgt.residentBytes(), 1ull << 30);
+}
+
+TEST(HostModelTest, ContentionScaling)
+{
+    HostModel h(0.18);
+    h.addInstance();
+    sim::Time base = sim::fromMicroseconds(10);
+    EXPECT_EQ(h.scaled(base), base);
+    h.addInstance();
+    EXPECT_NEAR(sim::toMicroseconds(h.scaled(base)), 11.8, 0.01);
+    h.addInstance();
+    h.addInstance();
+    EXPECT_NEAR(sim::toMicroseconds(h.scaled(base)), 15.4, 0.01);
+}

@@ -1,0 +1,329 @@
+/**
+ * @file
+ * Tests for the NPF engine: the Figure 2 flows, the Figure 3 latency
+ * model (checked against the paper's own numbers), the §4 firmware
+ * optimizations, and the four pinning disciplines of Table 3.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/npf_controller.hh"
+#include "core/pinning.hh"
+#include "mem/memory_manager.hh"
+#include "sim/histogram.hh"
+
+using namespace npf;
+using namespace npf::core;
+
+namespace {
+
+constexpr std::size_t MiB = 1ull << 20;
+
+struct Rig
+{
+    sim::EventQueue eq;
+    mem::MemoryManager mm;
+    mem::AddressSpace &as;
+    NpfController npfc;
+    ChannelId ch;
+
+    explicit Rig(std::size_t mem_bytes = 256 * MiB, OdpConfig cfg = {})
+        : mm(mem_bytes), as(mm.createAddressSpace("iouser")),
+          npfc(eq, cfg), ch(npfc.attach(as))
+    {
+    }
+};
+
+} // namespace
+
+TEST(NpfController, CheckDmaReportsMissingPages)
+{
+    Rig rig;
+    mem::VirtAddr buf = rig.as.allocRegion(MiB);
+    auto check = rig.npfc.checkDma(rig.ch, buf, 8 * mem::kPageSize);
+    EXPECT_FALSE(check.ok);
+    EXPECT_EQ(check.missingPages, 8u);
+    EXPECT_EQ(check.firstMissing, mem::pageOf(buf));
+}
+
+TEST(NpfController, DmaAccessFailsUntilResolved)
+{
+    Rig rig;
+    mem::VirtAddr buf = rig.as.allocRegion(MiB);
+    EXPECT_FALSE(rig.npfc.dmaAccess(rig.ch, buf, 100, true));
+    bool resolved = false;
+    rig.npfc.raiseNpf(rig.ch, buf, 100, true,
+                      [&](const NpfBreakdown &bd) {
+                          resolved = true;
+                          EXPECT_TRUE(bd.ok);
+                          EXPECT_EQ(bd.pagesMapped, 1u);
+                      });
+    rig.eq.run();
+    EXPECT_TRUE(resolved);
+    EXPECT_TRUE(rig.npfc.dmaAccess(rig.ch, buf, 100, true));
+}
+
+TEST(NpfController, ResolutionTakesModeledTime)
+{
+    Rig rig;
+    mem::VirtAddr buf = rig.as.allocRegion(MiB);
+    sim::Time done_at = 0;
+    rig.npfc.raiseNpf(rig.ch, buf, mem::kPageSize, true,
+                      [&](const NpfBreakdown &) { done_at = rig.eq.now(); });
+    rig.eq.run();
+    // A 4 KB minor NPF costs ~215 us (Fig. 3(a) / Table 4).
+    EXPECT_GT(done_at, sim::fromMicroseconds(150));
+    EXPECT_LT(done_at, sim::fromMicroseconds(500));
+}
+
+TEST(NpfController, BreakdownMatchesPaperFig3)
+{
+    // 4 KB: ~215 us median; 4 MB: ~352 us median, growth in software.
+    Rig rig;
+    mem::VirtAddr small = rig.as.allocRegion(4096);
+    NpfBreakdown bd4k = rig.npfc.computeResolve(rig.ch, small, 4096, true);
+    EXPECT_NEAR(sim::toMicroseconds(bd4k.total()), 215.0, 45.0);
+    EXPECT_EQ(bd4k.pagesMapped, 1u);
+
+    mem::VirtAddr big = rig.as.allocRegion(4 * MiB);
+    NpfBreakdown bd4m = rig.npfc.computeResolve(rig.ch, big, 4 * MiB, true);
+    EXPECT_NEAR(sim::toMicroseconds(bd4m.total()), 352.0, 60.0);
+    EXPECT_EQ(bd4m.pagesMapped, 1024u);
+    // Hardware dominates the 4 KB case (~90%, §4 "Overhead").
+    double hw = sim::toMicroseconds(bd4k.trigger + bd4k.resume);
+    EXPECT_GT(hw / sim::toMicroseconds(bd4k.total()), 0.7);
+    // The 4 MB growth is software (driver + PT update).
+    EXPECT_GT(bd4m.driver, bd4k.driver);
+}
+
+TEST(NpfController, TailLatenciesMatchTable4)
+{
+    Rig rig(1ull << 30);
+    mem::VirtAddr buf = rig.as.allocRegion(256 * MiB);
+    sim::Histogram h;
+    for (int i = 0; i < 4000; ++i) {
+        mem::VirtAddr page = buf + (std::uint64_t(i) * mem::kPageSize);
+        NpfBreakdown bd = rig.npfc.computeResolve(rig.ch, page, 4096, true);
+        h.record(sim::toMicroseconds(bd.total()));
+    }
+    EXPECT_NEAR(h.percentile(50), 215.0, 40.0);
+    EXPECT_NEAR(h.percentile(95), 250.0, 50.0);
+    EXPECT_GT(h.max(), h.percentile(99)) << "tail spikes exist";
+    EXPECT_LT(h.max(), 1000.0);
+}
+
+TEST(NpfController, BatchedPrefaultMapsWholeRequest)
+{
+    Rig rig;
+    mem::VirtAddr buf = rig.as.allocRegion(MiB);
+    bool done = false;
+    rig.npfc.raiseNpf(rig.ch, buf, 64 * mem::kPageSize, true,
+                      [&](const NpfBreakdown &bd) {
+                          done = true;
+                          EXPECT_EQ(bd.pagesMapped, 64u);
+                      });
+    rig.eq.run();
+    EXPECT_TRUE(done);
+    EXPECT_TRUE(rig.npfc.checkDma(rig.ch, buf, 64 * mem::kPageSize).ok);
+}
+
+TEST(NpfController, OnePagePerRequestAblation)
+{
+    OdpConfig cfg;
+    cfg.batchedPrefault = false;
+    Rig rig(256 * MiB, cfg);
+    mem::VirtAddr buf = rig.as.allocRegion(MiB);
+    bool done = false;
+    rig.npfc.raiseNpf(rig.ch, buf, 64 * mem::kPageSize, true,
+                      [&](const NpfBreakdown &bd) {
+                          done = true;
+                          EXPECT_EQ(bd.pagesMapped, 1u)
+                              << "strict ATS/PRI: one page per event";
+                      });
+    rig.eq.run();
+    EXPECT_TRUE(done);
+    auto check = rig.npfc.checkDma(rig.ch, buf, 64 * mem::kPageSize);
+    EXPECT_EQ(check.missingPages, 63u);
+}
+
+TEST(NpfController, FirmwareBypassMergesDuplicates)
+{
+    Rig rig;
+    mem::VirtAddr buf = rig.as.allocRegion(MiB);
+    int resolutions = 0;
+    int merged = 0;
+    for (int i = 0; i < 5; ++i) {
+        rig.npfc.raiseNpf(rig.ch, buf, mem::kPageSize, true,
+                          [&](const NpfBreakdown &bd) {
+                              ++resolutions;
+                              if (bd.merged)
+                                  ++merged;
+                          });
+    }
+    rig.eq.run();
+    EXPECT_EQ(resolutions, 5);
+    EXPECT_EQ(merged, 4) << "four duplicates ride the first resolution";
+    EXPECT_EQ(rig.npfc.stats().npfs, 1u);
+    EXPECT_EQ(rig.npfc.stats().mergedNpfs, 4u);
+}
+
+TEST(NpfController, ConcurrencyLimitQueuesExcessFaults)
+{
+    OdpConfig cfg;
+    cfg.maxConcurrentNpfs = 2;
+    Rig rig(256 * MiB, cfg);
+    mem::VirtAddr buf = rig.as.allocRegion(MiB);
+    int resolved = 0;
+    for (int i = 0; i < 6; ++i) {
+        rig.npfc.raiseNpf(rig.ch, buf + std::uint64_t(i) * mem::kPageSize,
+                          mem::kPageSize, true,
+                          [&](const NpfBreakdown &) { ++resolved; });
+    }
+    rig.eq.run();
+    EXPECT_EQ(resolved, 6);
+    EXPECT_GT(rig.npfc.stats().queuedNpfs, 0u);
+}
+
+TEST(NpfController, InvalidationFlowCosts)
+{
+    Rig rig;
+    mem::VirtAddr buf = rig.as.allocRegion(4 * MiB);
+    // Unmapped page: only the checks cost (Fig. 3(b) fast path).
+    InvalidationBreakdown cold = rig.npfc.invalidateRange(
+        rig.ch, buf, mem::kPageSize);
+    EXPECT_FALSE(cold.wasMapped);
+    EXPECT_EQ(cold.ptUpdate, 0u);
+
+    rig.npfc.prefault(rig.ch, buf, 4 * MiB, true);
+    InvalidationBreakdown small = rig.npfc.invalidateRange(
+        rig.ch, buf, mem::kPageSize);
+    EXPECT_TRUE(small.wasMapped);
+    EXPECT_NEAR(sim::toMicroseconds(small.total()), 23.0, 8.0);
+
+    rig.npfc.prefault(rig.ch, buf, 4 * MiB, true);
+    InvalidationBreakdown big = rig.npfc.invalidateRange(
+        rig.ch, buf, 4 * MiB);
+    EXPECT_GT(big.total(), small.total())
+        << "ranged invalidation scales with pages (Fig. 3(b))";
+}
+
+TEST(NpfController, EvictionInvalidatesIommuMapping)
+{
+    Rig rig(8 * MiB);
+    mem::VirtAddr buf = rig.as.allocRegion(2 * MiB);
+    rig.npfc.prefault(rig.ch, buf, 2 * MiB, true);
+    EXPECT_TRUE(rig.npfc.checkDma(rig.ch, buf, 2 * MiB).ok);
+    // Force reclaim of everything unpinned.
+    rig.mm.reclaimPages(8 * MiB / mem::kPageSize);
+    auto check = rig.npfc.checkDma(rig.ch, buf, 2 * MiB);
+    EXPECT_FALSE(check.ok)
+        << "MMU notifier must strip the device mapping before reuse";
+    EXPECT_GT(rig.npfc.stats().invalidations, 0u);
+}
+
+TEST(NpfController, MajorFaultsAddSwapLatency)
+{
+    Rig rig(8 * MiB);
+    mem::VirtAddr buf = rig.as.allocRegion(2 * MiB);
+    rig.as.touch(buf, 2 * MiB, true); // dirty
+    rig.mm.reclaimPages(4 * MiB / mem::kPageSize); // swap out
+    NpfBreakdown bd = rig.npfc.computeResolve(rig.ch, buf,
+                                              mem::kPageSize, true);
+    EXPECT_TRUE(bd.ok);
+    EXPECT_EQ(bd.majorFaults, 1u);
+    EXPECT_GT(bd.total(), rig.mm.swap().readLatency(1));
+}
+
+TEST(NpfController, SampleResolveLatencyIsReasonable)
+{
+    Rig rig;
+    sim::Time minor = rig.npfc.sampleResolveLatency(rig.ch, 1, false);
+    EXPECT_NEAR(sim::toMicroseconds(minor), 215.0, 60.0);
+    sim::Time major = rig.npfc.sampleResolveLatency(rig.ch, 1, true);
+    EXPECT_GT(major, minor + rig.mm.swap().readLatency(1) / 2);
+}
+
+// --- pinning strategies -------------------------------------------------
+
+TEST(Pinning, StaticPinsEverythingUpFront)
+{
+    Rig rig;
+    StaticPinning pin(rig.npfc, rig.ch);
+    mem::VirtAddr buf = rig.as.allocRegion(8 * MiB);
+    sim::Time setup = pin.setup(buf, 8 * MiB);
+    EXPECT_TRUE(pin.ok());
+    EXPECT_GT(setup, 0u);
+    EXPECT_EQ(pin.beforeDma(buf, MiB), 0u);
+    EXPECT_EQ(rig.as.pinnedPages(), 8 * MiB / mem::kPageSize);
+    EXPECT_TRUE(rig.npfc.checkDma(rig.ch, buf, 8 * MiB).ok);
+}
+
+TEST(Pinning, StaticFailsWhenMemoryTooSmall)
+{
+    Rig rig(8 * MiB);
+    StaticPinning pin(rig.npfc, rig.ch);
+    mem::VirtAddr buf = rig.as.allocRegion(16 * MiB);
+    pin.setup(buf, 16 * MiB);
+    EXPECT_FALSE(pin.ok()) << "Table 5's N/A case";
+}
+
+TEST(Pinning, FineGrainedPinsAndUnpinsAroundDma)
+{
+    Rig rig;
+    FineGrainedPinning pin(rig.npfc, rig.ch);
+    mem::VirtAddr buf = rig.as.allocRegion(MiB);
+    sim::Time before = pin.beforeDma(buf, 64 * 1024);
+    EXPECT_GT(before, 0u);
+    EXPECT_GT(rig.as.pinnedPages(), 0u);
+    EXPECT_TRUE(rig.npfc.checkDma(rig.ch, buf, 64 * 1024).ok);
+    sim::Time after = pin.afterDma(buf, 64 * 1024);
+    EXPECT_GT(after, 0u);
+    EXPECT_EQ(rig.as.pinnedPages(), 0u);
+    EXPECT_FALSE(rig.npfc.checkDma(rig.ch, buf, 64 * 1024).ok)
+        << "fine-grained unmaps after the DMA";
+}
+
+TEST(Pinning, PinDownCacheHitsAreCheap)
+{
+    Rig rig;
+    PinDownCache cache(rig.npfc, rig.ch, /*capacity=*/0);
+    mem::VirtAddr buf = rig.as.allocRegion(MiB);
+    sim::Time miss = cache.beforeDma(buf, 256 * 1024);
+    sim::Time hit = cache.beforeDma(buf, 256 * 1024);
+    EXPECT_GT(miss, 10 * hit);
+    EXPECT_EQ(cache.hits(), 1u);
+    EXPECT_EQ(cache.misses(), 1u);
+    // A sub-range of a registered region also hits.
+    sim::Time sub = cache.beforeDma(buf + 4096, 1024);
+    EXPECT_EQ(sub, hit);
+}
+
+TEST(Pinning, PinDownCacheEvictsLruUnderBudget)
+{
+    Rig rig;
+    PinDownCache cache(rig.npfc, rig.ch, 2 * MiB);
+    mem::VirtAddr a = rig.as.allocRegion(MiB);
+    mem::VirtAddr b = rig.as.allocRegion(MiB);
+    mem::VirtAddr c = rig.as.allocRegion(MiB);
+    cache.beforeDma(a, MiB);
+    cache.beforeDma(b, MiB);
+    cache.beforeDma(a, MiB); // refresh a
+    cache.beforeDma(c, MiB); // must evict b
+    EXPECT_EQ(cache.evictions(), 1u);
+    EXPECT_LE(cache.pinnedBytes(), 2 * MiB);
+    // b needs re-registration; a still hits.
+    std::uint64_t misses = cache.misses();
+    cache.beforeDma(a, MiB);
+    EXPECT_EQ(cache.misses(), misses);
+    cache.beforeDma(b, MiB);
+    EXPECT_EQ(cache.misses(), misses + 1);
+}
+
+TEST(Pinning, NpfModeIsFree)
+{
+    NpfPinning npf;
+    EXPECT_EQ(npf.setup(0, MiB), 0u);
+    EXPECT_EQ(npf.beforeDma(0, MiB), 0u);
+    EXPECT_EQ(npf.afterDma(0, MiB), 0u);
+    EXPECT_TRUE(npf.ok());
+}

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Unit tests for the device-side translation structures: I/O page
+ * table, IOTLB (LRU, invalidation), and the combined IoMmu unit,
+ * including the PT/TLB coherence invariant.
+ */
+
+#include <gtest/gtest.h>
+
+#include "iommu/iommu.hh"
+#include "sim/random.hh"
+
+using namespace npf;
+using namespace npf::iommu;
+
+TEST(IoPageTable, MapLookupUnmap)
+{
+    IoPageTable pt;
+    EXPECT_FALSE(pt.lookup(5).has_value());
+    pt.map(5, 42);
+    ASSERT_TRUE(pt.lookup(5).has_value());
+    EXPECT_EQ(*pt.lookup(5), 42u);
+    EXPECT_TRUE(pt.unmap(5));
+    EXPECT_FALSE(pt.unmap(5)) << "second unmap reports not-mapped";
+    EXPECT_FALSE(pt.lookup(5).has_value());
+}
+
+TEST(IoTlb, HitAndMissCounting)
+{
+    IoTlb tlb(4);
+    EXPECT_FALSE(tlb.lookup(1).has_value());
+    tlb.insert(1, 10);
+    ASSERT_TRUE(tlb.lookup(1).has_value());
+    EXPECT_EQ(tlb.stats().hits, 1u);
+    EXPECT_EQ(tlb.stats().misses, 1u);
+}
+
+TEST(IoTlb, LruEviction)
+{
+    IoTlb tlb(2);
+    tlb.insert(1, 10);
+    tlb.insert(2, 20);
+    tlb.lookup(1);      // 1 is now MRU
+    tlb.insert(3, 30);  // evicts 2
+    EXPECT_TRUE(tlb.lookup(1).has_value());
+    EXPECT_FALSE(tlb.lookup(2).has_value());
+    EXPECT_TRUE(tlb.lookup(3).has_value());
+    EXPECT_EQ(tlb.stats().evictions, 1u);
+}
+
+TEST(IoTlb, InvalidateRemovesEntry)
+{
+    IoTlb tlb(8);
+    tlb.insert(7, 70);
+    tlb.invalidate(7);
+    EXPECT_FALSE(tlb.lookup(7).has_value());
+    EXPECT_EQ(tlb.stats().invalidations, 1u);
+    tlb.invalidate(9); // not present: harmless
+}
+
+TEST(IoTlb, FlushEmptiesEverything)
+{
+    IoTlb tlb(8);
+    for (mem::Vpn v = 0; v < 8; ++v)
+        tlb.insert(v, v);
+    tlb.flush();
+    EXPECT_EQ(tlb.size(), 0u);
+}
+
+TEST(IoMmu, TranslateFaultsOnUnmapped)
+{
+    IoMmu mmu;
+    Translation t = mmu.translate(3);
+    EXPECT_FALSE(t.ok);
+    EXPECT_EQ(mmu.stats().faults, 1u);
+}
+
+TEST(IoMmu, MapThenTranslateHitsTlbSecondTime)
+{
+    IoMmu mmu;
+    mmu.map(3, 33);
+    Translation t1 = mmu.translate(3);
+    EXPECT_TRUE(t1.ok);
+    EXPECT_FALSE(t1.tlbHit) << "first translation walks the table";
+    EXPECT_EQ(t1.pfn, 33u);
+    Translation t2 = mmu.translate(3);
+    EXPECT_TRUE(t2.tlbHit);
+}
+
+TEST(IoMmu, InvalidateIsCoherent)
+{
+    IoMmu mmu;
+    mmu.map(3, 33);
+    mmu.translate(3); // cache it
+    EXPECT_TRUE(mmu.invalidate(3));
+    Translation t = mmu.translate(3);
+    EXPECT_FALSE(t.ok) << "stale IOTLB entry would be a protection bug";
+    EXPECT_FALSE(mmu.invalidate(3)) << "already unmapped";
+}
+
+TEST(IoMmu, WouldFaultIgnoresTlb)
+{
+    IoMmu mmu;
+    mmu.map(1, 11);
+    EXPECT_FALSE(mmu.wouldFault(1));
+    EXPECT_TRUE(mmu.wouldFault(2));
+}
+
+/**
+ * Property: after any random sequence of map/translate/invalidate,
+ * a translation succeeds iff the page table maps the page, and the
+ * returned frame matches the last map() — the IOTLB never serves
+ * stale entries.
+ */
+TEST(IoMmu, PropertyTlbNeverStale)
+{
+    sim::Rng rng(123);
+    IoMmu mmu(16); // small TLB to force evictions
+    std::unordered_map<mem::Vpn, mem::Pfn> model;
+    for (int step = 0; step < 20000; ++step) {
+        mem::Vpn vpn = rng.uniformInt(0, 63);
+        switch (rng.uniformInt(0, 2)) {
+          case 0: {
+            mem::Pfn pfn = rng.uniformInt(1000, 2000);
+            mmu.map(vpn, pfn);
+            model[vpn] = pfn;
+            break;
+          }
+          case 1:
+            mmu.invalidate(vpn);
+            model.erase(vpn);
+            break;
+          default: {
+            Translation t = mmu.translate(vpn);
+            auto it = model.find(vpn);
+            ASSERT_EQ(t.ok, it != model.end()) << "step " << step;
+            if (t.ok)
+                ASSERT_EQ(t.pfn, it->second) << "step " << step;
+            break;
+          }
+        }
+    }
+}

@@ -1,0 +1,208 @@
+/**
+ * @file
+ * Unit tests for the discrete-event core: queue ordering, time
+ * semantics, cancellation, statistics containers, RNG determinism.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/event_queue.hh"
+#include "sim/histogram.hh"
+#include "sim/random.hh"
+#include "sim/series.hh"
+
+using namespace npf;
+
+TEST(EventQueue, StartsAtZero)
+{
+    sim::EventQueue eq;
+    EXPECT_EQ(eq.now(), 0u);
+    EXPECT_TRUE(eq.empty());
+}
+
+TEST(EventQueue, RunsEventsInTimeOrder)
+{
+    sim::EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(30, [&] { order.push_back(3); });
+    eq.schedule(10, [&] { order.push_back(1); });
+    eq.schedule(20, [&] { order.push_back(2); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.now(), 30u);
+}
+
+TEST(EventQueue, SameTickIsFifo)
+{
+    sim::EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 10; ++i)
+        eq.schedule(5, [&order, i] { order.push_back(i); });
+    eq.run();
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, PastSchedulingClampsToNow)
+{
+    sim::EventQueue eq;
+    sim::Time seen = 12345;
+    eq.schedule(100, [&] {
+        eq.schedule(50, [&] { seen = eq.now(); });
+    });
+    eq.run();
+    EXPECT_EQ(seen, 100u);
+}
+
+TEST(EventQueue, CancelPreventsExecution)
+{
+    sim::EventQueue eq;
+    bool ran = false;
+    sim::EventId id = eq.schedule(10, [&] { ran = true; });
+    eq.cancel(id);
+    eq.run();
+    EXPECT_FALSE(ran);
+}
+
+TEST(EventQueue, CancelIsIdempotentAndSafeAfterRun)
+{
+    sim::EventQueue eq;
+    int runs = 0;
+    sim::EventId id = eq.schedule(10, [&] { ++runs; });
+    eq.run();
+    eq.cancel(id); // already ran: no-op
+    eq.cancel(id);
+    eq.schedule(20, [&] { ++runs; });
+    eq.run();
+    EXPECT_EQ(runs, 2);
+}
+
+TEST(EventQueue, RunUntilStopsAtBoundaryInclusive)
+{
+    sim::EventQueue eq;
+    int count = 0;
+    eq.schedule(10, [&] { ++count; });
+    eq.schedule(20, [&] { ++count; });
+    eq.schedule(21, [&] { ++count; });
+    eq.runUntil(20);
+    EXPECT_EQ(count, 2);
+    EXPECT_EQ(eq.now(), 20u);
+    eq.run();
+    EXPECT_EQ(count, 3);
+}
+
+TEST(EventQueue, EventsCanScheduleMoreEvents)
+{
+    sim::EventQueue eq;
+    int depth = 0;
+    std::function<void()> chain = [&] {
+        if (++depth < 100)
+            eq.scheduleAfter(1, chain);
+    };
+    eq.scheduleAfter(1, chain);
+    eq.run();
+    EXPECT_EQ(depth, 100);
+    EXPECT_EQ(eq.now(), 100u);
+}
+
+TEST(EventQueue, RunUntilConditionStopsEarly)
+{
+    sim::EventQueue eq;
+    int count = 0;
+    for (int i = 1; i <= 10; ++i)
+        eq.schedule(sim::Time(i), [&] { ++count; });
+    bool ok = eq.runUntilCondition([&] { return count == 4; },
+                                   1000);
+    EXPECT_TRUE(ok);
+    EXPECT_EQ(count, 4);
+    EXPECT_EQ(eq.now(), 4u);
+}
+
+TEST(Time, Conversions)
+{
+    EXPECT_EQ(sim::fromMicroseconds(1.0), sim::kMicrosecond);
+    EXPECT_EQ(sim::fromSeconds(1.0), sim::kSecond);
+    EXPECT_DOUBLE_EQ(sim::toSeconds(sim::kSecond), 1.0);
+    EXPECT_DOUBLE_EQ(sim::toMicroseconds(1500), 1.5);
+}
+
+TEST(Histogram, PercentilesNearestRank)
+{
+    sim::Histogram h;
+    for (int i = 1; i <= 100; ++i)
+        h.record(i);
+    EXPECT_DOUBLE_EQ(h.percentile(50), 50.0);
+    EXPECT_DOUBLE_EQ(h.percentile(95), 95.0);
+    EXPECT_DOUBLE_EQ(h.percentile(99), 99.0);
+    EXPECT_DOUBLE_EQ(h.max(), 100.0);
+    EXPECT_DOUBLE_EQ(h.min(), 1.0);
+    EXPECT_DOUBLE_EQ(h.mean(), 50.5);
+}
+
+TEST(Histogram, EmptyIsSafe)
+{
+    sim::Histogram h;
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_DOUBLE_EQ(h.percentile(50), 0.0);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(h.stddev(), 0.0);
+}
+
+TEST(Histogram, RecordAfterQueryStaysSorted)
+{
+    sim::Histogram h;
+    h.record(5);
+    EXPECT_DOUBLE_EQ(h.max(), 5.0);
+    h.record(1);
+    h.record(9);
+    EXPECT_DOUBLE_EQ(h.max(), 9.0);
+    EXPECT_DOUBLE_EQ(h.min(), 1.0);
+}
+
+TEST(RateSeries, BucketsAndRates)
+{
+    sim::RateSeries s(sim::kSecond);
+    s.record(0);
+    s.record(sim::kSecond / 2);
+    s.record(3 * sim::kSecond + 1);
+    EXPECT_EQ(s.buckets(), 4u);
+    EXPECT_DOUBLE_EQ(s.rate(0), 2.0);
+    EXPECT_DOUBLE_EQ(s.rate(1), 0.0);
+    EXPECT_DOUBLE_EQ(s.rate(3), 1.0);
+    EXPECT_DOUBLE_EQ(s.total(), 3.0);
+}
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    sim::Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_DOUBLE_EQ(a.uniform01(), b.uniform01());
+}
+
+TEST(Rng, BernoulliEdges)
+{
+    sim::Rng r(1);
+    for (int i = 0; i < 10; ++i) {
+        EXPECT_FALSE(r.bernoulli(0.0));
+        EXPECT_TRUE(r.bernoulli(1.0));
+    }
+}
+
+TEST(Rng, UniformIntBounds)
+{
+    sim::Rng r(7);
+    for (int i = 0; i < 1000; ++i) {
+        auto v = r.uniformInt(3, 9);
+        EXPECT_GE(v, 3u);
+        EXPECT_LE(v, 9u);
+    }
+}
+
+TEST(Rng, LognormalJitterMedianNearOne)
+{
+    sim::Rng r(11);
+    double sum_log = 0;
+    for (int i = 0; i < 20000; ++i)
+        sum_log += std::log(r.lognormalJitter(0.1));
+    EXPECT_NEAR(sum_log / 20000, 0.0, 0.01);
+}

@@ -1,0 +1,201 @@
+/**
+ * @file
+ * TCP edge cases: record bookkeeping across retransmissions and
+ * source buffers, window clamps, duplicate handshakes, and message
+ * framing corner cases.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "sim/random.hh"
+#include "tcp/endpoint.hh"
+#include "tcp/tcp_connection.hh"
+
+using namespace npf;
+using namespace npf::tcp;
+
+namespace {
+
+/** Minimal lossless pipe. */
+struct Pipe
+{
+    sim::EventQueue eq;
+    std::unique_ptr<TcpConnection> a, b;
+    std::vector<mem::VirtAddr> srcLog; ///< DMA sources seen on the wire
+
+    explicit Pipe(TcpConfig cfg = {})
+    {
+        a = std::make_unique<TcpConnection>(
+            eq, 1,
+            [this](const Segment &s, mem::VirtAddr src) {
+                if (s.len > 0)
+                    srcLog.push_back(src);
+                eq.scheduleAfter(30 * sim::kMicrosecond,
+                                 [this, s] { b->receiveSegment(s); });
+            },
+            cfg);
+        b = std::make_unique<TcpConnection>(
+            eq, 1,
+            [this](const Segment &s, mem::VirtAddr) {
+                eq.scheduleAfter(30 * sim::kMicrosecond,
+                                 [this, s] { a->receiveSegment(s); });
+            },
+            cfg);
+        b->listen();
+        bool done = false;
+        a->connect([&](bool) { done = true; });
+        eq.runUntilCondition([&] { return done; }, 30 * sim::kSecond);
+    }
+};
+
+} // namespace
+
+TEST(TcpEdge, ZeroByteSendIsIgnored)
+{
+    Pipe p;
+    p.a->send(0);
+    p.eq.run();
+    EXPECT_EQ(p.a->stats().bytesSent, 0u);
+}
+
+TEST(TcpEdge, SourceAddressesFollowTheByteStream)
+{
+    Pipe p;
+    std::uint64_t delivered = 0;
+    p.b->onDeliver([&](std::size_t n) { delivered += n; });
+    // Two app buffers at distinct addresses.
+    p.a->send(3000, 0x100000);
+    p.a->send(2000, 0x800000);
+    p.eq.runUntilCondition([&] { return delivered == 5000; },
+                           p.eq.now() + 10 * sim::kSecond);
+    ASSERT_GE(p.srcLog.size(), 4u);
+    // Segment sources must fall inside the right buffer for their
+    // position in the stream.
+    EXPECT_EQ(p.srcLog[0], 0x100000u);
+    bool saw_second = false;
+    for (mem::VirtAddr s : p.srcLog) {
+        if (s >= 0x800000)
+            saw_second = true;
+        EXPECT_TRUE((s >= 0x100000 && s < 0x100000 + 3000) ||
+                    (s >= 0x800000 && s < 0x800000 + 2000))
+            << std::hex << s;
+    }
+    EXPECT_TRUE(saw_second);
+}
+
+TEST(TcpEdge, ContiguousSameBufferSendsCoalesce)
+{
+    Pipe p;
+    std::uint64_t delivered = 0;
+    p.b->onDeliver([&](std::size_t n) { delivered += n; });
+    // Back-to-back sends from adjacent addresses of one buffer.
+    p.a->send(1000, 0x100000);
+    p.a->send(1000, 0x100000 + 1000);
+    p.a->send(1000, 0x100000 + 2000);
+    p.eq.runUntilCondition([&] { return delivered == 3000; },
+                           10 * sim::kSecond);
+    EXPECT_EQ(delivered, 3000u);
+}
+
+TEST(TcpEdge, WindowClampBoundsInFlightBytes)
+{
+    TcpConfig cfg;
+    cfg.maxWindowBytes = 8 * 1448;
+    Pipe p(cfg);
+    // Track in-flight at every wire event.
+    std::size_t max_inflight = 0;
+    std::uint64_t delivered = 0;
+    p.b->onDeliver([&](std::size_t n) { delivered += n; });
+    p.a->send(1 << 20);
+    while (p.eq.step()) {
+        max_inflight = std::max(max_inflight, p.a->bytesInFlight());
+        if (delivered == (1u << 20))
+            break;
+    }
+    EXPECT_LE(max_inflight, cfg.maxWindowBytes + 1448);
+}
+
+TEST(TcpEdge, DuplicateSynAckIsHarmless)
+{
+    Pipe p;
+    // Re-inject a SYN: the passive side re-sends SYN-ACK; the active
+    // side re-acks; nothing breaks.
+    Segment syn;
+    syn.connId = 1;
+    syn.syn = true;
+    p.b->receiveSegment(syn);
+    std::uint64_t delivered = 0;
+    p.b->onDeliver([&](std::size_t n) { delivered += n; });
+    p.a->send(10000);
+    p.eq.runUntilCondition([&] { return delivered == 10000; },
+                           p.eq.now() + 10 * sim::kSecond);
+    EXPECT_EQ(delivered, 10000u);
+    EXPECT_TRUE(p.a->established());
+}
+
+TEST(TcpEdge, MessageStreamInterleavedDirections)
+{
+    Pipe p;
+    MessageStream req(*p.a, *p.b);
+    MessageStream rsp(*p.b, *p.a);
+    int got_req = 0, got_rsp = 0;
+    req.onMessage([&](std::uint64_t cookie, std::size_t) {
+        ++got_req;
+        rsp.sendMessage(200, 0, cookie);
+    });
+    rsp.onMessage([&](std::uint64_t, std::size_t) { ++got_rsp; });
+    for (int i = 0; i < 50; ++i)
+        req.sendMessage(100, 0, i);
+    p.eq.runUntilCondition([&] { return got_rsp == 50; },
+                           p.eq.now() + 30 * sim::kSecond);
+    EXPECT_EQ(got_req, 50);
+    EXPECT_EQ(got_rsp, 50);
+    EXPECT_EQ(req.messagesPending(), 0u);
+    EXPECT_EQ(rsp.messagesPending(), 0u);
+}
+
+TEST(TcpEdge, TinyAndHugeMessagesFrameCorrectly)
+{
+    Pipe p;
+    MessageStream stream(*p.a, *p.b);
+    std::vector<std::size_t> lens;
+    stream.onMessage([&](std::uint64_t, std::size_t len) {
+        lens.push_back(len);
+    });
+    stream.sendMessage(1);
+    stream.sendMessage(1448);      // exactly one MSS
+    stream.sendMessage(1449);      // one byte over
+    stream.sendMessage(512 * 1024);
+    stream.sendMessage(1);
+    p.eq.runUntilCondition([&] { return lens.size() == 5; },
+                           p.eq.now() + 60 * sim::kSecond);
+    ASSERT_EQ(lens.size(), 5u);
+    EXPECT_EQ(lens[0], 1u);
+    EXPECT_EQ(lens[1], 1448u);
+    EXPECT_EQ(lens[2], 1449u);
+    EXPECT_EQ(lens[3], 512u * 1024);
+    EXPECT_EQ(lens[4], 1u);
+}
+
+TEST(TcpEdge, FailureHandlerFiresExactlyOnce)
+{
+    // A connection whose segments go nowhere: SYN retries exhaust
+    // and the failure handler fires once, not once per retry.
+    sim::EventQueue eq;
+    TcpConnection lone(eq, 7,
+                       [](const Segment &, mem::VirtAddr) { /* void */ });
+    int failures = 0;
+    lone.onFailure([&] { ++failures; });
+    bool connected = true;
+    lone.connect([&](bool ok) { connected = ok; });
+    eq.run();
+    EXPECT_FALSE(connected);
+    EXPECT_TRUE(lone.failed());
+    EXPECT_EQ(failures, 1);
+    // Sending on a failed connection is a no-op, not a crash.
+    lone.send(1000);
+    eq.run();
+    EXPECT_EQ(lone.stats().bytesSent, 0u);
+}

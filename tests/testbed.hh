@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Shared fixtures: a two-host Ethernet testbed (client with a
+ * standard pinned stack, server with a direct channel under a
+ * selectable fault policy), mirroring the paper's §6 Ethernet setup.
+ */
+
+#ifndef NPF_TESTS_TESTBED_HH
+#define NPF_TESTS_TESTBED_HH
+
+#include <memory>
+
+#include "core/npf_controller.hh"
+#include "eth/eth_nic.hh"
+#include "mem/memory_manager.hh"
+#include "sim/event_queue.hh"
+#include "tcp/endpoint.hh"
+
+namespace npf::test {
+
+/** Two back-to-back hosts connected by Ethernet NICs. */
+struct EthTestbed
+{
+    sim::EventQueue eq;
+    std::unique_ptr<mem::MemoryManager> serverMm;
+    std::unique_ptr<mem::MemoryManager> clientMm;
+    mem::AddressSpace *serverAs = nullptr;
+    mem::AddressSpace *clientAs = nullptr;
+    std::unique_ptr<core::NpfController> serverNpfc;
+    std::unique_ptr<core::NpfController> clientNpfc;
+    std::unique_ptr<eth::EthNic> serverNic;
+    std::unique_ptr<eth::EthNic> clientNic;
+    std::unique_ptr<tcp::Endpoint> server;
+    std::unique_ptr<tcp::Endpoint> client;
+
+    /**
+     * @param policy server-side receive fault policy.
+     * @param ring_size server receive-ring entries.
+     * @param server_mem_bytes server host physical memory.
+     * @param link_bw link speed in bits/second (the paper's §5
+     *   prototype models a 12 Gb/s NIC).
+     */
+    explicit EthTestbed(eth::RxFaultPolicy policy,
+                        std::size_t ring_size = 64,
+                        std::size_t server_mem_bytes = 1ull << 30,
+                        double link_bw = 12e9)
+    {
+        serverMm = std::make_unique<mem::MemoryManager>(server_mem_bytes);
+        clientMm = std::make_unique<mem::MemoryManager>(1ull << 30);
+        serverAs = &serverMm->createAddressSpace("server");
+        clientAs = &clientMm->createAddressSpace("client");
+        serverNpfc = std::make_unique<core::NpfController>(eq);
+        clientNpfc = std::make_unique<core::NpfController>(eq);
+        auto server_ch = serverNpfc->attach(*serverAs);
+        auto client_ch = clientNpfc->attach(*clientAs);
+
+        serverNic = std::make_unique<eth::EthNic>(eq, *serverNpfc);
+        clientNic = std::make_unique<eth::EthNic>(eq, *clientNpfc);
+        net::LinkConfig link;
+        link.bandwidthBitsPerSec = link_bw;
+        link.propagation = 1000; // 1 us back-to-back
+        serverNic->connectTo(*clientNic, link);
+        clientNic->connectTo(*serverNic, link);
+
+        eth::RxRingConfig srv_ring;
+        srv_ring.size = ring_size;
+        srv_ring.bmSize = std::min<std::size_t>(64, ring_size);
+        srv_ring.policy = policy;
+
+        eth::RxRingConfig cli_ring;
+        cli_ring.size = 512;
+        cli_ring.policy = eth::RxFaultPolicy::Pin;
+
+        tcp::EndpointConfig srv_cfg;
+        srv_cfg.pinRxBuffers = policy == eth::RxFaultPolicy::Pin;
+        tcp::EndpointConfig cli_cfg;
+        cli_cfg.pinRxBuffers = true;
+        // lwIP-era stacks run small windows; also keeps TCP itself
+        // from overrunning a 64-entry ring (which would conflate
+        // ring overflow with rNPF loss).
+        srv_cfg.tcp.maxWindowBytes = 64 * 1024;
+        cli_cfg.tcp.maxWindowBytes = 64 * 1024;
+
+        // Ring 0 on each NIC; each endpoint addresses the peer's 0.
+        server = std::make_unique<tcp::Endpoint>(
+            eq, *serverNic, *serverAs, server_ch, srv_ring, 0, srv_cfg);
+        client = std::make_unique<tcp::Endpoint>(
+            eq, *clientNic, *clientAs, client_ch, cli_ring, 0, cli_cfg);
+    }
+
+    /** Establish connection @p id (client actively opens). */
+    bool
+    connect(std::uint32_t id, sim::Time deadline = 120 * sim::kSecond)
+    {
+        tcp::TcpConnection &srv = server->connection(id);
+        tcp::TcpConnection &cli = client->connection(id);
+        srv.listen();
+        bool done = false, ok = false;
+        cli.connect([&](bool success) {
+            done = true;
+            ok = success;
+        });
+        eq.runUntilCondition([&] { return done; }, eq.now() + deadline);
+        return ok && cli.established();
+    }
+};
+
+} // namespace npf::test
+
+#endif // NPF_TESTS_TESTBED_HH
