@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_backup_ring.dir/abl_backup_ring.cc.o"
+  "CMakeFiles/abl_backup_ring.dir/abl_backup_ring.cc.o.d"
+  "abl_backup_ring"
+  "abl_backup_ring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_backup_ring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_pindown_cache.dir/abl_pindown_cache.cc.o"
+  "CMakeFiles/abl_pindown_cache.dir/abl_pindown_cache.cc.o.d"
+  "abl_pindown_cache"
+  "abl_pindown_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_pindown_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

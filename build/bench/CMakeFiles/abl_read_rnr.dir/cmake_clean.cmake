@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_read_rnr.dir/abl_read_rnr.cc.o"
+  "CMakeFiles/abl_read_rnr.dir/abl_read_rnr.cc.o.d"
+  "abl_read_rnr"
+  "abl_read_rnr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_read_rnr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

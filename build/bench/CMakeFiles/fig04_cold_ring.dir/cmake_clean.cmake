@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_cold_ring.dir/fig04_cold_ring.cc.o"
+  "CMakeFiles/fig04_cold_ring.dir/fig04_cold_ring.cc.o.d"
+  "fig04_cold_ring"
+  "fig04_cold_ring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_cold_ring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

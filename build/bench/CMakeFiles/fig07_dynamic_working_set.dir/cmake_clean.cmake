@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_dynamic_working_set.dir/fig07_dynamic_working_set.cc.o"
+  "CMakeFiles/fig07_dynamic_working_set.dir/fig07_dynamic_working_set.cc.o.d"
+  "fig07_dynamic_working_set"
+  "fig07_dynamic_working_set.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_dynamic_working_set.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_storage.dir/fig08_storage.cc.o"
+  "CMakeFiles/fig08_storage.dir/fig08_storage.cc.o.d"
+  "fig08_storage"
+  "fig08_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_imb.dir/fig09_imb.cc.o"
+  "CMakeFiles/fig09_imb.dir/fig09_imb.cc.o.d"
+  "fig09_imb"
+  "fig09_imb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_imb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

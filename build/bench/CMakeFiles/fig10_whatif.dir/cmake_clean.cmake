@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_whatif.dir/fig10_whatif.cc.o"
+  "CMakeFiles/fig10_whatif.dir/fig10_whatif.cc.o.d"
+  "fig10_whatif"
+  "fig10_whatif.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_whatif.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab04_npf_tail_latency.dir/tab04_npf_tail_latency.cc.o"
+  "CMakeFiles/tab04_npf_tail_latency.dir/tab04_npf_tail_latency.cc.o.d"
+  "tab04_npf_tail_latency"
+  "tab04_npf_tail_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab04_npf_tail_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab05_memcached_overcommit.dir/tab05_memcached_overcommit.cc.o"
+  "CMakeFiles/tab05_memcached_overcommit.dir/tab05_memcached_overcommit.cc.o.d"
+  "tab05_memcached_overcommit"
+  "tab05_memcached_overcommit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab05_memcached_overcommit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab06_beff.dir/tab06_beff.cc.o"
+  "CMakeFiles/tab06_beff.dir/tab06_beff.cc.o.d"
+  "tab06_beff"
+  "tab06_beff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab06_beff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpc_collectives.dir/hpc_collectives.cpp.o"
+  "CMakeFiles/hpc_collectives.dir/hpc_collectives.cpp.o.d"
+  "hpc_collectives"
+  "hpc_collectives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpc_collectives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memcached_cold_start.dir/memcached_cold_start.cpp.o"
+  "CMakeFiles/memcached_cold_start.dir/memcached_cold_start.cpp.o.d"
+  "memcached_cold_start"
+  "memcached_cold_start.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memcached_cold_start.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/npf_app.dir/kv_store.cc.o"
+  "CMakeFiles/npf_app.dir/kv_store.cc.o.d"
+  "CMakeFiles/npf_app.dir/memcached.cc.o"
+  "CMakeFiles/npf_app.dir/memcached.cc.o.d"
+  "CMakeFiles/npf_app.dir/storage.cc.o"
+  "CMakeFiles/npf_app.dir/storage.cc.o.d"
+  "libnpf_app.a"
+  "libnpf_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/npf_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

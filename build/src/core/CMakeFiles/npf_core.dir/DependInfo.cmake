@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/npf_controller.cc" "src/core/CMakeFiles/npf_core.dir/npf_controller.cc.o" "gcc" "src/core/CMakeFiles/npf_core.dir/npf_controller.cc.o.d"
+  "/root/repo/src/core/pinning.cc" "src/core/CMakeFiles/npf_core.dir/pinning.cc.o" "gcc" "src/core/CMakeFiles/npf_core.dir/pinning.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/npf_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/npf_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/npf_core.dir/npf_controller.cc.o"
+  "CMakeFiles/npf_core.dir/npf_controller.cc.o.d"
+  "CMakeFiles/npf_core.dir/pinning.cc.o"
+  "CMakeFiles/npf_core.dir/pinning.cc.o.d"
+  "libnpf_core.a"
+  "libnpf_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/npf_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eth/backup_ring.cc" "src/eth/CMakeFiles/npf_eth.dir/backup_ring.cc.o" "gcc" "src/eth/CMakeFiles/npf_eth.dir/backup_ring.cc.o.d"
+  "/root/repo/src/eth/eth_nic.cc" "src/eth/CMakeFiles/npf_eth.dir/eth_nic.cc.o" "gcc" "src/eth/CMakeFiles/npf_eth.dir/eth_nic.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/npf_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/npf_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/npf_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/npf_eth.dir/backup_ring.cc.o"
+  "CMakeFiles/npf_eth.dir/backup_ring.cc.o.d"
+  "CMakeFiles/npf_eth.dir/eth_nic.cc.o"
+  "CMakeFiles/npf_eth.dir/eth_nic.cc.o.d"
+  "libnpf_eth.a"
+  "libnpf_eth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/npf_eth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for npf_eth.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/npf_hpc.dir/cluster.cc.o"
+  "CMakeFiles/npf_hpc.dir/cluster.cc.o.d"
+  "CMakeFiles/npf_hpc.dir/collectives.cc.o"
+  "CMakeFiles/npf_hpc.dir/collectives.cc.o.d"
+  "CMakeFiles/npf_hpc.dir/imb.cc.o"
+  "CMakeFiles/npf_hpc.dir/imb.cc.o.d"
+  "libnpf_hpc.a"
+  "libnpf_hpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/npf_hpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

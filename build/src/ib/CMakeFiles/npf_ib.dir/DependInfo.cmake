@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ib/queue_pair.cc" "src/ib/CMakeFiles/npf_ib.dir/queue_pair.cc.o" "gcc" "src/ib/CMakeFiles/npf_ib.dir/queue_pair.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/npf_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/npf_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/npf_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/npf_ib.dir/queue_pair.cc.o"
+  "CMakeFiles/npf_ib.dir/queue_pair.cc.o.d"
+  "libnpf_ib.a"
+  "libnpf_ib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/npf_ib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libnpf_ib.a"
+)

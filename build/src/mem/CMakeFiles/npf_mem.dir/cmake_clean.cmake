@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/npf_mem.dir/address_space.cc.o"
+  "CMakeFiles/npf_mem.dir/address_space.cc.o.d"
+  "CMakeFiles/npf_mem.dir/memory_manager.cc.o"
+  "CMakeFiles/npf_mem.dir/memory_manager.cc.o.d"
+  "CMakeFiles/npf_mem.dir/page_cache.cc.o"
+  "CMakeFiles/npf_mem.dir/page_cache.cc.o.d"
+  "CMakeFiles/npf_mem.dir/physical_memory.cc.o"
+  "CMakeFiles/npf_mem.dir/physical_memory.cc.o.d"
+  "libnpf_mem.a"
+  "libnpf_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/npf_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/npf_sim.dir/log.cc.o"
+  "CMakeFiles/npf_sim.dir/log.cc.o.d"
+  "libnpf_sim.a"
+  "libnpf_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/npf_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tcp/endpoint.cc" "src/tcp/CMakeFiles/npf_tcp.dir/endpoint.cc.o" "gcc" "src/tcp/CMakeFiles/npf_tcp.dir/endpoint.cc.o.d"
+  "/root/repo/src/tcp/tcp_connection.cc" "src/tcp/CMakeFiles/npf_tcp.dir/tcp_connection.cc.o" "gcc" "src/tcp/CMakeFiles/npf_tcp.dir/tcp_connection.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/eth/CMakeFiles/npf_eth.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/npf_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/npf_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/npf_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/npf_tcp.dir/endpoint.cc.o"
+  "CMakeFiles/npf_tcp.dir/endpoint.cc.o.d"
+  "CMakeFiles/npf_tcp.dir/tcp_connection.cc.o"
+  "CMakeFiles/npf_tcp.dir/tcp_connection.cc.o.d"
+  "libnpf_tcp.a"
+  "libnpf_tcp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/npf_tcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/app_edge_test.dir/app_edge_test.cc.o"
+  "CMakeFiles/app_edge_test.dir/app_edge_test.cc.o.d"
+  "app_edge_test"
+  "app_edge_test.pdb"
+  "app_edge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/app_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

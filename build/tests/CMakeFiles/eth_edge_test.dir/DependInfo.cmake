@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/eth_edge_test.cc" "tests/CMakeFiles/eth_edge_test.dir/eth_edge_test.cc.o" "gcc" "tests/CMakeFiles/eth_edge_test.dir/eth_edge_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hpc/CMakeFiles/npf_hpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/app/CMakeFiles/npf_app.dir/DependInfo.cmake"
+  "/root/repo/build/src/tcp/CMakeFiles/npf_tcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/eth/CMakeFiles/npf_eth.dir/DependInfo.cmake"
+  "/root/repo/build/src/ib/CMakeFiles/npf_ib.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/npf_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/npf_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/npf_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

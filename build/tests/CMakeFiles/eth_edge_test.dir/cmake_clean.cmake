@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eth_edge_test.dir/eth_edge_test.cc.o"
+  "CMakeFiles/eth_edge_test.dir/eth_edge_test.cc.o.d"
+  "eth_edge_test"
+  "eth_edge_test.pdb"
+  "eth_edge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eth_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eth_test.dir/eth_test.cc.o"
+  "CMakeFiles/eth_test.dir/eth_test.cc.o.d"
+  "eth_test"
+  "eth_test.pdb"
+  "eth_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eth_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

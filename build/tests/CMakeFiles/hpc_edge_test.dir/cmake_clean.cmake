@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpc_edge_test.dir/hpc_edge_test.cc.o"
+  "CMakeFiles/hpc_edge_test.dir/hpc_edge_test.cc.o.d"
+  "hpc_edge_test"
+  "hpc_edge_test.pdb"
+  "hpc_edge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpc_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

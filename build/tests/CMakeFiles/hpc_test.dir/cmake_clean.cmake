@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpc_test.dir/hpc_test.cc.o"
+  "CMakeFiles/hpc_test.dir/hpc_test.cc.o.d"
+  "hpc_test"
+  "hpc_test.pdb"
+  "hpc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ib_edge_test.dir/ib_edge_test.cc.o"
+  "CMakeFiles/ib_edge_test.dir/ib_edge_test.cc.o.d"
+  "ib_edge_test"
+  "ib_edge_test.pdb"
+  "ib_edge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ib_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcp_edge_test.dir/tcp_edge_test.cc.o"
+  "CMakeFiles/tcp_edge_test.dir/tcp_edge_test.cc.o.d"
+  "tcp_edge_test"
+  "tcp_edge_test.pdb"
+  "tcp_edge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcp_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
