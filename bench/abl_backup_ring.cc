@@ -58,8 +58,9 @@ struct Rig
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    ObsArgs obs_args = parseObsArgs(argc, argv);
     header("Ablation: backup-ring pending window (bm_size) vs loss "
            "under a bursty faulting stream");
     constexpr std::uint64_t kFrames = 2000;
@@ -71,6 +72,7 @@ main()
         "parked");
     for (std::size_t bm : {1, 4, 16, 64, 256}) {
         Rig rig(bm, kFaultProb);
+        auto obs = openObsSession(obs_args, rig.eq);
         for (std::uint64_t i = 0; i < kFrames; ++i) {
             rig.eq.schedule(i * 20 * sim::kMicrosecond, [&rig] {
                 eth::Frame f;

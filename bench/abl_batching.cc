@@ -14,8 +14,9 @@ using namespace npf;
 using namespace npf::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    ObsArgs obs_args = parseObsArgs(argc, argv);
     header("Ablation: batched pre-faulting vs one-page-per-PRI-event");
     row("%-10s %16s %18s %8s", "msg", "batched[ms]", "one-page[ms]",
         "ratio");
@@ -25,6 +26,7 @@ main()
         int i = 0;
         for (bool batched : {true, false}) {
             sim::EventQueue eq;
+            auto obs = openObsSession(obs_args, eq);
             mem::MemoryManager mm(1ull << 30);
             auto &as = mm.createAddressSpace("iouser");
             core::OdpConfig cfg;

@@ -17,8 +17,9 @@ using namespace npf;
 using namespace npf::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    ObsArgs obs_args = parseObsArgs(argc, argv);
     constexpr std::size_t kMiB = 1ull << 20;
     constexpr unsigned kBuffers = 32;     // 32 x 1 MB working set
     constexpr unsigned kAccesses = 2000;
@@ -30,6 +31,7 @@ main()
 
     for (std::size_t cap_mb : {2, 8, 16, 24, 32, 64, 0}) {
         sim::EventQueue eq;
+        auto obs = openObsSession(obs_args, eq);
         mem::MemoryManager mm(1ull << 30);
         auto &as = mm.createAddressSpace("iouser");
         core::NpfController npfc(eq);

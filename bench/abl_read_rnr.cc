@@ -29,9 +29,11 @@ struct Result
 };
 
 Result
-runReads(bool extension, std::size_t read_bytes, unsigned reads)
+runReads(bool extension, std::size_t read_bytes, unsigned reads,
+         const ObsArgs &obs_args)
 {
     sim::EventQueue eq;
+    auto obs = openObsSession(obs_args, eq);
     net::Fabric fabric(eq, 2,
                        net::FabricConfig{net::LinkConfig{56e9, 300, 32},
                                          200});
@@ -85,8 +87,9 @@ runReads(bool extension, std::size_t read_bytes, unsigned reads)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    ObsArgs obs_args = parseObsArgs(argc, argv);
     constexpr unsigned kReads = 50;
     header("Ablation: RDMA-read rNPF recovery — standard RC rewind "
            "vs the paper's proposed read-RNR extension");
@@ -94,8 +97,8 @@ main()
     row("%10s %14s %14s | %14s %14s", "size", "std[ms]",
         "dropped pkts", "ext[ms]", "dropped pkts");
     for (std::size_t kb : {64, 256, 1024}) {
-        Result std_rc = runReads(false, kb * 1024, kReads);
-        Result ext_rc = runReads(true, kb * 1024, kReads);
+        Result std_rc = runReads(false, kb * 1024, kReads, obs_args);
+        Result ext_rc = runReads(true, kb * 1024, kReads, obs_args);
         row("%8zuKB %14.2f %14llu | %14.2f %14llu", kb, std_rc.ms,
             static_cast<unsigned long long>(std_rc.dropped), ext_rc.ms,
             static_cast<unsigned long long>(ext_rc.dropped));

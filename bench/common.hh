@@ -11,6 +11,8 @@
 
 #include <cstdarg>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <memory>
 #include <string>
 #include <vector>
@@ -19,6 +21,7 @@
 #include "core/npf_controller.hh"
 #include "eth/eth_nic.hh"
 #include "mem/memory_manager.hh"
+#include "obs/session.hh"
 #include "tcp/endpoint.hh"
 
 namespace npf::bench {
@@ -38,6 +41,63 @@ row(const char *fmt, ...)
     va_end(ap);
     std::fputc('\n', stdout);
     std::fflush(stdout);
+}
+
+/**
+ * Observability flags shared by all benches:
+ *
+ *   --trace[=FILE]      record a Chrome trace (default trace.json)
+ *   --metrics-out=FILE  write the metrics snapshot JSON on exit
+ *   --sample-us=N       sample counter rates every N microseconds
+ *
+ * Unrecognized arguments are ignored so benches can add their own.
+ */
+struct ObsArgs
+{
+    bool trace = false;
+    std::string traceOut = "trace.json";
+    std::string metricsOut;
+    sim::Time sampleInterval = 0;
+};
+
+inline ObsArgs
+parseObsArgs(int argc, char **argv)
+{
+    ObsArgs a;
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (std::strcmp(arg, "--trace") == 0) {
+            a.trace = true;
+        } else if (std::strncmp(arg, "--trace=", 8) == 0) {
+            a.trace = true;
+            a.traceOut = arg + 8;
+        } else if (std::strncmp(arg, "--metrics-out=", 14) == 0) {
+            a.metricsOut = arg + 14;
+        } else if (std::strncmp(arg, "--sample-us=", 12) == 0) {
+            a.sampleInterval =
+                sim::fromMicroseconds(std::strtoull(arg + 12, nullptr, 10));
+        }
+    }
+    return a;
+}
+
+/**
+ * One-line observability setup: returns an active obs::Session when
+ * any obs flag was given, nullptr otherwise (zero overhead). Keep the
+ * returned pointer alive for the run; outputs are written when it is
+ * destroyed.
+ */
+inline std::unique_ptr<obs::Session>
+openObsSession(const ObsArgs &a, sim::EventQueue &eq)
+{
+    if (!a.trace && a.metricsOut.empty() && a.sampleInterval == 0)
+        return nullptr;
+    obs::SessionOptions opt;
+    opt.trace = a.trace;
+    opt.traceOut = a.traceOut;
+    opt.metricsOut = a.metricsOut;
+    opt.sampleInterval = a.sampleInterval;
+    return std::make_unique<obs::Session>(eq, opt);
 }
 
 /** Ethernet testbed: one server host (direct channel, selectable

@@ -35,13 +35,15 @@ struct Avg
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    ObsArgs obs_args = parseObsArgs(argc, argv);
     sim::EventQueue eq;
     mem::MemoryManager mm(8ull << 30);
     mem::AddressSpace &as = mm.createAddressSpace("iouser");
     core::NpfController npfc(eq);
     core::ChannelId ch = npfc.attach(as);
+    auto obs = openObsSession(obs_args, eq);
 
     constexpr int kIters = 1000;
 

@@ -56,8 +56,9 @@ struct Workload
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    ObsArgs obs_args = parseObsArgs(argc, argv);
     // ---- (a) startup throughput vs time, ring = 64 ------------------
     header("Figure 4(a): startup throughput [KTPS] vs time, ring=64");
     constexpr int kSeconds = 45;
@@ -66,6 +67,7 @@ main()
          {eth::RxFaultPolicy::Drop, eth::RxFaultPolicy::BackupRing,
           eth::RxFaultPolicy::Pin}) {
         Workload w(policy, 64);
+        auto obs = openObsSession(obs_args, w.bed.eq);
         sim::RateSeries tps(sim::kSecond);
         w.slap->recordInto(&tps, nullptr);
         w.slap->start();

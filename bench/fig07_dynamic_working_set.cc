@@ -83,8 +83,9 @@ struct Instance
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    ObsArgs obs_args = parseObsArgs(argc, argv);
     constexpr int kSwitchAt = 50;
     constexpr int kDuration = 120;
 
@@ -98,6 +99,8 @@ main()
         mem::MemoryManager hostMm(8ull << 30);
         Instance a(pinned, 0, host, hostMm); // starts small (100 MB)
         Instance b(pinned, 1, host, hostMm); // starts big (900 MB)
+        // Two queues; the session samples/traces instance A's.
+        auto obs = openObsSession(obs_args, a.bed->eq);
 
         // The two instances have separate event queues but share the
         // host's physical memory: advance them in fine lockstep so

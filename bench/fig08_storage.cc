@@ -119,8 +119,9 @@ struct StorageBed
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    ObsArgs obs_args = parseObsArgs(argc, argv);
     header("Figure 8(a): read bandwidth [GB/s] vs host memory, "
            "512KB random reads of a 4GB LUN");
     row("%10s %10s %10s %8s", "memory[GB]", "npf", "pin", "npf/pin");
@@ -130,6 +131,7 @@ main()
         int i = 0;
         for (bool pinned : {false, true}) {
             StorageBed bed(gb * kGiB, pinned, 1, 512 * 1024, 16);
+            auto obs = openObsSession(obs_args, bed.eq);
             if (bed.tgt->ok()) {
                 ran[i] = true;
                 bed.prewarmCache();
@@ -163,6 +165,7 @@ main()
               std::pair{false, std::size_t(512 * 1024)},
               std::pair{true, std::size_t(512 * 1024)}}) {
             StorageBed bed(6 * kGiB, pinned, sessions, block, 4);
+            auto obs = openObsSession(obs_args, bed.eq);
             if (!bed.tgt->ok()) {
                 r[i++] = -1;
                 continue;

@@ -15,8 +15,9 @@ using namespace npf::bench;
 using namespace npf::hpc;
 
 int
-main()
+main(int argc, char **argv)
 {
+    ObsArgs obs_args = parseObsArgs(argc, argv);
     const std::vector<std::size_t> sizes = {16 * 1024, 32 * 1024,
                                             64 * 1024, 128 * 1024};
     const std::vector<ImbBenchmark> benches = {ImbBenchmark::Sendrecv,
@@ -37,6 +38,7 @@ main()
             for (RegMode mode : {RegMode::Copy, RegMode::PinDownCache,
                                  RegMode::Npf}) {
                 sim::EventQueue eq;
+                auto obs = openObsSession(obs_args, eq);
                 Cluster cluster(eq, cfg, mode);
                 secs[i++] = runImb(cluster, bench, size, iters);
                 eq.run(); // drain before teardown

@@ -28,7 +28,8 @@ constexpr std::size_t kMsg = 64 * 1024;
 
 /** TCP stream throughput in Gb/s at one injection setting. */
 double
-ethStream(eth::RxFaultPolicy policy, double prob, bool major)
+ethStream(eth::RxFaultPolicy policy, double prob, bool major,
+          const ObsArgs &obs_args)
 {
     EthBed::Options o;
     o.policy = policy;
@@ -41,6 +42,7 @@ ethStream(eth::RxFaultPolicy policy, double prob, bool major)
     o.serverSwap.seek = sim::kMillisecond;
     o.serverSwap.bandwidthBytesPerSec = 150e6;
     EthBed bed(o);
+    auto obs = openObsSession(obs_args, bed.eq);
     if (!bed.connect(1))
         return 0.0;
     auto &cli = bed.client->connection(1);
@@ -64,9 +66,10 @@ ethStream(eth::RxFaultPolicy policy, double prob, bool major)
 
 /** ib_send_bw-style stream; returns Gb/s. */
 double
-ibStream(double prob, bool major)
+ibStream(double prob, bool major, const ObsArgs &obs_args)
 {
     sim::EventQueue eq;
+    auto obs = openObsSession(obs_args, eq);
     net::Fabric fabric(eq, 2,
                        net::FabricConfig{net::LinkConfig{56e9, 300, 32},
                                          200});
@@ -118,18 +121,23 @@ ibStream(double prob, bool major)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    ObsArgs obs_args = parseObsArgs(argc, argv);
     header("Figure 10 (left): Ethernet stream throughput [Gb/s] vs "
            "synthetic rNPF frequency (per packet)");
     row("%10s %12s %12s %12s %12s", "freq", "minor-brng", "major-brng",
         "minor-drop", "major-drop");
     for (int e : {10, 15, 20, 25, 30}) {
         double p = std::pow(2.0, -e);
-        double mb = ethStream(eth::RxFaultPolicy::BackupRing, p, false);
-        double jb = ethStream(eth::RxFaultPolicy::BackupRing, p, true);
-        double md = ethStream(eth::RxFaultPolicy::Drop, p, false);
-        double jd = ethStream(eth::RxFaultPolicy::Drop, p, true);
+        double mb = ethStream(eth::RxFaultPolicy::BackupRing, p, false,
+                              obs_args);
+        double jb = ethStream(eth::RxFaultPolicy::BackupRing, p, true,
+                              obs_args);
+        double md = ethStream(eth::RxFaultPolicy::Drop, p, false,
+                              obs_args);
+        double jd = ethStream(eth::RxFaultPolicy::Drop, p, true,
+                              obs_args);
         row("%10s %12.2f %12.2f %12.2f %12.2f",
             ("2^-" + std::to_string(e)).c_str(), mb, jb, md, jd);
     }
@@ -140,12 +148,12 @@ main()
 
     header("Figure 10 (right): InfiniBand stream [Gb/s and % of "
            "optimum], minor faults, RNR NACK recovery");
-    double best = ibStream(0.0, false);
+    double best = ibStream(0.0, false, obs_args);
     row("%10s %10s %12s", "freq", "Gb/s", "% of optimum");
     row("%10s %10.1f %11.0f%%", "0", best, 100.0);
     for (int e : {10, 12, 14, 16, 18, 20}) {
         double p = std::pow(2.0, -e);
-        double v = ibStream(p, false);
+        double v = ibStream(p, false, obs_args);
         row("%10s %10.1f %11.0f%%", ("2^-" + std::to_string(e)).c_str(),
             v, 100.0 * v / best);
     }

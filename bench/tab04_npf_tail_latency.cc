@@ -12,13 +12,15 @@ using namespace npf;
 using namespace npf::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    ObsArgs obs_args = parseObsArgs(argc, argv);
     sim::EventQueue eq;
     mem::MemoryManager mm(24ull << 30);
     mem::AddressSpace &as = mm.createAddressSpace("iouser");
     core::NpfController npfc(eq);
     core::ChannelId ch = npfc.attach(as);
+    auto obs = openObsSession(obs_args, eq);
 
     constexpr int kSamples = 10000;
     constexpr std::size_t kMiB = 1ull << 20;

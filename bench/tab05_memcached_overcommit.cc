@@ -36,7 +36,7 @@ struct Vm
 
 /** @return aggregated KTPS, or -1 when the configuration cannot run. */
 double
-runInstances(unsigned n, bool pinned)
+runInstances(unsigned n, bool pinned, const ObsArgs &obs_args)
 {
     constexpr std::size_t kHostBytes = 8 * kGiB;
     constexpr std::size_t kVmBytes = 3 * kGiB;
@@ -46,6 +46,7 @@ runInstances(unsigned n, bool pinned)
 
     HostModel host;
     std::vector<std::unique_ptr<Vm>> vms;
+    std::unique_ptr<obs::Session> obs; // tracks VM 0's queue
     for (unsigned i = 0; i < n; ++i) {
         auto vm = std::make_unique<Vm>();
         EthBed::Options o;
@@ -56,6 +57,8 @@ runInstances(unsigned n, bool pinned)
         // allocated on demand. Pinned: its full 3 GB is reserved.
         o.serverMemBytes = pinned ? kVmBytes : kHostBytes / n;
         vm->bed = std::make_unique<EthBed>(o);
+        if (i == 0)
+            obs = openObsSession(obs_args, vm->bed->eq);
 
         host.addInstance();
         vm->kv = std::make_unique<KvStore>(*vm->bed->serverAs,
@@ -100,15 +103,16 @@ runInstances(unsigned n, bool pinned)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    ObsArgs obs_args = parseObsArgs(argc, argv);
     header("Table 5: aggregated memcached throughput [KTPS]");
     row("%-22s %8s %8s %8s %8s", "memcached instances", "1", "2", "3",
         "4");
     for (bool pinned : {false, true}) {
         double v[4];
         for (unsigned n = 1; n <= 4; ++n)
-            v[n - 1] = runInstances(n, pinned);
+            v[n - 1] = runInstances(n, pinned, obs_args);
         auto fmt = [](double x) {
             static char b[8][16];
             static int i = 0;

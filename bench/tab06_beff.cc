@@ -14,8 +14,9 @@ using namespace npf::bench;
 using namespace npf::hpc;
 
 int
-main()
+main(int argc, char **argv)
 {
+    ObsArgs obs_args = parseObsArgs(argc, argv);
     ClusterConfig cfg; // 8 ranks, 56 Gb/s
     header("Table 6: effective bandwidth (beff) [MB/s]");
     row("%-10s %12s %10s", "app", "beff", "stddev");
@@ -23,6 +24,7 @@ main()
     for (RegMode mode : {RegMode::PinDownCache, RegMode::Npf,
                          RegMode::Copy}) {
         sim::EventQueue eq;
+        auto obs = openObsSession(obs_args, eq);
         BeffResult res = runBeff(eq, cfg, mode, 3);
         if (mode == RegMode::PinDownCache)
             pin_val = res.beffMBps;

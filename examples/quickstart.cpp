@@ -10,22 +10,38 @@
  * retransmit — all transparent to the application.
  *
  * Build & run:  ./build/examples/quickstart
+ *
+ * Pass --trace to also write quickstart_trace.json (open it in
+ * chrome://tracing or https://ui.perfetto.dev — every NPF shows up as
+ * an async flow with trigger/driver/pt_update/resume spans) and
+ * quickstart_metrics.json (every counter in the stack).
  */
 
 #include <cstdio>
+#include <cstring>
 
 #include "core/npf_controller.hh"
 #include "ib/queue_pair.hh"
 #include "mem/memory_manager.hh"
 #include "net/fabric.hh"
+#include "obs/session.hh"
 
 using namespace npf;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bool trace = argc > 1 && std::strcmp(argv[1], "--trace") == 0;
+
     // --- the world: an event queue, two hosts, one switch -----------
     sim::EventQueue eq;
+    obs::SessionOptions obs_opt;
+    obs_opt.trace = trace;
+    if (trace) {
+        obs_opt.traceOut = "quickstart_trace.json";
+        obs_opt.metricsOut = "quickstart_metrics.json";
+    }
+    obs::Session session(eq, obs_opt);
     net::Fabric fabric(eq, 2,
                        net::FabricConfig{net::LinkConfig{56e9, 300, 32},
                                          200});
@@ -107,5 +123,10 @@ main()
                 static_cast<unsigned long long>(
                     rcv_nic.stats().npfs + snd_nic.stats().npfs -
                     faults_before));
+
+    session.finish();
+    if (trace)
+        std::printf("\nwrote quickstart_trace.json + "
+                    "quickstart_metrics.json\n");
     return 0;
 }

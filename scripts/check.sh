@@ -1,0 +1,33 @@
+#!/bin/sh
+# Full verification: the tier-1 test suite in the normal build, then
+# the whole suite again under AddressSanitizer + UBSan. Run from the
+# repository root. Usage: scripts/check.sh [--fast]
+#   --fast   skip the sanitizer build
+set -eu
+
+cd "$(dirname "$0")/.."
+
+fast=0
+[ "${1:-}" = "--fast" ] && fast=1
+
+jobs=$(nproc 2>/dev/null || echo 4)
+
+echo "== tier 1: build + ctest =="
+cmake -B build -S . >/dev/null
+cmake --build build -j "$jobs"
+ctest --test-dir build --output-on-failure -j "$jobs"
+
+if [ "$fast" -eq 1 ]; then
+    echo "== skipping sanitizer pass (--fast) =="
+    exit 0
+fi
+
+echo "== tier 2: ASan/UBSan build + ctest =="
+cmake -B build-asan -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all" \
+    >/dev/null
+cmake --build build-asan -j "$jobs"
+ctest --test-dir build-asan --output-on-failure -j "$jobs"
+
+echo "== all checks passed =="

@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "mem/memory_manager.hh"
+#include "sim/log.hh"
 
 namespace npf::core {
 
@@ -10,6 +11,47 @@ NpfController::NpfController(sim::EventQueue &eq, OdpConfig cfg,
                              std::uint64_t seed)
     : eq_(eq), cfg_(cfg), rng_(seed)
 {
+    obsInit("core.npf");
+    obsCounter("npfs", &stats_.npfs);
+    obsCounter("merged_npfs", &stats_.mergedNpfs);
+    obsCounter("queued_npfs", &stats_.queuedNpfs);
+    obsCounter("pages_mapped", &stats_.pagesMapped);
+    obsCounter("major_faults", &stats_.majorFaults);
+    obsCounter("invalidations", &stats_.invalidations);
+    obsHistogram("trigger_ns", &lat_.triggerNs);
+    obsHistogram("driver_ns", &lat_.driverNs);
+    obsHistogram("pt_update_ns", &lat_.ptUpdateNs);
+    obsHistogram("resume_ns", &lat_.resumeNs);
+    obsHistogram("total_ns", &lat_.totalNs);
+}
+
+void
+NpfController::recordBreakdown(const NpfBreakdown &bd)
+{
+    if (!obs::Registry::global().detail())
+        return;
+    lat_.triggerNs.record(double(bd.trigger));
+    lat_.driverNs.record(double(bd.driver));
+    lat_.ptUpdateNs.record(double(bd.ptUpdate));
+    lat_.resumeNs.record(double(bd.resume));
+    lat_.totalNs.record(double(bd.total()));
+}
+
+void
+NpfController::traceBreakdown(obs::FlowId flow, const NpfBreakdown &bd,
+                              sim::Time end)
+{
+    obs::FlowTracer &tr = obs::tracer();
+    if (!tr.enabled())
+        return;
+    sim::Time t = end - bd.total();
+    tr.span(obs::Track::Nic, "npf", "trigger", t, bd.trigger, flow);
+    t += bd.trigger;
+    tr.span(obs::Track::Driver, "npf", "driver", t, bd.driver, flow);
+    t += bd.driver;
+    tr.span(obs::Track::Iommu, "npf", "pt_update", t, bd.ptUpdate, flow);
+    t += bd.ptUpdate;
+    tr.span(obs::Track::Nic, "npf", "resume", t, bd.resume, flow);
 }
 
 ChannelId
@@ -92,9 +134,12 @@ NpfController::raiseNpf(ChannelId ch, mem::VirtAddr iova, std::size_t len,
         DmaCheck check = checkDma(ch, iova, len);
         if (check.ok) {
             // Raced with a completed resolution: nothing to do.
+            obs::tracer().instant(obs::Track::Nic, "npf",
+                                  "npf.debounced");
             NpfBreakdown bd;
             bd.merged = true;
-            eq_.scheduleAfter(0, [cb = std::move(cb), bd] { cb(bd); });
+            eq_.scheduleAfter(0, [cb = std::move(cb), bd] { cb(bd); },
+                              "npf.debounced");
             return;
         }
         auto it = c.merges.find(check.firstMissing);
@@ -102,18 +147,25 @@ NpfController::raiseNpf(ChannelId ch, mem::VirtAddr iova, std::size_t len,
             // A resolution covering this page is in flight: the
             // firmware handles the duplicate silently (bitmap set),
             // and this requester resumes when the first one does.
+            obs::tracer().instant(obs::Track::Nic, "npf", "npf.merged");
             it->second.push_back(std::move(cb));
             ++stats_.mergedNpfs;
             return;
         }
     }
 
-    auto start = [this, ch, iova, len, write, cb = std::move(cb)]() mutable {
-        startResolve(ch, iova, len, write, std::move(cb));
+    // One flow per NPF journey, opened before any queueing so the
+    // concurrency-slot wait shows up in the flow's span.
+    obs::FlowId flow = obs::tracer().beginFlow("npf", "npf");
+
+    auto start = [this, ch, iova, len, write, flow,
+                  cb = std::move(cb)]() mutable {
+        startResolve(ch, iova, len, write, std::move(cb), flow);
     };
 
     if (c.inFlight >= cfg_.maxConcurrentNpfs) {
         ++stats_.queuedNpfs;
+        obs::tracer().instant(obs::Track::Nic, "npf", "npf.queued", flow);
         c.waiting.push_back(std::move(start));
         return;
     }
@@ -123,7 +175,8 @@ NpfController::raiseNpf(ChannelId ch, mem::VirtAddr iova, std::size_t len,
 
 void
 NpfController::startResolve(ChannelId ch, mem::VirtAddr iova,
-                            std::size_t len, bool write, ResolveCallback cb)
+                            std::size_t len, bool write, ResolveCallback cb,
+                            obs::FlowId flow)
 {
     Channel &c = chan(ch);
     ++stats_.npfs;
@@ -137,16 +190,28 @@ NpfController::startResolve(ChannelId ch, mem::VirtAddr iova,
         c.merges.emplace(merge_key, std::vector<ResolveCallback>{});
 
     eq_.scheduleAfter(bd->trigger, [this, ch, iova, len, write, bd,
-                                    merge_key, has_key = !check.ok,
+                                    merge_key, has_key = !check.ok, flow,
                                     cb = std::move(cb)]() mutable {
+        obs::FlowScope fs(flow);
         Channel &c = chan(ch);
+        sim::logf(sim::LogLevel::Debug, eq_.now(),
+                  "npf: ch=%u resolving iova=0x%llx len=%zu write=%d", ch,
+                  static_cast<unsigned long long>(iova), len, int(write));
         resolvePages(c, iova, len, write, *bd);
         bd->resume = jittered(cfg_.fwResume);
         sim::Time rest = bd->driver + bd->ptUpdate + bd->resume;
 
-        eq_.scheduleAfter(rest, [this, ch, bd, merge_key, has_key,
+        eq_.scheduleAfter(rest, [this, ch, bd, merge_key, has_key, flow,
                                  cb = std::move(cb)]() mutable {
+            obs::FlowScope fs(flow);
             Channel &c = chan(ch);
+            sim::logf(sim::LogLevel::Debug, eq_.now(),
+                      "npf: ch=%u resolved pages=%u major=%u total=%llu ns",
+                      ch, bd->pagesMapped, bd->majorFaults,
+                      static_cast<unsigned long long>(bd->total()));
+            traceBreakdown(flow, *bd, eq_.now());
+            recordBreakdown(*bd);
+            obs::tracer().endFlow(flow);
             cb(*bd);
             if (has_key) {
                 auto it = c.merges.find(merge_key);
@@ -167,8 +232,8 @@ NpfController::startResolve(ChannelId ch, mem::VirtAddr iova,
                 ++c.inFlight;
                 next();
             }
-        });
-    });
+        }, "npf.resolve");
+    }, "npf.trigger");
 }
 
 void
@@ -220,6 +285,14 @@ NpfController::computeResolve(ChannelId ch, mem::VirtAddr iova,
     bd.trigger = jittered(cfg_.fwTriggerInterrupt);
     resolvePages(c, iova, len, write, bd);
     bd.resume = jittered(cfg_.fwResume);
+    // Synchronous: the caller accounts the time itself, so the spans
+    // project forward from now instead of ending at now.
+    if (obs::tracer().enabled()) {
+        obs::FlowId flow = obs::tracer().beginFlow("npf", "npf.sync");
+        traceBreakdown(flow, bd, eq_.now() + bd.total());
+        obs::tracer().endFlowAt(flow, eq_.now() + bd.total());
+    }
+    recordBreakdown(bd);
     return bd;
 }
 
@@ -273,6 +346,18 @@ NpfController::invalidateRange(ChannelId ch, mem::VirtAddr iova,
         bd.ptUpdate =
             cfg_.invPtUpdateBase + unmapped * cfg_.invPtUpdatePerPage;
         bd.swUpdates = cfg_.invSwUpdates;
+    }
+    obs::FlowTracer &tr = obs::tracer();
+    if (tr.enabled()) {
+        sim::Time t = eq_.now();
+        tr.span(obs::Track::Driver, "inv", "checks", t, bd.checks);
+        t += bd.checks;
+        if (bd.wasMapped) {
+            tr.span(obs::Track::Iommu, "inv", "pt_update", t, bd.ptUpdate);
+            t += bd.ptUpdate;
+            tr.span(obs::Track::Driver, "inv", "sw_updates", t,
+                    bd.swUpdates);
+        }
     }
     return bd;
 }

@@ -26,7 +26,10 @@
 #include "core/odp_config.hh"
 #include "iommu/iommu.hh"
 #include "mem/address_space.hh"
+#include "obs/flow_tracer.hh"
+#include "obs/metrics.hh"
 #include "sim/event_queue.hh"
+#include "sim/histogram.hh"
 #include "sim/random.hh"
 
 namespace npf::core {
@@ -62,8 +65,14 @@ struct InvalidationBreakdown
 
 /**
  * The NPF engine shared by one NIC's IOchannels.
+ *
+ * Observability: registers its counters as `core.npfN.*` and, while
+ * a session's detail flag is raised, records per-phase latency
+ * histograms (`core.npfN.driver_ns`, ...). Each asynchronous NPF is
+ * traced as one flow with trigger/driver/pt_update/resume spans on
+ * the nic-fw, driver and iommu tracks.
  */
-class NpfController
+class NpfController : private obs::Instrumented
 {
   public:
     using ResolveCallback = std::function<void(const NpfBreakdown &)>;
@@ -166,7 +175,7 @@ class NpfController
 
     /** Start one resolution (a slot is already reserved). */
     void startResolve(ChannelId ch, mem::VirtAddr iova, std::size_t len,
-                      bool write, ResolveCallback cb);
+                      bool write, ResolveCallback cb, obs::FlowId flow);
 
     /** Driver phase: touch + map pages; fills breakdown. */
     void resolvePages(Channel &c, mem::VirtAddr iova, std::size_t len,
@@ -174,11 +183,24 @@ class NpfController
 
     sim::Time jittered(sim::Time base);
 
+    /** Per-phase latency distributions (recorded when obs detail on). */
+    void recordBreakdown(const NpfBreakdown &bd);
+
+    /** Emit the four phase spans of a resolved NPF ending at @p end. */
+    void traceBreakdown(obs::FlowId flow, const NpfBreakdown &bd,
+                        sim::Time end);
+
     sim::EventQueue &eq_;
     OdpConfig cfg_;
     sim::Rng rng_;
     Stats stats_;
     std::vector<std::unique_ptr<Channel>> channels_;
+
+    struct Latencies
+    {
+        sim::Histogram triggerNs, driverNs, ptUpdateNs, resumeNs, totalNs;
+    };
+    Latencies lat_;
 };
 
 } // namespace npf::core

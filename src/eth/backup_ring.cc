@@ -3,6 +3,8 @@
 #include <cassert>
 
 #include "eth/eth_nic.hh"
+#include "obs/flow_tracer.hh"
+#include "sim/log.hh"
 
 namespace npf::eth {
 
@@ -10,6 +12,13 @@ BackupRingManager::BackupRingManager(sim::EventQueue &eq, EthNic &nic,
                                      std::size_t capacity)
     : eq_(eq), nic_(nic), capacity_(capacity)
 {
+    obsInit("eth.backup");
+    obsCounter("parked", &stats_.parked);
+    obsCounter("overflow_drops", &stats_.overflowDrops);
+    obsCounter("resolved", &stats_.resolved);
+    obsCounter("resolution_retries", &stats_.resolutionRetries);
+    obsCounter("waits_for_room", &stats_.waitsForRoom);
+    obsGauge("pending", [this] { return double(pendingCount_); });
 }
 
 bool
@@ -35,7 +44,7 @@ BackupRingManager::scheduleIsr()
     eq_.scheduleAfter(nic_.config().interruptLatency, [this] {
         isrPending_ = false;
         isr();
-    });
+    }, "eth.backup.isr");
 }
 
 void
@@ -48,10 +57,17 @@ BackupRingManager::isr()
         BackupEntry e = std::move(hwRing_.front());
         hwRing_.pop_front();
         unsigned rid = e.ringId;
+        obs::FlowScope fs(e.obsFlow);
+        sim::logf(sim::LogLevel::Debug, eq_.now(),
+                  "rnpf: ring=%u parked frame (%llu bytes) in backup ring",
+                  rid, static_cast<unsigned long long>(e.frame.bytes));
+        obs::tracer().instant(obs::Track::Driver, "rnpf", "backup.drained",
+                              e.obsFlow);
         swQueues_[rid].push_back(std::move(e));
         if (!resolverBusy_[rid]) {
             resolverBusy_[rid] = true;
-            eq_.scheduleAfter(0, [this, rid] { pumpResolver(rid); });
+            eq_.scheduleAfter(0, [this, rid] { pumpResolver(rid); },
+                              "eth.backup.resolver");
         }
     }
 }
@@ -67,15 +83,19 @@ BackupRingManager::pumpResolver(unsigned ring_id)
 
     RxRing &r = nic_.ring(ring_id);
     BackupEntry &e = q.front();
+    obs::FlowScope fs(e.obsFlow);
 
     // Step 1: wait until the IOuser has posted the descriptor this
     // packet belongs at ("T first blocks until there is room").
     if (e.idx >= r.tail) {
         ++stats_.waitsForRoom;
+        obs::tracer().instant(obs::Track::Driver, "rnpf",
+                              "backup.wait_room", e.obsFlow);
         r.tailAdvanceHook = [this, ring_id] {
             RxRing &ring = nic_.ring(ring_id);
             ring.tailAdvanceHook = nullptr;
-            eq_.scheduleAfter(0, [this, ring_id] { pumpResolver(ring_id); });
+            eq_.scheduleAfter(0, [this, ring_id] { pumpResolver(ring_id); },
+                              "eth.backup.resolver");
         };
         return;
     }
@@ -90,22 +110,32 @@ BackupRingManager::pumpResolver(unsigned ring_id)
         std::size_t pages = mem::pagesCovering(d.buf, d.len);
         sim::Time lat =
             npfc.sampleResolveLatency(ch, pages, e.syntheticMajor);
-        eq_.scheduleAfter(lat, [this, ring_id] { finishEntry(ring_id); });
+        obs::tracer().span(obs::Track::Driver, "rnpf",
+                           "synthetic_resolve", eq_.now(), lat,
+                           e.obsFlow);
+        eq_.scheduleAfter(lat, [this, ring_id] { finishEntry(ring_id); },
+                          "eth.backup.synthetic");
         return;
     }
 
     // Step 2: ensure the buffer pages are present and IOMMU-mapped.
     if (!npfc.checkDma(ch, d.buf, d.len).ok) {
         npfc.raiseNpf(ch, d.buf, d.len, /*write=*/true,
-                      [this, ring_id](const core::NpfBreakdown &bd) {
+                      [this, ring_id,
+                       flow = e.obsFlow](const core::NpfBreakdown &bd) {
+                          obs::FlowScope fs(flow);
                           if (!bd.ok) {
                               // Out of memory: back off and retry —
                               // reclaim needs time to make progress.
                               ++stats_.resolutionRetries;
+                              obs::tracer().instant(obs::Track::Driver,
+                                                    "rnpf",
+                                                    "backup.oom_retry",
+                                                    flow);
                               eq_.scheduleAfter(sim::kMillisecond,
                                                 [this, ring_id] {
                                                     pumpResolver(ring_id);
-                                                });
+                                                }, "eth.backup.retry");
                               return;
                           }
                           finishEntry(ring_id);
@@ -135,10 +165,14 @@ BackupRingManager::finishEntry(unsigned ring_id)
         double(e.frame.bytes) / nic_.config().copyBytesPerSec;
     sim::Time copy_cost = sim::fromSeconds(copy_secs);
 
+    obs::tracer().span(obs::Track::Driver, "rnpf", "copy", eq_.now(),
+                       copy_cost, e.obsFlow);
+
     std::uint64_t bit_index = e.bitIndex;
     eq_.scheduleAfter(copy_cost, [this, ring_id, bit_index,
-                                  idx = e.idx,
+                                  idx = e.idx, flow = e.obsFlow,
                                   frame = std::move(e.frame)]() mutable {
+        obs::FlowScope fs(flow);
         RxRing &ring = nic_.ring(ring_id);
         RxDescriptor &dd = ring.slot(idx);
         dd.frame = std::move(frame);
@@ -148,9 +182,14 @@ BackupRingManager::finishEntry(unsigned ring_id)
                               std::min(dd.len, dd.frame.bytes),
                               /*write=*/true);
         ++stats_.resolved;
+        sim::logf(sim::LogLevel::Debug, eq_.now(),
+                  "rnpf: ring=%u resolved, copied %llu bytes to idx=%llu",
+                  ring_id, static_cast<unsigned long long>(dd.frame.bytes),
+                  static_cast<unsigned long long>(idx));
         nic_.resolveRnpf(ring_id, bit_index);
+        obs::tracer().endFlow(flow);
         pumpResolver(ring_id);
-    });
+    }, "eth.backup.copy");
     (void)d;
 }
 

@@ -15,6 +15,7 @@
 #include <unordered_map>
 
 #include "eth/frame.hh"
+#include "obs/metrics.hh"
 #include "sim/event_queue.hh"
 #include "sim/time.hh"
 
@@ -31,12 +32,13 @@ struct BackupEntry
     Frame frame;
     bool synthetic = false;     ///< what-if injection: latency only
     bool syntheticMajor = false;
+    std::uint64_t obsFlow = 0;  ///< obs::FlowId of the rNPF journey
 };
 
 /**
  * Driver-side manager of the pinned backup ring.
  */
-class BackupRingManager
+class BackupRingManager : private obs::Instrumented
 {
   public:
     struct Stats

@@ -1,8 +1,10 @@
 #include "eth/eth_nic.hh"
 
 #include <cassert>
+#include <string>
 
 #include "eth/backup_ring.hh"
+#include "obs/flow_tracer.hh"
 
 namespace npf::eth {
 
@@ -10,6 +12,11 @@ EthNic::EthNic(sim::EventQueue &eq, core::NpfController &npfc,
                EthNicConfig cfg, std::uint64_t seed)
     : eq_(eq), npfc_(npfc), cfg_(cfg), rng_(seed)
 {
+    obsInit("eth.nic");
+    obsCounter("frames_sent", &stats_.framesSent);
+    obsCounter("frames_received", &stats_.framesReceived);
+    obsCounter("tx_npfs", &stats_.txNpfs);
+    obsCounter("unroutable", &stats_.unroutable);
     backup_ = std::make_unique<BackupRingManager>(eq_, *this,
                                                   cfg_.backupRingSize);
 }
@@ -36,6 +43,15 @@ EthNic::createRxRing(core::ChannelId ch, RxRingConfig cfg,
     r.bitmap.assign(cfg.bmSize, 0);
     r.rxHandler = std::move(handler);
     ringChannel_.push_back(ch);
+    // Rings are heap-allocated and live as long as the NIC, so their
+    // Stats fields are stable registration targets.
+    std::string pfx = "ring" + std::to_string(id);
+    obsCounter(pfx + ".delivered", &r.stats.delivered);
+    obsCounter(pfx + ".stored_direct", &r.stats.storedDirect);
+    obsCounter(pfx + ".rnpfs", &r.stats.rnpfs);
+    obsCounter(pfx + ".to_backup", &r.stats.toBackup);
+    obsCounter(pfx + ".dropped", &r.stats.dropped);
+    obsCounter(pfx + ".resolved", &r.stats.resolved);
     return id;
 }
 
@@ -92,6 +108,7 @@ EthNic::pumpTx(unsigned txq)
     if (!npfc_.dmaAccess(t.channel, job.src, job.frame.bytes,
                          /*write=*/false)) {
         ++stats_.txNpfs;
+        obs::tracer().instant(obs::Track::Nic, "npf", "tx.npf");
         t.faultPending = true;
         npfc_.raiseNpf(t.channel, job.src, job.frame.bytes,
                        /*write=*/false,
@@ -115,7 +132,7 @@ EthNic::pumpTx(unsigned txq)
         eq_.schedule(txLink_->busyUntil(), [this, txq] {
             txQueues_[txq]->pumpScheduled = false;
             pumpTx(txq);
-        });
+        }, "eth.tx_pump");
     }
 }
 
@@ -223,8 +240,17 @@ EthNic::recvToRing(RxRing &r, Frame f)
         e.frame = std::move(f);
         e.synthetic = synthetic_fault;
         e.syntheticMajor = r.cfg.syntheticMajor;
+        // One flow per rNPF journey: park -> isr -> resolve -> copy
+        // -> merge-back (Fig. 5 steps 1-4).
+        e.obsFlow = obs::tracer().beginFlow("rnpf", "rnpf");
+        obs::FlowId flow = e.obsFlow;
+        obs::tracer().instant(obs::Track::Nic, "rnpf", "rnpf.parked",
+                              flow);
         if (!backup_->store(std::move(e))) {
             ++r.stats.dropped; // backup ring itself is full
+            obs::tracer().instant(obs::Track::Nic, "rnpf",
+                                  "rnpf.overflow_drop", flow);
+            obs::tracer().endFlow(flow);
             return;
         }
         r.bit(r.bmIndex + r.headOffset) = 1;
@@ -262,7 +288,7 @@ EthNic::raiseUserIsr(RxRing &r)
         RxRing &ring = *rings_[id];
         ring.interruptPending = false;
         deliverToUser(ring);
-    });
+    }, "eth.user_isr");
 }
 
 void

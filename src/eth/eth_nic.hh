@@ -19,6 +19,7 @@
 #include "eth/frame.hh"
 #include "eth/rx_ring.hh"
 #include "net/link.hh"
+#include "obs/metrics.hh"
 #include "sim/event_queue.hh"
 #include "sim/random.hh"
 
@@ -40,7 +41,7 @@ struct EthNicConfig
  * receive ring with an NpfController channel (its IOMMU view of the
  * owning IOuser's address space).
  */
-class EthNic
+class EthNic : private obs::Instrumented
 {
   public:
     using RxHandler = std::function<void(const Frame &)>;

@@ -50,13 +50,18 @@ Collectives::bcast(std::size_t len, unsigned iter, Done done)
     }
     // Sequential binomial rounds: in round with mask m, ranks < m
     // forward to rank + m.
+    // Weak self-capture: a strong one would form a shared_ptr cycle
+    // and leak the closure. Callers (the stack variable and the
+    // completion counters) hold strong references, so lock() always
+    // succeeds.
     auto round = std::make_shared<std::function<void(unsigned)>>();
-    *round = [this, len, iter, n, round,
+    *round = [this, len, iter, n, wr = std::weak_ptr(round),
               done = std::move(done)](unsigned mask) mutable {
         if (mask >= n) {
             done();
             return;
         }
+        auto round = wr.lock();
         auto ctr = std::make_shared<Counter>();
         ctr->done = [round, mask] { (*round)(mask << 1); };
         int pairs = 0;
@@ -93,13 +98,15 @@ Collectives::alltoall(std::size_t len, unsigned iter, Done done)
         return;
     }
     // Pairwise XOR exchange, one step at a time.
+    // Weak self-capture: see bcast.
     auto step = std::make_shared<std::function<void(unsigned)>>();
-    *step = [this, len, iter, n, step,
+    *step = [this, len, iter, n, ws = std::weak_ptr(step),
              done = std::move(done)](unsigned s) mutable {
         if (s >= n) {
             done();
             return;
         }
+        auto step = ws.lock();
         auto ctr = std::make_shared<Counter>();
         ctr->done = [step, s] { (*step)(s + 1); };
         int ops = 0;
@@ -136,13 +143,15 @@ Collectives::allreduce(std::size_t len, unsigned iter, Done done)
     // Recursive doubling; each round ends with a CPU reduction, so
     // the data passes through the CPU cache in every mode — which is
     // why allreduce shows little copy-vs-zero-copy difference (§6.2).
+    // Weak self-capture: see bcast.
     auto round = std::make_shared<std::function<void(unsigned)>>();
-    *round = [this, len, iter, n, round,
+    *round = [this, len, iter, n, wr = std::weak_ptr(round),
               done = std::move(done)](unsigned mask) mutable {
         if (mask >= n) {
             done();
             return;
         }
+        auto round = wr.lock();
         auto ctr = std::make_shared<Counter>();
         ctr->done = [this, round, mask, len] {
             // All ranks reduce in parallel: one reduction latency.

@@ -36,13 +36,17 @@ runImb(Cluster &cluster, ImbBenchmark bench, std::size_t msg_bytes,
     bool finished = false;
     sim::Time started = eq.now();
 
+    // The closure captures itself weakly: a strong self-capture would
+    // form a shared_ptr cycle and leak the closure. Callers (the
+    // stack variable and the scheduled continuations) hold strong
+    // references, so lock() always succeeds.
     auto iterate = std::make_shared<std::function<void(unsigned)>>();
-    *iterate = [&, iterate](unsigned iter) {
+    *iterate = [&, wi = std::weak_ptr(iterate)](unsigned iter) {
         if (iter >= iterations) {
             finished = true;
             return;
         }
-        auto next = [iterate, iter] { (*iterate)(iter + 1); };
+        auto next = [iterate = wi.lock(), iter] { (*iterate)(iter + 1); };
         switch (bench) {
           case ImbBenchmark::Sendrecv:
             coll.sendrecv(msg_bytes, iter, next);
@@ -146,14 +150,17 @@ runBeff(sim::EventQueue &eq, const ClusterConfig &cfg, RegMode mode,
                 sim::Time start = eq.now();
                 auto loop =
                     std::make_shared<std::function<void(unsigned)>>();
-                *loop = [&, loop](unsigned i) {
+                // Weak self-capture: see runImb.
+                *loop = [&, wl = std::weak_ptr(loop)](unsigned i) {
                     if (i >= kItersPerPoint) {
                         finished = true;
                         return;
                     }
                     permutationExchange(cluster, pool, pat, len,
                                         iter_counter++,
-                                        [loop, i] { (*loop)(i + 1); });
+                                        [loop = wl.lock(), i] {
+                                            (*loop)(i + 1);
+                                        });
                 };
                 (*loop)(0);
                 bool ok = eq.runUntilCondition(

@@ -12,6 +12,21 @@ QueuePair::QueuePair(sim::EventQueue &eq, net::Fabric &fabric, unsigned node,
     : eq_(eq), fabric_(fabric), node_(node), npfc_(npfc), channel_(channel),
       cfg_(cfg), rng_(seed)
 {
+    obsInit("ib.qp");
+    obsCounter("data_packets_sent", &stats_.dataPacketsSent);
+    obsCounter("data_packets_delivered", &stats_.dataPacketsDelivered);
+    obsCounter("data_packets_dropped", &stats_.dataPacketsDropped);
+    obsCounter("retransmitted", &stats_.retransmitted);
+    obsCounter("rnr_nacks_sent", &stats_.rnrNacksSent);
+    obsCounter("rnr_nacks_received", &stats_.rnrNacksReceived);
+    obsCounter("nak_seq_sent", &stats_.nakSeqSent);
+    obsCounter("read_rnr_sent", &stats_.readRnrSent);
+    obsCounter("read_rnr_received", &stats_.readRnrReceived);
+    obsCounter("rewinds", &stats_.rewinds);
+    obsCounter("send_npfs", &stats_.sendNpfs);
+    obsCounter("recv_npfs", &stats_.recvNpfs);
+    obsCounter("messages_delivered", &stats_.messagesDelivered);
+    obsCounter("bytes_delivered", &stats_.bytesDelivered);
 }
 
 void
@@ -68,7 +83,7 @@ QueuePair::pumpSend()
         eq_.scheduleAfter(0, [this] {
             txScheduled_ = false;
             transmitOne();
-        });
+        }, "ib.tx");
     }
 }
 
@@ -129,6 +144,8 @@ QueuePair::transmitOne()
         mem::VirtAddr src = owner->wr.local + pkt.offset;
         if (!npfc_.dmaAccess(channel_, src, pkt.bytes, /*write=*/false)) {
             ++stats_.sendNpfs;
+            obs::tracer().instant(obs::Track::Transport, "npf",
+                                  "ib.send_npf");
             localFaultPending_ = true;
             // Batched pre-fault: resolve the whole WR's buffer.
             npfc_.raiseNpf(channel_, owner->wr.local, owner->wr.len,
@@ -158,7 +175,7 @@ QueuePair::transmitOne()
         eq_.schedule(fabric_.uplink(node_).busyUntil(), [this] {
             txScheduled_ = false;
             transmitOne();
-        });
+        }, "ib.tx");
     }
 }
 
@@ -180,11 +197,13 @@ QueuePair::armRetransmitTimer()
             if (ackedPsn_ == ackedAtArm_ && txPsn_ > ackedPsn_) {
                 // No progress: rewind to the oldest unacked PSN.
                 ++stats_.rewinds;
+                obs::tracer().instant(obs::Track::Transport, "ib",
+                                      "ib.rto_rewind");
                 txPsn_ = ackedPsn_;
                 pumpSend();
             }
             armRetransmitTimer();
-        });
+        }, "ib.rto");
 }
 
 void
@@ -217,6 +236,7 @@ QueuePair::handleRnrNack(std::uint64_t resumePsn)
     ++stats_.rnrNacksReceived;
     ++stats_.rewinds;
     ++rnrRetries_;
+    obs::tracer().instant(obs::Track::Transport, "rnr", "rnr_nack.recv");
     txPsn_ = resumePsn;
     if (rnrRetries_ > cfg_.rnrRetryLimit) {
         // Fatal QP error: flush every posted WR with an error
@@ -245,10 +265,12 @@ QueuePair::handleRnrNack(std::uint64_t resumePsn)
         return;
     }
     senderPaused_ = true;
+    obs::tracer().span(obs::Track::Transport, "rnr", "rnr_pause",
+                       eq_.now(), npfc_.config().rnrTimer);
     eq_.scheduleAfter(npfc_.config().rnrTimer, [this] {
         senderPaused_ = false;
         pumpSend();
-    });
+    }, "ib.rnr_resume");
 }
 
 void
@@ -291,7 +313,7 @@ QueuePair::handlePacket(Packet pkt)
             eq_.scheduleAfter(npfc_.config().rnrTimer, [this] {
                 readResp_.paused = false;
                 pumpReadResponse();
-            });
+            }, "ib.read_rnr_resume");
         }
         return;
       case Packet::Type::ReadResponse:
@@ -386,7 +408,8 @@ QueuePair::handleData(const Packet &pkt)
         std::size_t pages = mem::pagesCovering(target, pkt.bytes);
         sim::Time lat = npfc_.sampleResolveLatency(channel_, pages,
                                                    cfg_.syntheticMajor);
-        eq_.scheduleAfter(lat, [this] { rnpfPending_ = false; });
+        eq_.scheduleAfter(lat, [this] { rnpfPending_ = false; },
+                          "ib.synthetic_rnpf");
         return;
     }
 
@@ -428,6 +451,15 @@ QueuePair::raiseRnpf(mem::VirtAddr addr, std::size_t len, std::uint64_t psn)
 {
     ++stats_.recvNpfs;
     rnpfPending_ = true;
+    // One flow per RNR suspension: NACK -> fault resolution -> resume.
+    rnpfFlow_ = obs::tracer().beginFlow("rnr", "rnr");
+    obs::FlowScope fs(rnpfFlow_);
+    obs::tracer().instant(obs::Track::Transport, "rnr", "rnr_nack.sent",
+                          rnpfFlow_);
+    sim::logf(sim::LogLevel::Debug, eq_.now(),
+              "rnr: qp node=%u NACK sent psn=%llu addr=0x%llx len=%zu",
+              node_, static_cast<unsigned long long>(psn),
+              static_cast<unsigned long long>(addr), len);
     // RC lets the receiver suspend the sender: RNR NACK (§4).
     ++stats_.rnrNacksSent;
     Packet nack;
@@ -438,6 +470,14 @@ QueuePair::raiseRnpf(mem::VirtAddr addr, std::size_t len, std::uint64_t psn)
     // message so one flow suffices in the common case.
     npfc_.raiseNpf(channel_, addr, len, /*write=*/true,
                    [this](const core::NpfBreakdown &) {
+                       obs::FlowScope fs(rnpfFlow_);
+                       sim::logf(sim::LogLevel::Debug, eq_.now(),
+                                 "rnr: qp node=%u fault resolved, receiver "
+                                 "ready", node_);
+                       obs::tracer().instant(obs::Track::Transport, "rnr",
+                                             "rnr.resolved", rnpfFlow_);
+                       obs::tracer().endFlow(rnpfFlow_);
+                       rnpfFlow_ = 0;
                        rnpfPending_ = false;
                    });
 }
@@ -524,7 +564,7 @@ QueuePair::pumpReadResponse()
         eq_.schedule(fabric_.uplink(node_).busyUntil(), [this] {
             readRespScheduled_ = false;
             pumpReadResponse();
-        });
+        }, "ib.read_pump");
     }
 }
 
@@ -571,13 +611,15 @@ QueuePair::handleReadResponse(const Packet &pkt)
             nak.psn = readInit_.expectedPsn;
             nak.readId = readInit_.readId;
             sendControl(nak);
-        });
+        }, "ib.synthetic_rnpf");
         return;
     }
 
     if (!npfc_.dmaAccess(channel_, target, pkt.bytes, /*write=*/true)) {
         ++stats_.recvNpfs;
         ++stats_.dataPacketsDropped;
+        obs::tracer().instant(obs::Track::Transport, "npf",
+                              "ib.read_fault");
         ri.faultPending = true;
         if (cfg_.readRnrExtension) {
             // Extension (§4 proposal): suspend the responder right
@@ -602,6 +644,8 @@ QueuePair::handleReadResponse(const Packet &pkt)
                        [this](const core::NpfBreakdown &) {
                            readInit_.faultPending = false;
                            ++stats_.nakSeqSent;
+                           obs::tracer().instant(obs::Track::Transport,
+                                                 "ib", "read.nak_seq");
                            Packet nak;
                            nak.type = Packet::Type::NakSeq;
                            nak.psn = readInit_.expectedPsn;

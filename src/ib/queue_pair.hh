@@ -26,6 +26,8 @@
 #include "core/npf_controller.hh"
 #include "ib/verbs.hh"
 #include "net/fabric.hh"
+#include "obs/flow_tracer.hh"
+#include "obs/metrics.hh"
 #include "sim/event_queue.hh"
 #include "sim/random.hh"
 
@@ -62,7 +64,7 @@ struct QpConfig
  * DMA accesses go through the owning NpfController channel, so cold
  * buffers genuinely fault and resolve through the full NPF flow.
  */
-class QueuePair
+class QueuePair : private obs::Instrumented
 {
   public:
     using CompletionHandler = std::function<void(const Completion &)>;
@@ -242,6 +244,7 @@ class QueuePair
     std::deque<WorkRequest> recvQueue_;
     std::uint64_t expectedPsn_ = 0;
     bool rnpfPending_ = false; ///< resolution in progress; drop inbound
+    obs::FlowId rnpfFlow_ = 0; ///< flow of the in-progress rNPF
     InboundMsg inbound_;
     unsigned unackedArrivals_ = 0;
 

@@ -14,6 +14,7 @@
 #include "iommu/io_page_table.hh"
 #include "iommu/iotlb.hh"
 #include "mem/types.hh"
+#include "obs/metrics.hh"
 
 namespace npf::iommu {
 
@@ -34,7 +35,7 @@ struct Translation
  * through invalidate(), which keeps the IOTLB coherent with the page
  * table — the core invariant tested in tests/iommu.
  */
-class IoMmu
+class IoMmu : private obs::Instrumented
 {
   public:
     struct Stats
@@ -45,7 +46,18 @@ class IoMmu
         std::uint64_t unmapped = 0;
     };
 
-    explicit IoMmu(std::size_t tlb_capacity = 256) : tlb_(tlb_capacity) {}
+    explicit IoMmu(std::size_t tlb_capacity = 256) : tlb_(tlb_capacity)
+    {
+        obsInit("iommu.mmu");
+        obsCounter("translations", &stats_.translations);
+        obsCounter("faults", &stats_.faults);
+        obsCounter("mapped", &stats_.mapped);
+        obsCounter("unmapped", &stats_.unmapped);
+        obsCounter("tlb_hits", &tlb_.stats().hits);
+        obsCounter("tlb_misses", &tlb_.stats().misses);
+        obsCounter("tlb_invalidations", &tlb_.stats().invalidations);
+        obsCounter("tlb_evictions", &tlb_.stats().evictions);
+    }
 
     /** Translate one IOVA page. */
     Translation

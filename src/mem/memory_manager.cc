@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "obs/flow_tracer.hh"
+
 namespace npf::mem {
 
 namespace {
@@ -15,6 +17,17 @@ MemoryManager::MemoryManager(std::size_t total_bytes, MemCostConfig cost,
                              BackingStoreConfig swap)
     : phys_(total_bytes), swap_(swap), cost_(cost)
 {
+    obsInit("mem.mm");
+    obsCounter("minor_faults", &stats_.minorFaults);
+    obsCounter("major_faults", &stats_.majorFaults);
+    obsCounter("evictions", &stats_.evictions);
+    obsCounter("swap_outs", &stats_.swapOuts);
+    obsCounter("swap_ins", &stats_.swapIns);
+    obsCounter("oom_failures", &stats_.oomFailures);
+    obsGauge("free_frames", [this] { return double(phys_.freeFrames()); });
+    obsGauge("used_frames", [this] { return double(phys_.usedFrames()); });
+    obsGauge("pinned_pages", [this] { return double(pinnedPages_); });
+
     cgroups_[kRootCgroup] =
         std::make_unique<Cgroup>(Cgroup{kRootCgroup, 0, 0});
     // Keep a small low-watermark free so the reclaim path itself
@@ -115,6 +128,7 @@ MemoryManager::faultIn(AddressSpace &as, Vpn vpn, bool write)
         res.major = true;
         ++stats_.majorFaults;
         ++stats_.swapIns;
+        obs::tracer().instant(obs::Track::Mem, "mem", "swap_in");
     } else {
         ++stats_.minorFaults;
     }
@@ -210,6 +224,7 @@ MemoryManager::evictOne(Cgroup *target)
         }
 
         // Victim found: invalidate device mappings, write back, free.
+        obs::tracer().instant(obs::Track::Mem, "mem", "evict");
         sim::Time cost = cost_.evictCpu;
         cost += as.notifyInvalidate(frame.vpn);
         if (pte->dirty && !pte->fileBacked) {
@@ -217,6 +232,7 @@ MemoryManager::evictOne(Cgroup *target)
             swap_.storePage();
             pte->inSwap = true;
             ++stats_.swapOuts;
+            obs::tracer().instant(obs::Track::Mem, "mem", "swap_out");
         }
         pte->dirty = false;
         phys_.release(pfn);

@@ -20,6 +20,7 @@
 #include "mem/backing_store.hh"
 #include "mem/physical_memory.hh"
 #include "mem/types.hh"
+#include "obs/metrics.hh"
 #include "sim/time.hh"
 
 namespace npf::mem {
@@ -67,7 +68,7 @@ struct FaultResult
  * never reclaimed, which is exactly why static pinning defeats
  * overcommitment (Table 3).
  */
-class MemoryManager
+class MemoryManager : private obs::Instrumented
 {
   public:
     struct Stats

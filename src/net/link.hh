@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <functional>
 
+#include "obs/metrics.hh"
 #include "sim/event_queue.hh"
 #include "sim/time.hh"
 
@@ -32,7 +33,7 @@ struct LinkConfig
  * the delivery callback at arrival time. Lossless: loss in npfsim
  * happens at NIC rings, never on the wire.
  */
-class Link
+class Link : private obs::Instrumented
 {
   public:
     struct Stats
@@ -42,7 +43,13 @@ class Link
         std::uint64_t wireBytes = 0;
     };
 
-    Link(sim::EventQueue &eq, LinkConfig cfg = {}) : eq_(eq), cfg_(cfg) {}
+    Link(sim::EventQueue &eq, LinkConfig cfg = {}) : eq_(eq), cfg_(cfg)
+    {
+        obsInit("net.link");
+        obsCounter("packets", &stats_.packets);
+        obsCounter("payload_bytes", &stats_.payloadBytes);
+        obsCounter("wire_bytes", &stats_.wireBytes);
+    }
 
     /**
      * Transmit @p bytes of payload; @p deliver runs at arrival.
@@ -61,7 +68,7 @@ class Link
         stats_.payloadBytes += bytes;
         stats_.wireBytes += wire_bytes;
 
-        eq_.schedule(arrival, std::move(deliver));
+        eq_.schedule(arrival, std::move(deliver), "net.link.deliver");
         return arrival;
     }
 

@@ -1,0 +1,216 @@
+#include "obs/flow_tracer.hh"
+
+#include "obs/json.hh"
+#include "sim/log.hh"
+
+namespace npf::obs {
+
+namespace {
+
+/** Log annotator: prefix log lines with the active flow id. */
+void
+annotateLogLine(std::FILE *out)
+{
+    FlowTracer &t = tracer();
+    if (t.enabled() && t.currentFlow() != 0)
+        std::fprintf(out, "[flow %llu] ",
+                     static_cast<unsigned long long>(t.currentFlow()));
+}
+
+const char *
+trackName(int tid)
+{
+    switch (static_cast<Track>(tid)) {
+      case Track::Nic:
+        return "nic-fw";
+      case Track::Driver:
+        return "driver";
+      case Track::Iommu:
+        return "iommu";
+      case Track::Mem:
+        return "mem";
+      case Track::Net:
+        return "net";
+      case Track::Transport:
+        return "transport";
+      case Track::App:
+        return "app";
+      case Track::Sim:
+        return "sim";
+    }
+    return "other";
+}
+
+} // namespace
+
+FlowTracer &
+FlowTracer::global()
+{
+    static FlowTracer *t = [] {
+        auto *tr = new FlowTracer;
+        sim::setLogAnnotator(&annotateLogLine);
+        return tr;
+    }();
+    return *t;
+}
+
+bool
+FlowTracer::admit()
+{
+    if (events_.size() >= capacity_) {
+        ++dropped_;
+        return false;
+    }
+    return true;
+}
+
+void
+FlowTracer::push(Event e)
+{
+    if (admit())
+        events_.push_back(e);
+}
+
+FlowId
+FlowTracer::beginFlow(const char *cat, const char *name)
+{
+    if (!enabled_)
+        return 0;
+    return beginFlowAt(cat, name, now());
+}
+
+FlowId
+FlowTracer::beginFlowAt(const char *cat, const char *name, sim::Time t)
+{
+    if (!enabled_)
+        return 0;
+    FlowId f = nextFlow_++;
+    open_[f] = FlowInfo{cat, name};
+    push(Event{'b', 0, f, cat, name, t, 0, 0.0});
+    return f;
+}
+
+void
+FlowTracer::endFlow(FlowId f)
+{
+    if (!enabled_ || f == 0)
+        return;
+    endFlowAt(f, now());
+}
+
+void
+FlowTracer::endFlowAt(FlowId f, sim::Time t)
+{
+    if (!enabled_ || f == 0)
+        return;
+    auto it = open_.find(f);
+    if (it == open_.end())
+        return;
+    push(Event{'e', 0, f, it->second.cat, it->second.name, t, 0, 0.0});
+    open_.erase(it);
+}
+
+void
+FlowTracer::span(Track track, const char *cat, const char *name,
+                 sim::Time start, sim::Time dur, FlowId f)
+{
+    if (!enabled_)
+        return;
+    push(Event{'X', static_cast<int>(track), f, cat, name, start, dur,
+               0.0});
+}
+
+void
+FlowTracer::instant(Track track, const char *cat, const char *name,
+                    FlowId f)
+{
+    if (!enabled_)
+        return;
+    instantAt(track, cat, name, now(), f);
+}
+
+void
+FlowTracer::instantAt(Track track, const char *cat, const char *name,
+                      sim::Time t, FlowId f)
+{
+    if (!enabled_)
+        return;
+    push(Event{'i', static_cast<int>(track), f, cat, name, t, 0, 0.0});
+}
+
+void
+FlowTracer::counter(const char *name, double value)
+{
+    if (!enabled_)
+        return;
+    push(Event{'C', static_cast<int>(Track::Sim), 0, "counter", name,
+               now(), 0, value});
+}
+
+void
+FlowTracer::clear()
+{
+    events_.clear();
+    open_.clear();
+    dropped_ = 0;
+}
+
+void
+FlowTracer::writeChromeTrace(std::ostream &os) const
+{
+    os << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+    JsonSep sep;
+
+    // Track-name metadata so the viewer labels each layer.
+    for (int tid = 1; tid <= 8; ++tid) {
+        sep.emit(os);
+        os << "{\"ph\":\"M\",\"pid\":0,\"tid\":" << tid
+           << ",\"name\":\"thread_name\",\"args\":{\"name\":";
+        jsonString(os, trackName(tid));
+        os << "}}";
+    }
+
+    for (const Event &e : events_) {
+        sep.emit(os);
+        // ts in microseconds (Chrome's unit), sub-us as fractions.
+        double ts = static_cast<double>(e.ts) / 1000.0;
+        os << "{\"ph\":\"" << e.ph << "\",\"pid\":0";
+        switch (e.ph) {
+          case 'X':
+            os << ",\"tid\":" << e.tid << ",\"ts\":";
+            jsonNumber(os, ts);
+            os << ",\"dur\":";
+            jsonNumber(os, static_cast<double>(e.dur) / 1000.0);
+            break;
+          case 'i':
+            os << ",\"tid\":" << e.tid << ",\"ts\":";
+            jsonNumber(os, ts);
+            os << ",\"s\":\"t\"";
+            break;
+          case 'b':
+          case 'e':
+            os << ",\"tid\":0,\"id\":" << e.flow << ",\"ts\":";
+            jsonNumber(os, ts);
+            break;
+          case 'C':
+            os << ",\"tid\":" << e.tid << ",\"ts\":";
+            jsonNumber(os, ts);
+            break;
+        }
+        os << ",\"cat\":";
+        jsonString(os, e.cat);
+        os << ",\"name\":";
+        jsonString(os, e.name);
+        if (e.ph == 'C') {
+            os << ",\"args\":{\"value\":";
+            jsonNumber(os, e.value);
+            os << '}';
+        } else if (e.flow != 0) {
+            os << ",\"args\":{\"flow\":" << e.flow << '}';
+        }
+        os << '}';
+    }
+    os << "]}";
+}
+
+} // namespace npf::obs

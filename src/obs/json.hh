@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Minimal JSON writing helpers for the observability exporters. Not
+ * a general serializer — just enough to emit metrics snapshots and
+ * Chrome trace_event streams with correct escaping and number
+ * formatting.
+ */
+
+#ifndef NPF_OBS_JSON_HH
+#define NPF_OBS_JSON_HH
+
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <string>
+#include <string_view>
+
+namespace npf::obs {
+
+/** Append @p s to @p os as a quoted JSON string, escaping as needed. */
+inline void
+jsonString(std::ostream &os, std::string_view s)
+{
+    os << '"';
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            os << "\\\"";
+            break;
+          case '\\':
+            os << "\\\\";
+            break;
+          case '\n':
+            os << "\\n";
+            break;
+          case '\t':
+            os << "\\t";
+            break;
+          case '\r':
+            os << "\\r";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(c));
+                os << buf;
+            } else {
+                os << c;
+            }
+        }
+    }
+    os << '"';
+}
+
+/** Emit a double as a JSON number (JSON has no NaN/Inf: emit 0). */
+inline void
+jsonNumber(std::ostream &os, double v)
+{
+    if (!std::isfinite(v)) {
+        os << 0;
+        return;
+    }
+    // Round-trippable without drowning the file in digits.
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.12g", v);
+    os << buf;
+}
+
+/** Comma separator helper: emits "," on every call but the first. */
+class JsonSep
+{
+  public:
+    void
+    emit(std::ostream &os)
+    {
+        if (!first_)
+            os << ',';
+        first_ = false;
+    }
+
+    void reset() { first_ = true; }
+
+  private:
+    bool first_ = true;
+};
+
+} // namespace npf::obs
+
+#endif // NPF_OBS_JSON_HH

@@ -1,0 +1,200 @@
+/**
+ * @file
+ * The simulation-wide metrics registry.
+ *
+ * Every model component keeps its ad-hoc `struct Stats` exactly as
+ * before — the registry holds *pointers* into those structs, so
+ * registration costs a few string allocations at construction time
+ * and the hot paths keep bumping plain integers. A snapshot walks
+ * the registered entries and serializes them to JSON.
+ *
+ * Names are hierarchical, dot-separated, and instance-numbered:
+ * `ib.qp0.rnr_nacks_sent`, `core.npf0.driver_ns`, `mem.mm1.evictions`.
+ * Components obtain their instance prefix through the Instrumented
+ * mixin, which also guarantees deregistration on destruction.
+ */
+
+#ifndef NPF_OBS_METRICS_HH
+#define NPF_OBS_METRICS_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/histogram.hh"
+
+namespace npf::obs {
+
+/**
+ * Registry of named metrics. One process-wide instance (global());
+ * separate registries can be created for tests.
+ */
+class Registry
+{
+  public:
+    using Id = std::uint64_t;
+
+    /** The process-wide registry every component registers into. */
+    static Registry &global();
+
+    /**
+     * Allocate an instance-numbered prefix: instanceName("ib.qp")
+     * returns "ib.qp0", then "ib.qp1", ... Monotonic per prefix for
+     * the registry's lifetime, so names never collide.
+     */
+    std::string instanceName(const std::string &prefix);
+
+    /** Register a counter backed by @p v (must outlive the entry). */
+    Id addCounter(std::string name, const std::uint64_t *v);
+
+    /** Register a gauge computed on snapshot by @p fn. */
+    Id addGauge(std::string name, std::function<double()> fn);
+
+    /** Register a latency/size distribution backed by @p h. */
+    Id addHistogram(std::string name, const sim::Histogram *h);
+
+    /** Remove one entry (no-op for unknown ids). */
+    void remove(Id id);
+
+    /** Remove several entries (the Instrumented destructor path). */
+    void removeAll(const std::vector<Id> &ids);
+
+    /** Number of registered entries. */
+    std::size_t size() const { return entries_.size(); }
+
+    /**
+     * Current value of a counter or gauge by full name (live or
+     * retired); nullopt for unknown names and histograms.
+     */
+    std::optional<double> value(const std::string &name) const;
+
+    /** All registered names, sorted, optionally filtered by prefix. */
+    std::vector<std::string> names(const std::string &prefix = {}) const;
+
+    /**
+     * Detail flag: when false (the default), components skip
+     * optional per-event sample recording (e.g. per-NPF latency
+     * histograms) so idle-path overhead stays at plain counter
+     * increments. obs::Session raises it for its lifetime.
+     */
+    bool detail() const { return detail_; }
+    void setDetail(bool on) { detail_ = on; }
+
+    /**
+     * Retain flag: while true, remove() archives the final value of
+     * the departing entry instead of dropping it, so a snapshot taken
+     * after a component died (sweep benches destroy models per
+     * iteration; helpers build them in inner scopes) still shows its
+     * counters. Instance numbering guarantees retired names never
+     * clash with live ones. obs::Session raises this for its
+     * lifetime and clears the retired set when it finishes.
+     */
+    bool retain() const { return retain_; }
+    void setRetain(bool on) { retain_ = on; }
+
+    /** Drop all retired values. */
+    void clearRetired();
+
+    /** Number of retired (archived) entries. */
+    std::size_t retiredSize() const;
+
+    /**
+     * Serialize every entry:
+     * {"counters":{...},"gauges":{...},"histograms":{name:
+     * {"count":..,"mean":..,"p50":..,"p90":..,"p99":..,"min":..,
+     * "max":..}}}
+     */
+    void writeJson(std::ostream &os) const;
+
+  private:
+    enum class Kind { Counter, Gauge, Histogram };
+
+    struct Entry
+    {
+        Kind kind = Kind::Counter;
+        Id id = 0;
+        const std::uint64_t *counter = nullptr;
+        std::function<double()> gauge;
+        const sim::Histogram *histogram = nullptr;
+    };
+
+    Id insert(std::string name, Entry e);
+
+    std::map<std::string, Entry> entries_;     ///< sorted for output
+    std::map<Id, std::string> idToName_;
+    std::map<std::string, unsigned> instances_;
+    std::map<std::string, std::uint64_t> retiredCounters_;
+    std::map<std::string, double> retiredGauges_;
+    std::map<std::string, sim::Histogram> retiredHistograms_;
+    Id nextId_ = 1;
+    bool detail_ = false;
+    bool retain_ = false;
+};
+
+/**
+ * Mixin for components that export metrics. Usage:
+ *
+ *   class QueuePair : private obs::Instrumented {
+ *     QueuePair(...) {
+ *         obsInit("ib.qp");                       // -> "ib.qp3"
+ *         obsCounter("rnr_nacks_sent", &stats_.rnrNacksSent);
+ *     }
+ *   };
+ *
+ * Deregistration is automatic in the destructor, so the registry
+ * never holds dangling pointers. Non-copyable and non-movable: the
+ * registry captures field addresses.
+ */
+class Instrumented
+{
+  public:
+    Instrumented(const Instrumented &) = delete;
+    Instrumented &operator=(const Instrumented &) = delete;
+
+    /** The assigned instance prefix, e.g. "ib.qp3" ("" before obsInit). */
+    const std::string &obsName() const { return obsName_; }
+
+  protected:
+    Instrumented() = default;
+    ~Instrumented() { Registry::global().removeAll(obsIds_); }
+
+    /** Claim an instance prefix from the global registry. */
+    void
+    obsInit(const std::string &prefix)
+    {
+        obsName_ = Registry::global().instanceName(prefix);
+    }
+
+    void
+    obsCounter(const std::string &field, const std::uint64_t *v)
+    {
+        obsIds_.push_back(
+            Registry::global().addCounter(obsName_ + "." + field, v));
+    }
+
+    void
+    obsGauge(const std::string &field, std::function<double()> fn)
+    {
+        obsIds_.push_back(Registry::global().addGauge(
+            obsName_ + "." + field, std::move(fn)));
+    }
+
+    void
+    obsHistogram(const std::string &field, const sim::Histogram *h)
+    {
+        obsIds_.push_back(
+            Registry::global().addHistogram(obsName_ + "." + field, h));
+    }
+
+  private:
+    std::string obsName_;
+    std::vector<Registry::Id> obsIds_;
+};
+
+} // namespace npf::obs
+
+#endif // NPF_OBS_METRICS_HH

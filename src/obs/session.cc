@@ -1,0 +1,170 @@
+#include "obs/session.hh"
+
+#include <fstream>
+
+#include "obs/json.hh"
+#include "sim/log.hh"
+
+namespace npf::obs {
+
+Session::Session(sim::EventQueue &eq, SessionOptions opt)
+    : eq_(eq), opt_(std::move(opt))
+{
+    Registry &reg = Registry::global();
+    priorDetail_ = reg.detail();
+    reg.setDetail(true);
+    // Archive the final values of components destroyed mid-run (sweep
+    // benches tear models down every iteration) so the snapshot still
+    // shows them.
+    reg.setRetain(true);
+    reg.clearRetired();
+
+    FlowTracer &tr = tracer();
+    tr.clear();
+    tr.setClock(&eq_);
+    tr.enable(opt_.trace);
+
+    obsInit("sim.eq");
+    const sim::EventQueue::Stats &st = eq_.stats();
+    obsCounter("scheduled", &st.scheduled);
+    obsCounter("executed", &st.executed);
+    obsCounter("cancelled", &st.cancelled);
+    obsCounter("cancelled_reaped", &st.cancelledReaped);
+    obsGauge("live", [this] { return double(eq_.live()); });
+    obsGauge("pending", [this] { return double(eq_.pending()); });
+
+    eq_.setExecuteHook(
+        [this](sim::Time, sim::EventId, const char *site) {
+            if (site != nullptr)
+                ++siteCounts_[site];
+            else
+                ++unlabeledEvents_;
+        });
+
+    if (opt_.sampleInterval > 0) {
+        std::vector<std::string> names = opt_.sampledCounters;
+        if (names.empty())
+            names.push_back(obsName() + ".executed");
+        for (auto &n : names) {
+            Sampled s;
+            s.name = std::move(n);
+            s.last = Registry::global().value(s.name).value_or(0.0);
+            s.series =
+                std::make_unique<sim::RateSeries>(opt_.sampleInterval);
+            sampled_.push_back(std::move(s));
+        }
+        eq_.scheduleAfter(opt_.sampleInterval, [this] { sampleTick(); },
+                          "obs.sampler");
+    }
+}
+
+Session::~Session()
+{
+    finish();
+}
+
+void
+Session::sampleTick()
+{
+    for (Sampled &s : sampled_) {
+        double cur = Registry::global().value(s.name).value_or(0.0);
+        s.series->record(eq_.now(), cur - s.last);
+        s.last = cur;
+    }
+    // Reschedule only while something else is live, so a draining
+    // queue actually drains (eq.run() would otherwise never return).
+    if (eq_.live() > 0)
+        eq_.scheduleAfter(opt_.sampleInterval, [this] { sampleTick(); },
+                          "obs.sampler");
+}
+
+void
+Session::finish()
+{
+    if (finished_)
+        return;
+    finished_ = true;
+
+    eq_.setExecuteHook(nullptr);
+
+    if (!opt_.metricsOut.empty()) {
+        std::ofstream f(opt_.metricsOut);
+        if (f)
+            writeMetrics(f);
+        else
+            sim::logf(sim::LogLevel::Warn, eq_.now(),
+                      "obs: cannot write metrics to %s",
+                      opt_.metricsOut.c_str());
+    }
+    if (opt_.trace && !opt_.traceOut.empty()) {
+        std::ofstream f(opt_.traceOut);
+        if (f)
+            writeTrace(f);
+        else
+            sim::logf(sim::LogLevel::Warn, eq_.now(),
+                      "obs: cannot write trace to %s",
+                      opt_.traceOut.c_str());
+    }
+
+    FlowTracer &tr = tracer();
+    tr.enable(false);
+    tr.setClock(nullptr);
+    Registry::global().setDetail(priorDetail_);
+    Registry::global().setRetain(false);
+    Registry::global().clearRetired();
+}
+
+void
+Session::writeMetrics(std::ostream &os) const
+{
+    os << "{\"sim_time_ns\":" << eq_.now() << ",\"metrics\":";
+    Registry::global().writeJson(os);
+
+    os << ",\"event_sites\":{";
+    JsonSep sep;
+    for (const auto &[site, count] : siteCounts_) {
+        sep.emit(os);
+        jsonString(os, site);
+        os << ':' << count;
+    }
+    if (unlabeledEvents_ > 0) {
+        sep.emit(os);
+        jsonString(os, "(unlabeled)");
+        os << ':' << unlabeledEvents_;
+    }
+    os << '}';
+
+    os << ",\"series\":{";
+    sep.reset();
+    for (const Sampled &s : sampled_) {
+        sep.emit(os);
+        jsonString(os, s.name);
+        os << ":{\"bucket_ns\":" << opt_.sampleInterval
+           << ",\"counts\":[";
+        JsonSep inner;
+        for (std::size_t i = 0; i < s.series->buckets(); ++i) {
+            inner.emit(os);
+            jsonNumber(os, s.series->count(i));
+        }
+        os << "]}";
+    }
+    os << "}}";
+}
+
+void
+Session::writeTrace(std::ostream &os) const
+{
+    tracer().writeChromeTrace(os);
+}
+
+const sim::RateSeries *
+Session::series(const std::string &counter) const
+{
+    for (const Sampled &s : sampled_) {
+        if (s.name == counter)
+            return s.series.get();
+    }
+    return nullptr;
+}
+
+} // namespace npf::obs

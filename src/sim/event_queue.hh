@@ -39,6 +39,25 @@ class EventQueue
   public:
     using Callback = std::function<void()>;
 
+    /** Lifetime counters, exported by the observability layer. */
+    struct Stats
+    {
+        std::uint64_t scheduled = 0;       ///< schedule() calls
+        std::uint64_t executed = 0;        ///< callbacks actually run
+        std::uint64_t cancelled = 0;       ///< cancel() calls that hit
+                                           ///< a live event
+        std::uint64_t cancelledReaped = 0; ///< cancelled entries
+                                           ///< discarded unexecuted
+    };
+
+    /**
+     * Optional post-execution hook: (time, id, site). @p site is the
+     * label passed to schedule(), or nullptr. Installed by
+     * obs::Session for per-callback-site accounting; keep it cheap.
+     */
+    using ExecuteHook =
+        std::function<void(Time now, EventId id, const char *site)>;
+
     EventQueue() = default;
     EventQueue(const EventQueue &) = delete;
     EventQueue &operator=(const EventQueue &) = delete;
@@ -49,41 +68,64 @@ class EventQueue
     /**
      * Schedule @p cb to run at absolute time @p when.
      * Scheduling in the past is clamped to now().
+     * @p site optionally labels the scheduling call site (a string
+     * literal) for per-site metrics; it is not owned by the queue.
      * @return a handle that can be passed to cancel().
      */
     EventId
-    schedule(Time when, Callback cb)
+    schedule(Time when, Callback cb, const char *site = nullptr)
     {
         if (when < now_)
             when = now_;
         EventId id = nextId_++;
-        heap_.push(Entry{when, id, std::move(cb)});
+        heap_.push(Entry{when, id, std::move(cb), site});
+        live_.insert(id);
+        ++stats_.scheduled;
         return id;
     }
 
     /** Schedule @p cb to run @p delay after the current time. */
     EventId
-    scheduleAfter(Time delay, Callback cb)
+    scheduleAfter(Time delay, Callback cb, const char *site = nullptr)
     {
-        return schedule(now_ + delay, std::move(cb));
+        return schedule(now_ + delay, std::move(cb), site);
     }
 
     /**
      * Cancel a previously scheduled event. Cancelling an event that
-     * already ran (or was already cancelled) is a harmless no-op.
+     * already ran (or was already cancelled) is a harmless no-op —
+     * such ids are ignored outright, so they cannot accumulate.
      */
     void
     cancel(EventId id)
     {
-        if (id != kInvalidEvent)
-            cancelled_.insert(id);
+        if (id == kInvalidEvent || live_.find(id) == live_.end())
+            return; // never scheduled, executed, or already reaped
+        if (cancelled_.insert(id).second)
+            ++stats_.cancelled;
     }
 
-    /** Number of events still in the queue (may include cancelled). */
+    /**
+     * Number of entries still in the queue, *including* events that
+     * were cancelled but whose entries have not been reaped yet. Use
+     * live() for the count of events that will actually run.
+     */
     std::size_t pending() const { return heap_.size(); }
 
-    /** True when no events remain in the queue. */
+    /** Number of scheduled events that will actually execute. */
+    std::size_t live() const { return heap_.size() - cancelled_.size(); }
+
+    /**
+     * True when no entries remain in the queue (a queue holding only
+     * cancelled events is not empty until they are reaped; check
+     * live() == 0 for "nothing left to run").
+     */
     bool empty() const { return heap_.empty(); }
+
+    const Stats &stats() const { return stats_; }
+
+    /** Install (or clear, with nullptr) the post-execution hook. */
+    void setExecuteHook(ExecuteHook hook) { hook_ = std::move(hook); }
 
     /**
      * Run a single event, advancing time to it.
@@ -92,25 +134,28 @@ class EventQueue
     bool
     step()
     {
-        while (!heap_.empty()) {
-            Entry e = std::move(const_cast<Entry &>(heap_.top()));
-            heap_.pop();
-            if (auto it = cancelled_.find(e.id); it != cancelled_.end()) {
-                cancelled_.erase(it);
-                continue;
-            }
-            now_ = e.when;
-            e.cb();
-            return true;
-        }
-        return false;
+        reapCancelledTop();
+        if (heap_.empty())
+            return false;
+        Entry e = std::move(const_cast<Entry &>(heap_.top()));
+        heap_.pop();
+        live_.erase(e.id);
+        now_ = e.when;
+        ++stats_.executed;
+        e.cb();
+        if (hook_)
+            hook_(now_, e.id, e.site);
+        return true;
     }
 
     /** Run all events up to and including time @p until. */
     void
     runUntil(Time until)
     {
-        while (!heap_.empty() && heap_.top().when <= until) {
+        for (;;) {
+            reapCancelledTop();
+            if (heap_.empty() || heap_.top().when > until)
+                break;
             if (!step())
                 break;
         }
@@ -136,7 +181,10 @@ class EventQueue
     {
         if (predicate())
             return true;
-        while (!heap_.empty() && heap_.top().when <= deadline) {
+        for (;;) {
+            reapCancelledTop();
+            if (heap_.empty() || heap_.top().when > deadline)
+                break;
             if (!step())
                 break;
             if (predicate())
@@ -151,6 +199,7 @@ class EventQueue
         Time when;
         EventId id;
         Callback cb;
+        const char *site = nullptr;
 
         bool
         operator>(const Entry &o) const
@@ -162,10 +211,30 @@ class EventQueue
         }
     };
 
+    /** Discard cancelled entries sitting at the top of the heap, so
+     *  time-bounded loops never confuse a cancelled event's time with
+     *  that of the next live one. */
+    void
+    reapCancelledTop()
+    {
+        while (!heap_.empty()) {
+            auto it = cancelled_.find(heap_.top().id);
+            if (it == cancelled_.end())
+                return;
+            live_.erase(heap_.top().id);
+            cancelled_.erase(it);
+            ++stats_.cancelledReaped;
+            heap_.pop();
+        }
+    }
+
     std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
-    std::unordered_set<EventId> cancelled_;
+    std::unordered_set<EventId> live_;      ///< scheduled, not yet popped
+    std::unordered_set<EventId> cancelled_; ///< subset of live_
     Time now_ = 0;
     EventId nextId_ = 1;
+    Stats stats_;
+    ExecuteHook hook_;
 };
 
 } // namespace npf::sim

@@ -2,14 +2,51 @@
 
 #include <cstdarg>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 namespace npf::sim {
+
+namespace {
+
+LogLevel
+levelFromEnv()
+{
+    const char *env = std::getenv("NPF_LOG");
+    if (env == nullptr)
+        return LogLevel::Warn;
+    if (std::strcmp(env, "debug") == 0 || std::strcmp(env, "3") == 0)
+        return LogLevel::Debug;
+    if (std::strcmp(env, "info") == 0 || std::strcmp(env, "2") == 0)
+        return LogLevel::Info;
+    if (std::strcmp(env, "warn") == 0 || std::strcmp(env, "1") == 0)
+        return LogLevel::Warn;
+    if (std::strcmp(env, "none") == 0 || std::strcmp(env, "off") == 0 ||
+        std::strcmp(env, "0") == 0)
+        return LogLevel::None;
+    return LogLevel::Warn;
+}
+
+LogAnnotator &
+annotator()
+{
+    static LogAnnotator fn = nullptr;
+    return fn;
+}
+
+} // namespace
 
 LogLevel &
 logLevel()
 {
-    static LogLevel level = LogLevel::Warn;
+    static LogLevel level = levelFromEnv();
     return level;
+}
+
+void
+setLogAnnotator(LogAnnotator fn)
+{
+    annotator() = fn;
 }
 
 bool
@@ -24,6 +61,8 @@ logf(LogLevel lvl, Time now, const char *fmt, ...)
     if (!logEnabled(lvl))
         return;
     std::fprintf(stderr, "[%12.6f] ", toSeconds(now));
+    if (annotator() != nullptr)
+        annotator()(stderr);
     va_list ap;
     va_start(ap, fmt);
     std::vfprintf(stderr, fmt, ap);

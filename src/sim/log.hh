@@ -15,8 +15,22 @@ namespace npf::sim {
 
 enum class LogLevel { None = 0, Warn = 1, Info = 2, Debug = 3 };
 
-/** Global log level; settable by programs (default: warnings only). */
+/**
+ * Global log level; settable by programs. Defaults to warnings only,
+ * unless the NPF_LOG environment variable is set at startup to one
+ * of: none | warn | info | debug (or the numerals 0-3).
+ */
 LogLevel &logLevel();
+
+/**
+ * Optional annotator invoked between the time prefix and the message
+ * body of every emitted log line. The observability layer installs
+ * one that prints the active flow id while tracing is enabled, so
+ * log lines can be correlated with trace spans. Pass nullptr to
+ * clear.
+ */
+using LogAnnotator = void (*)(std::FILE *out);
+void setLogAnnotator(LogAnnotator fn);
 
 /** True if messages at @p lvl should be emitted. */
 bool logEnabled(LogLevel lvl);

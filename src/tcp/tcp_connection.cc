@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/flow_tracer.hh"
+
 namespace npf::tcp {
 
 TcpConnection::TcpConnection(sim::EventQueue &eq, std::uint32_t conn_id,
@@ -13,6 +15,18 @@ TcpConnection::TcpConnection(sim::EventQueue &eq, std::uint32_t conn_id,
     cwnd_ = std::min(cfg_.initialCwndSegs * cfg_.mss,
                      cfg_.maxWindowBytes);
     ssthresh_ = cfg_.maxWindowBytes;
+
+    obsInit("tcp.conn");
+    obsCounter("segments_sent", &stats_.segmentsSent);
+    obsCounter("segments_received", &stats_.segmentsReceived);
+    obsCounter("bytes_sent", &stats_.bytesSent);
+    obsCounter("bytes_delivered", &stats_.bytesDelivered);
+    obsCounter("retransmissions", &stats_.retransmissions);
+    obsCounter("timeouts", &stats_.timeouts);
+    obsCounter("fast_retransmits", &stats_.fastRetransmits);
+    obsCounter("dup_acks_received", &stats_.dupAcksReceived);
+    obsCounter("syn_retries", &stats_.synRetries);
+    obsGauge("cwnd", [this] { return double(cwnd_); });
 }
 
 void
@@ -54,7 +68,7 @@ TcpConnection::sendSyn()
         }
         ++stats_.synRetries;
         sendSyn();
-    });
+    }, "tcp.syn_retry");
 }
 
 void
@@ -295,6 +309,8 @@ TcpConnection::handleAckField(const Segment &seg)
         ++stats_.dupAcksReceived;
         if (++dupAcks_ == cfg_.dupAckThreshold) {
             ++stats_.fastRetransmits;
+            obs::tracer().instant(obs::Track::Transport, "tcp",
+                                  "tcp.fast_retransmit");
             ++stats_.retransmissions;
             ssthresh_ = std::max<std::size_t>(bytesInFlight() / 2,
                                               2 * cfg_.mss);
@@ -319,7 +335,7 @@ TcpConnection::armRto()
     rtoTimer_ = eq_.scheduleAfter(rto_, [this] {
         rtoTimer_ = sim::kInvalidEvent;
         onRtoFire();
-    });
+    }, "tcp.rto");
 }
 
 void
@@ -338,6 +354,7 @@ TcpConnection::onRtoFire()
         return;
     ++stats_.timeouts;
     ++stats_.retransmissions;
+    obs::tracer().instant(obs::Track::Transport, "tcp", "tcp.rto_fire");
     if (++retries_ > cfg_.maxDataRetries) {
         fail();
         return;

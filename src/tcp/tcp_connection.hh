@@ -17,6 +17,7 @@
 #include <map>
 
 #include "mem/types.hh"
+#include "obs/metrics.hh"
 #include "sim/event_queue.hh"
 #include "sim/time.hh"
 #include "tcp/segment.hh"
@@ -45,7 +46,7 @@ struct TcpConfig
  * byte-counted; send() optionally records the source buffer address
  * so the NIC DMA-reads real (possibly cold) IOuser memory.
  */
-class TcpConnection
+class TcpConnection : private obs::Instrumented
 {
   public:
     /** (segment, source buffer address or 0) -> hand to the NIC. */

@@ -6,6 +6,9 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
+#include <string>
+
 #include "sim/event_queue.hh"
 #include "sim/histogram.hh"
 #include "sim/random.hh"
@@ -170,6 +173,142 @@ TEST(RateSeries, BucketsAndRates)
     EXPECT_DOUBLE_EQ(s.rate(1), 0.0);
     EXPECT_DOUBLE_EQ(s.rate(3), 1.0);
     EXPECT_DOUBLE_EQ(s.total(), 3.0);
+}
+
+TEST(EventQueue, CancelOfExecutedIdDoesNotLeak)
+{
+    // Regression: cancelling an id that already ran used to park the
+    // id in the cancelled set forever (nothing ever reaped it), so
+    // long retransmit-timer workloads leaked memory and live() went
+    // wrong. Executed ids must be ignored outright.
+    sim::EventQueue eq;
+    for (int i = 0; i < 1000; ++i) {
+        sim::EventId id = eq.schedule(eq.now() + 1, [] {});
+        eq.run();
+        eq.cancel(id); // already executed: must be a no-op
+    }
+    EXPECT_EQ(eq.stats().cancelled, 0u);
+    EXPECT_EQ(eq.stats().cancelledReaped, 0u);
+    EXPECT_EQ(eq.pending(), 0u);
+    EXPECT_EQ(eq.live(), 0u);
+}
+
+TEST(EventQueue, PendingCountsCancelledLiveDoesNot)
+{
+    sim::EventQueue eq;
+    sim::EventId a = eq.schedule(10, [] {});
+    eq.schedule(20, [] {});
+    eq.schedule(30, [] {});
+    EXPECT_EQ(eq.pending(), 3u);
+    EXPECT_EQ(eq.live(), 3u);
+    eq.cancel(a);
+    // The entry is still in the heap (pending) but will never run
+    // (not live).
+    EXPECT_EQ(eq.pending(), 3u);
+    EXPECT_EQ(eq.live(), 2u);
+    EXPECT_FALSE(eq.empty());
+    eq.run();
+    EXPECT_EQ(eq.stats().executed, 2u);
+    EXPECT_EQ(eq.stats().cancelledReaped, 1u);
+    EXPECT_EQ(eq.live(), 0u);
+}
+
+TEST(EventQueue, RunUntilReapsCancelledTop)
+{
+    // Regression: a cancelled event at the top of the heap must not
+    // make runUntil() believe the next live event is inside the
+    // window.
+    sim::EventQueue eq;
+    bool b_ran = false;
+    sim::EventId a = eq.schedule(5, [] {});
+    eq.schedule(100, [&] { b_ran = true; });
+    eq.cancel(a);
+    eq.runUntil(10);
+    EXPECT_FALSE(b_ran);
+    EXPECT_EQ(eq.now(), 10u);
+    EXPECT_EQ(eq.stats().cancelledReaped, 1u);
+    eq.run();
+    EXPECT_TRUE(b_ran);
+}
+
+TEST(EventQueue, DoubleCancelCountsOnce)
+{
+    sim::EventQueue eq;
+    sim::EventId id = eq.schedule(10, [] {});
+    eq.cancel(id);
+    eq.cancel(id);
+    EXPECT_EQ(eq.stats().cancelled, 1u);
+    eq.run();
+    EXPECT_EQ(eq.stats().executed, 0u);
+    EXPECT_EQ(eq.stats().cancelledReaped, 1u);
+}
+
+TEST(EventQueue, ExecuteHookSeesSiteLabels)
+{
+    sim::EventQueue eq;
+    std::map<std::string, int> sites;
+    int unlabeled = 0;
+    eq.setExecuteHook(
+        [&](sim::Time, sim::EventId, const char *site) {
+            if (site)
+                ++sites[site];
+            else
+                ++unlabeled;
+        });
+    eq.schedule(1, [] {}, "tx");
+    eq.schedule(2, [] {}, "tx");
+    eq.schedule(3, [] {}, "rx");
+    eq.schedule(4, [] {});
+    eq.run();
+    EXPECT_EQ(sites["tx"], 2);
+    EXPECT_EQ(sites["rx"], 1);
+    EXPECT_EQ(unlabeled, 1);
+    eq.setExecuteHook(nullptr); // clearing must be safe
+    eq.schedule(5, [] {});
+    eq.run();
+    EXPECT_EQ(unlabeled, 1);
+}
+
+TEST(Histogram, ClearResets)
+{
+    sim::Histogram h;
+    h.record(3);
+    h.record(7);
+    h.clear();
+    EXPECT_TRUE(h.empty());
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+    h.record(4);
+    EXPECT_EQ(h.count(), 1u);
+    EXPECT_DOUBLE_EQ(h.mean(), 4.0);
+}
+
+TEST(Histogram, StddevAndExtremePercentiles)
+{
+    sim::Histogram h;
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        h.record(v);
+    EXPECT_DOUBLE_EQ(h.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(h.stddev(), 2.0); // classic textbook set
+    EXPECT_DOUBLE_EQ(h.percentile(0), 2.0);
+    EXPECT_DOUBLE_EQ(h.percentile(100), 9.0);
+    EXPECT_DOUBLE_EQ(h.percentile(-5), 2.0);
+    EXPECT_DOUBLE_EQ(h.percentile(250), 9.0);
+}
+
+TEST(RateSeries, OutOfRangeAndWeightedCounts)
+{
+    sim::RateSeries s(sim::kMillisecond);
+    s.record(0, 5.0);
+    s.record(2 * sim::kMillisecond + 1, 2.5);
+    EXPECT_EQ(s.buckets(), 3u);
+    EXPECT_DOUBLE_EQ(s.count(0), 5.0);
+    EXPECT_DOUBLE_EQ(s.count(1), 0.0);
+    EXPECT_DOUBLE_EQ(s.count(2), 2.5);
+    EXPECT_DOUBLE_EQ(s.count(99), 0.0); // beyond range: 0, no grow
+    EXPECT_DOUBLE_EQ(s.rate(99), 0.0);
+    EXPECT_EQ(s.buckets(), 3u);
+    EXPECT_EQ(s.bucketStart(2), 2 * sim::kMillisecond);
+    EXPECT_DOUBLE_EQ(s.total(), 7.5);
 }
 
 TEST(Rng, DeterministicForSameSeed)

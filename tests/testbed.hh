@@ -9,10 +9,13 @@
 #define NPF_TESTS_TESTBED_HH
 
 #include <memory>
+#include <sstream>
+#include <string>
 
 #include "core/npf_controller.hh"
 #include "eth/eth_nic.hh"
 #include "mem/memory_manager.hh"
+#include "obs/metrics.hh"
 #include "sim/event_queue.hh"
 #include "tcp/endpoint.hh"
 
@@ -102,6 +105,21 @@ struct EthTestbed
         });
         eq.runUntilCondition([&] { return done; }, eq.now() + deadline);
         return ok && cli.established();
+    }
+
+    /**
+     * JSON snapshot of every registered metric — the testbed's
+     * components (NICs, NPF controllers, memory managers, TCP
+     * connections) all register into the global registry, so tests
+     * can assert on cross-layer counters without plumbing Stats
+     * structs around.
+     */
+    std::string
+    metricsJson() const
+    {
+        std::ostringstream os;
+        obs::Registry::global().writeJson(os);
+        return os.str();
     }
 };
 
