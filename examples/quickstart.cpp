@@ -19,6 +19,7 @@
 
 #include <cstdio>
 #include <cstring>
+#include <memory>
 
 #include "core/npf_controller.hh"
 #include "ib/queue_pair.hh"
@@ -35,13 +36,17 @@ main(int argc, char **argv)
 
     // --- the world: an event queue, two hosts, one switch -----------
     sim::EventQueue eq;
-    obs::SessionOptions obs_opt;
-    obs_opt.trace = trace;
+    // Observability costs nothing unless asked for: only --trace
+    // creates the session (which raises the detail/retain flags and
+    // installs the per-event execute hook for its lifetime).
+    std::unique_ptr<obs::Session> session;
     if (trace) {
+        obs::SessionOptions obs_opt;
+        obs_opt.trace = true;
         obs_opt.traceOut = "quickstart_trace.json";
         obs_opt.metricsOut = "quickstart_metrics.json";
+        session = std::make_unique<obs::Session>(eq, obs_opt);
     }
-    obs::Session session(eq, obs_opt);
     net::Fabric fabric(eq, 2,
                        net::FabricConfig{net::LinkConfig{56e9, 300, 32},
                                          200});
@@ -124,9 +129,10 @@ main(int argc, char **argv)
                     rcv_nic.stats().npfs + snd_nic.stats().npfs -
                     faults_before));
 
-    session.finish();
-    if (trace)
+    if (session) {
+        session->finish();
         std::printf("\nwrote quickstart_trace.json + "
                     "quickstart_metrics.json\n");
+    }
     return 0;
 }

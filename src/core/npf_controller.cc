@@ -11,18 +11,18 @@ NpfController::NpfController(sim::EventQueue &eq, OdpConfig cfg,
                              std::uint64_t seed)
     : eq_(eq), cfg_(cfg), rng_(seed)
 {
-    obsInit("core.npf");
-    obsCounter("npfs", &stats_.npfs);
-    obsCounter("merged_npfs", &stats_.mergedNpfs);
-    obsCounter("queued_npfs", &stats_.queuedNpfs);
-    obsCounter("pages_mapped", &stats_.pagesMapped);
-    obsCounter("major_faults", &stats_.majorFaults);
-    obsCounter("invalidations", &stats_.invalidations);
-    obsHistogram("trigger_ns", &lat_.triggerNs);
-    obsHistogram("driver_ns", &lat_.driverNs);
-    obsHistogram("pt_update_ns", &lat_.ptUpdateNs);
-    obsHistogram("resume_ns", &lat_.resumeNs);
-    obsHistogram("total_ns", &lat_.totalNs);
+    obs_.init("core.npf");
+    obs_.counter("npfs", &stats_.npfs);
+    obs_.counter("merged_npfs", &stats_.mergedNpfs);
+    obs_.counter("queued_npfs", &stats_.queuedNpfs);
+    obs_.counter("pages_mapped", &stats_.pagesMapped);
+    obs_.counter("major_faults", &stats_.majorFaults);
+    obs_.counter("invalidations", &stats_.invalidations);
+    obs_.histogram("trigger_ns", &lat_.triggerNs);
+    obs_.histogram("driver_ns", &lat_.driverNs);
+    obs_.histogram("pt_update_ns", &lat_.ptUpdateNs);
+    obs_.histogram("resume_ns", &lat_.resumeNs);
+    obs_.histogram("total_ns", &lat_.totalNs);
 }
 
 void

@@ -72,7 +72,7 @@ struct InvalidationBreakdown
  * traced as one flow with trigger/driver/pt_update/resume spans on
  * the nic-fw, driver and iommu tracks.
  */
-class NpfController : private obs::Instrumented
+class NpfController
 {
   public:
     using ResolveCallback = std::function<void(const NpfBreakdown &)>;
@@ -201,6 +201,7 @@ class NpfController : private obs::Instrumented
         sim::Histogram triggerNs, driverNs, ptUpdateNs, resumeNs, totalNs;
     };
     Latencies lat_;
+    obs::Instrumented obs_; ///< last member: deregisters first
 };
 
 } // namespace npf::core

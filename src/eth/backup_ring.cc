@@ -12,13 +12,13 @@ BackupRingManager::BackupRingManager(sim::EventQueue &eq, EthNic &nic,
                                      std::size_t capacity)
     : eq_(eq), nic_(nic), capacity_(capacity)
 {
-    obsInit("eth.backup");
-    obsCounter("parked", &stats_.parked);
-    obsCounter("overflow_drops", &stats_.overflowDrops);
-    obsCounter("resolved", &stats_.resolved);
-    obsCounter("resolution_retries", &stats_.resolutionRetries);
-    obsCounter("waits_for_room", &stats_.waitsForRoom);
-    obsGauge("pending", [this] { return double(pendingCount_); });
+    obs_.init("eth.backup");
+    obs_.counter("parked", &stats_.parked);
+    obs_.counter("overflow_drops", &stats_.overflowDrops);
+    obs_.counter("resolved", &stats_.resolved);
+    obs_.counter("resolution_retries", &stats_.resolutionRetries);
+    obs_.counter("waits_for_room", &stats_.waitsForRoom);
+    obs_.gauge("pending", [this] { return double(pendingCount_); });
 }
 
 bool

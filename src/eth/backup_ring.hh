@@ -38,7 +38,7 @@ struct BackupEntry
 /**
  * Driver-side manager of the pinned backup ring.
  */
-class BackupRingManager : private obs::Instrumented
+class BackupRingManager
 {
   public:
     struct Stats
@@ -82,6 +82,7 @@ class BackupRingManager : private obs::Instrumented
     std::unordered_map<unsigned, bool> resolverBusy_;
     bool isrPending_ = false;
     std::size_t pendingCount_ = 0;
+    obs::Instrumented obs_; ///< last member: deregisters first
 };
 
 } // namespace npf::eth

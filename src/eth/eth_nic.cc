@@ -12,11 +12,11 @@ EthNic::EthNic(sim::EventQueue &eq, core::NpfController &npfc,
                EthNicConfig cfg, std::uint64_t seed)
     : eq_(eq), npfc_(npfc), cfg_(cfg), rng_(seed)
 {
-    obsInit("eth.nic");
-    obsCounter("frames_sent", &stats_.framesSent);
-    obsCounter("frames_received", &stats_.framesReceived);
-    obsCounter("tx_npfs", &stats_.txNpfs);
-    obsCounter("unroutable", &stats_.unroutable);
+    obs_.init("eth.nic");
+    obs_.counter("frames_sent", &stats_.framesSent);
+    obs_.counter("frames_received", &stats_.framesReceived);
+    obs_.counter("tx_npfs", &stats_.txNpfs);
+    obs_.counter("unroutable", &stats_.unroutable);
     backup_ = std::make_unique<BackupRingManager>(eq_, *this,
                                                   cfg_.backupRingSize);
 }
@@ -46,12 +46,12 @@ EthNic::createRxRing(core::ChannelId ch, RxRingConfig cfg,
     // Rings are heap-allocated and live as long as the NIC, so their
     // Stats fields are stable registration targets.
     std::string pfx = "ring" + std::to_string(id);
-    obsCounter(pfx + ".delivered", &r.stats.delivered);
-    obsCounter(pfx + ".stored_direct", &r.stats.storedDirect);
-    obsCounter(pfx + ".rnpfs", &r.stats.rnpfs);
-    obsCounter(pfx + ".to_backup", &r.stats.toBackup);
-    obsCounter(pfx + ".dropped", &r.stats.dropped);
-    obsCounter(pfx + ".resolved", &r.stats.resolved);
+    obs_.counter(pfx + ".delivered", &r.stats.delivered);
+    obs_.counter(pfx + ".stored_direct", &r.stats.storedDirect);
+    obs_.counter(pfx + ".rnpfs", &r.stats.rnpfs);
+    obs_.counter(pfx + ".to_backup", &r.stats.toBackup);
+    obs_.counter(pfx + ".dropped", &r.stats.dropped);
+    obs_.counter(pfx + ".resolved", &r.stats.resolved);
     return id;
 }
 

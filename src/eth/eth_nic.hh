@@ -41,7 +41,7 @@ struct EthNicConfig
  * receive ring with an NpfController channel (its IOMMU view of the
  * owning IOuser's address space).
  */
-class EthNic : private obs::Instrumented
+class EthNic
 {
   public:
     using RxHandler = std::function<void(const Frame &)>;
@@ -145,6 +145,7 @@ class EthNic : private obs::Instrumented
     std::vector<std::unique_ptr<TxQueue>> txQueues_;
     std::unique_ptr<BackupRingManager> backup_;
     std::uint64_t rxSeq_ = 0;
+    obs::Instrumented obs_; ///< last member: deregisters first
 };
 
 } // namespace npf::eth

@@ -12,21 +12,21 @@ QueuePair::QueuePair(sim::EventQueue &eq, net::Fabric &fabric, unsigned node,
     : eq_(eq), fabric_(fabric), node_(node), npfc_(npfc), channel_(channel),
       cfg_(cfg), rng_(seed)
 {
-    obsInit("ib.qp");
-    obsCounter("data_packets_sent", &stats_.dataPacketsSent);
-    obsCounter("data_packets_delivered", &stats_.dataPacketsDelivered);
-    obsCounter("data_packets_dropped", &stats_.dataPacketsDropped);
-    obsCounter("retransmitted", &stats_.retransmitted);
-    obsCounter("rnr_nacks_sent", &stats_.rnrNacksSent);
-    obsCounter("rnr_nacks_received", &stats_.rnrNacksReceived);
-    obsCounter("nak_seq_sent", &stats_.nakSeqSent);
-    obsCounter("read_rnr_sent", &stats_.readRnrSent);
-    obsCounter("read_rnr_received", &stats_.readRnrReceived);
-    obsCounter("rewinds", &stats_.rewinds);
-    obsCounter("send_npfs", &stats_.sendNpfs);
-    obsCounter("recv_npfs", &stats_.recvNpfs);
-    obsCounter("messages_delivered", &stats_.messagesDelivered);
-    obsCounter("bytes_delivered", &stats_.bytesDelivered);
+    obs_.init("ib.qp");
+    obs_.counter("data_packets_sent", &stats_.dataPacketsSent);
+    obs_.counter("data_packets_delivered", &stats_.dataPacketsDelivered);
+    obs_.counter("data_packets_dropped", &stats_.dataPacketsDropped);
+    obs_.counter("retransmitted", &stats_.retransmitted);
+    obs_.counter("rnr_nacks_sent", &stats_.rnrNacksSent);
+    obs_.counter("rnr_nacks_received", &stats_.rnrNacksReceived);
+    obs_.counter("nak_seq_sent", &stats_.nakSeqSent);
+    obs_.counter("read_rnr_sent", &stats_.readRnrSent);
+    obs_.counter("read_rnr_received", &stats_.readRnrReceived);
+    obs_.counter("rewinds", &stats_.rewinds);
+    obs_.counter("send_npfs", &stats_.sendNpfs);
+    obs_.counter("recv_npfs", &stats_.recvNpfs);
+    obs_.counter("messages_delivered", &stats_.messagesDelivered);
+    obs_.counter("bytes_delivered", &stats_.bytesDelivered);
 }
 
 void

@@ -64,7 +64,7 @@ struct QpConfig
  * DMA accesses go through the owning NpfController channel, so cold
  * buffers genuinely fault and resolve through the full NPF flow.
  */
-class QueuePair : private obs::Instrumented
+class QueuePair
 {
   public:
     using CompletionHandler = std::function<void(const Completion &)>;
@@ -253,6 +253,7 @@ class QueuePair : private obs::Instrumented
     ReadInitiatorState readInit_;
     std::uint64_t nextReadId_ = 1;
     bool readRespScheduled_ = false;
+    obs::Instrumented obs_; ///< last member: deregisters first
 };
 
 } // namespace npf::ib

@@ -35,7 +35,7 @@ struct Translation
  * through invalidate(), which keeps the IOTLB coherent with the page
  * table — the core invariant tested in tests/iommu.
  */
-class IoMmu : private obs::Instrumented
+class IoMmu
 {
   public:
     struct Stats
@@ -48,15 +48,15 @@ class IoMmu : private obs::Instrumented
 
     explicit IoMmu(std::size_t tlb_capacity = 256) : tlb_(tlb_capacity)
     {
-        obsInit("iommu.mmu");
-        obsCounter("translations", &stats_.translations);
-        obsCounter("faults", &stats_.faults);
-        obsCounter("mapped", &stats_.mapped);
-        obsCounter("unmapped", &stats_.unmapped);
-        obsCounter("tlb_hits", &tlb_.stats().hits);
-        obsCounter("tlb_misses", &tlb_.stats().misses);
-        obsCounter("tlb_invalidations", &tlb_.stats().invalidations);
-        obsCounter("tlb_evictions", &tlb_.stats().evictions);
+        obs_.init("iommu.mmu");
+        obs_.counter("translations", &stats_.translations);
+        obs_.counter("faults", &stats_.faults);
+        obs_.counter("mapped", &stats_.mapped);
+        obs_.counter("unmapped", &stats_.unmapped);
+        obs_.counter("tlb_hits", &tlb_.stats().hits);
+        obs_.counter("tlb_misses", &tlb_.stats().misses);
+        obs_.counter("tlb_invalidations", &tlb_.stats().invalidations);
+        obs_.counter("tlb_evictions", &tlb_.stats().evictions);
     }
 
     /** Translate one IOVA page. */
@@ -122,6 +122,7 @@ class IoMmu : private obs::Instrumented
     IoPageTable table_;
     IoTlb tlb_;
     Stats stats_;
+    obs::Instrumented obs_; ///< last member: deregisters first
 };
 
 } // namespace npf::iommu

@@ -17,16 +17,16 @@ MemoryManager::MemoryManager(std::size_t total_bytes, MemCostConfig cost,
                              BackingStoreConfig swap)
     : phys_(total_bytes), swap_(swap), cost_(cost)
 {
-    obsInit("mem.mm");
-    obsCounter("minor_faults", &stats_.minorFaults);
-    obsCounter("major_faults", &stats_.majorFaults);
-    obsCounter("evictions", &stats_.evictions);
-    obsCounter("swap_outs", &stats_.swapOuts);
-    obsCounter("swap_ins", &stats_.swapIns);
-    obsCounter("oom_failures", &stats_.oomFailures);
-    obsGauge("free_frames", [this] { return double(phys_.freeFrames()); });
-    obsGauge("used_frames", [this] { return double(phys_.usedFrames()); });
-    obsGauge("pinned_pages", [this] { return double(pinnedPages_); });
+    obs_.init("mem.mm");
+    obs_.counter("minor_faults", &stats_.minorFaults);
+    obs_.counter("major_faults", &stats_.majorFaults);
+    obs_.counter("evictions", &stats_.evictions);
+    obs_.counter("swap_outs", &stats_.swapOuts);
+    obs_.counter("swap_ins", &stats_.swapIns);
+    obs_.counter("oom_failures", &stats_.oomFailures);
+    obs_.gauge("free_frames", [this] { return double(phys_.freeFrames()); });
+    obs_.gauge("used_frames", [this] { return double(phys_.usedFrames()); });
+    obs_.gauge("pinned_pages", [this] { return double(pinnedPages_); });
 
     cgroups_[kRootCgroup] =
         std::make_unique<Cgroup>(Cgroup{kRootCgroup, 0, 0});

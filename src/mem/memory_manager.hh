@@ -68,7 +68,7 @@ struct FaultResult
  * never reclaimed, which is exactly why static pinning defeats
  * overcommitment (Table 3).
  */
-class MemoryManager : private obs::Instrumented
+class MemoryManager
 {
   public:
     struct Stats
@@ -151,6 +151,7 @@ class MemoryManager : private obs::Instrumented
     std::vector<std::unique_ptr<AddressSpace>> spaces_;
     std::size_t pinnedPages_ = 0;
     std::size_t reserveFrames_ = 0;
+    obs::Instrumented obs_; ///< last member: deregisters first
 };
 
 } // namespace npf::mem

@@ -33,7 +33,7 @@ struct LinkConfig
  * the delivery callback at arrival time. Lossless: loss in npfsim
  * happens at NIC rings, never on the wire.
  */
-class Link : private obs::Instrumented
+class Link
 {
   public:
     struct Stats
@@ -45,10 +45,10 @@ class Link : private obs::Instrumented
 
     Link(sim::EventQueue &eq, LinkConfig cfg = {}) : eq_(eq), cfg_(cfg)
     {
-        obsInit("net.link");
-        obsCounter("packets", &stats_.packets);
-        obsCounter("payload_bytes", &stats_.payloadBytes);
-        obsCounter("wire_bytes", &stats_.wireBytes);
+        obs_.init("net.link");
+        obs_.counter("packets", &stats_.packets);
+        obs_.counter("payload_bytes", &stats_.payloadBytes);
+        obs_.counter("wire_bytes", &stats_.wireBytes);
     }
 
     /**
@@ -91,6 +91,7 @@ class Link : private obs::Instrumented
     LinkConfig cfg_;
     sim::Time busyUntil_ = 0;
     Stats stats_;
+    obs::Instrumented obs_; ///< last member: deregisters first
 };
 
 } // namespace npf::net

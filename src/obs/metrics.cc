@@ -24,6 +24,11 @@ Registry::Id
 Registry::insert(std::string name, Entry e)
 {
     e.id = nextId_++;
+    // Re-registering a name replaces the entry; drop the stale id
+    // mapping so a later remove() of the old id cannot delete (or,
+    // with retain on, archive over) the replacement.
+    if (auto old = entries_.find(name); old != entries_.end())
+        idToName_.erase(old->second.id);
     idToName_[e.id] = name;
     entries_[std::move(name)] = std::move(e);
     return nextId_ - 1;
@@ -63,7 +68,7 @@ Registry::remove(Id id)
     if (it == idToName_.end())
         return;
     auto eit = entries_.find(it->second);
-    if (eit != entries_.end()) {
+    if (eit != entries_.end() && eit->second.id == id) {
         if (retain_) {
             const Entry &e = eit->second;
             switch (e.kind) {

@@ -10,8 +10,9 @@
  *
  * Names are hierarchical, dot-separated, and instance-numbered:
  * `ib.qp0.rnr_nacks_sent`, `core.npf0.driver_ns`, `mem.mm1.evictions`.
- * Components obtain their instance prefix through the Instrumented
- * mixin, which also guarantees deregistration on destruction.
+ * Components obtain their instance prefix through an Instrumented
+ * handle held as their last data member, which also guarantees
+ * deregistration on destruction — before any registered field dies.
  */
 
 #ifndef NPF_OBS_METRICS_HH
@@ -136,63 +137,73 @@ class Registry
 };
 
 /**
- * Mixin for components that export metrics. Usage:
+ * Instrumentation handle for components that export metrics. Hold it
+ * as the component's **last data member**:
  *
- *   class QueuePair : private obs::Instrumented {
+ *   class QueuePair {
  *     QueuePair(...) {
- *         obsInit("ib.qp");                       // -> "ib.qp3"
- *         obsCounter("rnr_nacks_sent", &stats_.rnrNacksSent);
+ *         obs_.init("ib.qp");                     // -> "ib.qp3"
+ *         obs_.counter("rnr_nacks_sent", &stats_.rnrNacksSent);
  *     }
+ *     ...
+ *     Stats stats_;
+ *     obs::Instrumented obs_;   // last: deregisters before stats_ dies
  *   };
  *
  * Deregistration is automatic in the destructor, so the registry
- * never holds dangling pointers. Non-copyable and non-movable: the
- * registry captures field addresses.
+ * never holds dangling pointers. Declaration order is the whole
+ * point: members are destroyed in reverse declaration order, so a
+ * last-declared handle deregisters — and, under a session's retain
+ * flag, archives final counter/histogram values and evaluates gauge
+ * lambdas — while every registered field is still alive. (A
+ * base-class mixin gets this wrong: base destructors run *after*
+ * member destruction, which turned retain-mode archiving into a
+ * use-after-free.) Non-copyable and non-movable: the registry
+ * captures field addresses.
  */
 class Instrumented
 {
   public:
+    Instrumented() = default;
+    ~Instrumented() { Registry::global().removeAll(ids_); }
+
     Instrumented(const Instrumented &) = delete;
     Instrumented &operator=(const Instrumented &) = delete;
 
-    /** The assigned instance prefix, e.g. "ib.qp3" ("" before obsInit). */
-    const std::string &obsName() const { return obsName_; }
-
-  protected:
-    Instrumented() = default;
-    ~Instrumented() { Registry::global().removeAll(obsIds_); }
+    /** The assigned instance prefix, e.g. "ib.qp3" ("" before init). */
+    const std::string &name() const { return name_; }
 
     /** Claim an instance prefix from the global registry. */
     void
-    obsInit(const std::string &prefix)
+    init(const std::string &prefix)
     {
-        obsName_ = Registry::global().instanceName(prefix);
+        name_ = Registry::global().instanceName(prefix);
     }
 
     void
-    obsCounter(const std::string &field, const std::uint64_t *v)
+    counter(const std::string &field, const std::uint64_t *v)
     {
-        obsIds_.push_back(
-            Registry::global().addCounter(obsName_ + "." + field, v));
+        ids_.push_back(
+            Registry::global().addCounter(name_ + "." + field, v));
     }
 
     void
-    obsGauge(const std::string &field, std::function<double()> fn)
+    gauge(const std::string &field, std::function<double()> fn)
     {
-        obsIds_.push_back(Registry::global().addGauge(
-            obsName_ + "." + field, std::move(fn)));
+        ids_.push_back(Registry::global().addGauge(
+            name_ + "." + field, std::move(fn)));
     }
 
     void
-    obsHistogram(const std::string &field, const sim::Histogram *h)
+    histogram(const std::string &field, const sim::Histogram *h)
     {
-        obsIds_.push_back(
-            Registry::global().addHistogram(obsName_ + "." + field, h));
+        ids_.push_back(
+            Registry::global().addHistogram(name_ + "." + field, h));
     }
 
   private:
-    std::string obsName_;
-    std::vector<Registry::Id> obsIds_;
+    std::string name_;
+    std::vector<Registry::Id> ids_;
 };
 
 } // namespace npf::obs

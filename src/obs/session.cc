@@ -24,14 +24,14 @@ Session::Session(sim::EventQueue &eq, SessionOptions opt)
     tr.setClock(&eq_);
     tr.enable(opt_.trace);
 
-    obsInit("sim.eq");
+    obs_.init("sim.eq");
     const sim::EventQueue::Stats &st = eq_.stats();
-    obsCounter("scheduled", &st.scheduled);
-    obsCounter("executed", &st.executed);
-    obsCounter("cancelled", &st.cancelled);
-    obsCounter("cancelled_reaped", &st.cancelledReaped);
-    obsGauge("live", [this] { return double(eq_.live()); });
-    obsGauge("pending", [this] { return double(eq_.pending()); });
+    obs_.counter("scheduled", &st.scheduled);
+    obs_.counter("executed", &st.executed);
+    obs_.counter("cancelled", &st.cancelled);
+    obs_.counter("cancelled_reaped", &st.cancelledReaped);
+    obs_.gauge("live", [this] { return double(eq_.live()); });
+    obs_.gauge("pending", [this] { return double(eq_.pending()); });
 
     eq_.setExecuteHook(
         [this](sim::Time, sim::EventId, const char *site) {
@@ -44,7 +44,7 @@ Session::Session(sim::EventQueue &eq, SessionOptions opt)
     if (opt_.sampleInterval > 0) {
         std::vector<std::string> names = opt_.sampledCounters;
         if (names.empty())
-            names.push_back(obsName() + ".executed");
+            names.push_back(obs_.name() + ".executed");
         for (auto &n : names) {
             Sampled s;
             s.name = std::move(n);
@@ -53,8 +53,8 @@ Session::Session(sim::EventQueue &eq, SessionOptions opt)
                 std::make_unique<sim::RateSeries>(opt_.sampleInterval);
             sampled_.push_back(std::move(s));
         }
-        eq_.scheduleAfter(opt_.sampleInterval, [this] { sampleTick(); },
-                          "obs.sampler");
+        samplerEvent_ = eq_.scheduleAfter(
+            opt_.sampleInterval, [this] { sampleTick(); }, "obs.sampler");
     }
 }
 
@@ -74,8 +74,10 @@ Session::sampleTick()
     // Reschedule only while something else is live, so a draining
     // queue actually drains (eq.run() would otherwise never return).
     if (eq_.live() > 0)
-        eq_.scheduleAfter(opt_.sampleInterval, [this] { sampleTick(); },
-                          "obs.sampler");
+        samplerEvent_ = eq_.scheduleAfter(
+            opt_.sampleInterval, [this] { sampleTick(); }, "obs.sampler");
+    else
+        samplerEvent_ = sim::kInvalidEvent;
 }
 
 void
@@ -86,6 +88,10 @@ Session::finish()
     finished_ = true;
 
     eq_.setExecuteHook(nullptr);
+    // A still-queued sampler tick would otherwise fire on a dead (or
+    // finished) session: cancel it along with the hook.
+    eq_.cancel(samplerEvent_);
+    samplerEvent_ = sim::kInvalidEvent;
 
     if (!opt_.metricsOut.empty()) {
         std::ofstream f(opt_.metricsOut);

@@ -58,7 +58,7 @@ struct SessionOptions
     std::vector<std::string> sampledCounters;
 };
 
-class Session : private Instrumented
+class Session
 {
   public:
     Session(sim::EventQueue &eq, SessionOptions opt = {});
@@ -102,9 +102,13 @@ class Session : private Instrumented
     bool finished_ = false;
     bool priorDetail_ = false;
     std::vector<Sampled> sampled_;
+    /** Pending sampler event; cancelled by finish() so a destroyed
+     *  session can never be called back by the queue. */
+    sim::EventId samplerEvent_ = sim::kInvalidEvent;
     /** Executed-event counts per schedule() site label. */
     std::map<std::string, std::uint64_t> siteCounts_;
     std::uint64_t unlabeledEvents_ = 0;
+    Instrumented obs_; ///< last member: deregisters first
 };
 
 } // namespace npf::obs

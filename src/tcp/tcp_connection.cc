@@ -16,17 +16,17 @@ TcpConnection::TcpConnection(sim::EventQueue &eq, std::uint32_t conn_id,
                      cfg_.maxWindowBytes);
     ssthresh_ = cfg_.maxWindowBytes;
 
-    obsInit("tcp.conn");
-    obsCounter("segments_sent", &stats_.segmentsSent);
-    obsCounter("segments_received", &stats_.segmentsReceived);
-    obsCounter("bytes_sent", &stats_.bytesSent);
-    obsCounter("bytes_delivered", &stats_.bytesDelivered);
-    obsCounter("retransmissions", &stats_.retransmissions);
-    obsCounter("timeouts", &stats_.timeouts);
-    obsCounter("fast_retransmits", &stats_.fastRetransmits);
-    obsCounter("dup_acks_received", &stats_.dupAcksReceived);
-    obsCounter("syn_retries", &stats_.synRetries);
-    obsGauge("cwnd", [this] { return double(cwnd_); });
+    obs_.init("tcp.conn");
+    obs_.counter("segments_sent", &stats_.segmentsSent);
+    obs_.counter("segments_received", &stats_.segmentsReceived);
+    obs_.counter("bytes_sent", &stats_.bytesSent);
+    obs_.counter("bytes_delivered", &stats_.bytesDelivered);
+    obs_.counter("retransmissions", &stats_.retransmissions);
+    obs_.counter("timeouts", &stats_.timeouts);
+    obs_.counter("fast_retransmits", &stats_.fastRetransmits);
+    obs_.counter("dup_acks_received", &stats_.dupAcksReceived);
+    obs_.counter("syn_retries", &stats_.synRetries);
+    obs_.gauge("cwnd", [this] { return double(cwnd_); });
 }
 
 void

@@ -46,7 +46,7 @@ struct TcpConfig
  * byte-counted; send() optionally records the source buffer address
  * so the NIC DMA-reads real (possibly cold) IOuser memory.
  */
-class TcpConnection : private obs::Instrumented
+class TcpConnection
 {
   public:
     /** (segment, source buffer address or 0) -> hand to the NIC. */
@@ -164,6 +164,8 @@ class TcpConnection : private obs::Instrumented
     // --- receiver ---
     std::uint64_t rcvNxt_ = 0;
     std::map<std::uint64_t, std::uint64_t> oooSegments_; ///< start->end
+
+    obs::Instrumented obs_; ///< last member: deregisters first
 };
 
 } // namespace npf::tcp

@@ -102,6 +102,23 @@ TEST(Registry, RetainArchivesRemovedEntries)
     EXPECT_FALSE(reg.value("dead.count").has_value());
 }
 
+TEST(Registry, DuplicateNameReplacesWithoutDanglingId)
+{
+    obs::Registry reg;
+    std::uint64_t a = 1, b = 2;
+    obs::Registry::Id first = reg.addCounter("dup.c", &a);
+    obs::Registry::Id second = reg.addCounter("dup.c", &b);
+    EXPECT_EQ(reg.size(), 1u);
+    // The stale id must not delete (or archive over) the replacement.
+    reg.setRetain(true);
+    reg.remove(first);
+    EXPECT_EQ(reg.value("dup.c"), 2.0);
+    EXPECT_EQ(reg.retiredSize(), 0u);
+    reg.remove(second);
+    EXPECT_EQ(reg.size(), 0u);
+    EXPECT_EQ(reg.value("dup.c"), 2.0); // now retired
+}
+
 TEST(Registry, WriteJsonShape)
 {
     obs::Registry reg;
@@ -124,16 +141,19 @@ TEST(Registry, WriteJsonShape)
 
 namespace {
 
-/** Minimal component using the Instrumented mixin. */
-struct Probe : public obs::Instrumented
+/** Minimal component holding the Instrumented handle (last member). */
+struct Probe
 {
     std::uint64_t ticks = 0;
+    obs::Instrumented obs_;
 
     Probe()
     {
-        obsInit("test.probe");
-        obsCounter("ticks", &ticks);
+        obs_.init("test.probe");
+        obs_.counter("ticks", &ticks);
     }
+
+    const std::string &obsName() const { return obs_.name(); }
 };
 
 } // namespace
@@ -429,4 +449,67 @@ TEST(Session, RetainsCountersOfDeadComponents)
     session.finish();
     // finish() clears the retired set.
     EXPECT_FALSE(obs::Registry::global().value(name).has_value());
+}
+
+namespace {
+
+/**
+ * Component whose histogram samples and gauge-read storage die with
+ * it — regression for retain-mode archiving running after member
+ * destruction (the handle, declared last, must deregister while the
+ * histogram's heap storage and the vector behind the gauge are still
+ * alive; ASan catches any ordering regression here).
+ */
+struct DyingModel
+{
+    sim::Histogram latNs;
+    std::vector<int> frames{1, 2, 3};
+    obs::Instrumented obs_;
+
+    DyingModel()
+    {
+        obs_.init("test.dying");
+        obs_.histogram("lat_ns", &latNs);
+        obs_.gauge("frames", [this] { return double(frames.size()); });
+    }
+};
+
+} // namespace
+
+TEST(Session, RetainArchivesHistogramsAndGaugesOfDeadComponents)
+{
+    sim::EventQueue eq;
+    obs::Session session(eq);
+    std::string pfx;
+    {
+        DyingModel m;
+        for (int i = 1; i <= 1000; ++i)
+            m.latNs.record(double(i));
+        pfx = m.obs_.name();
+    }
+    // The model died mid-session: the gauge's final value and the
+    // histogram's full distribution must have been archived.
+    EXPECT_EQ(obs::Registry::global().value(pfx + ".frames"), 3.0);
+    std::ostringstream os;
+    session.writeMetrics(os);
+    EXPECT_TRUE(contains(os.str(), pfx + ".lat_ns"));
+    EXPECT_TRUE(contains(os.str(), "\"count\":1000"));
+    session.finish();
+}
+
+TEST(Session, FinishCancelsPendingSamplerTick)
+{
+    sim::EventQueue eq;
+    eq.schedule(10 * sim::kMillisecond, [] {});
+    {
+        obs::SessionOptions opt;
+        opt.sampleInterval = sim::kMillisecond;
+        obs::Session session(eq, opt);
+        session.finish(); // the first sampler tick is still queued
+    }
+    // The cancelled tick must neither fire on the dead session nor
+    // keep rescheduling itself.
+    eq.run();
+    EXPECT_EQ(eq.live(), 0u);
+    EXPECT_GE(eq.stats().cancelled, 1u);
 }
