@@ -20,6 +20,7 @@
 #include "app/memcached.hh"
 #include "core/npf_controller.hh"
 #include "eth/eth_nic.hh"
+#include "fault/fault.hh"
 #include "mem/memory_manager.hh"
 #include "obs/session.hh"
 #include "tcp/endpoint.hh"
@@ -49,6 +50,8 @@ row(const char *fmt, ...)
  *   --trace[=FILE]      record a Chrome trace (default trace.json)
  *   --metrics-out=FILE  write the metrics snapshot JSON on exit
  *   --sample-us=N       sample counter rates every N microseconds
+ *   --fault-plan=SPEC   install a fault plan (see docs/FAULTS.md)
+ *   --fault-seed=N      seed for the plan's random streams (default 1)
  *
  * Unrecognized arguments are ignored so benches can add their own.
  */
@@ -58,6 +61,8 @@ struct ObsArgs
     std::string traceOut = "trace.json";
     std::string metricsOut;
     sim::Time sampleInterval = 0;
+    std::string faultPlan;
+    std::uint64_t faultSeed = 1;
 };
 
 inline ObsArgs
@@ -76,9 +81,35 @@ parseObsArgs(int argc, char **argv)
         } else if (std::strncmp(arg, "--sample-us=", 12) == 0) {
             a.sampleInterval =
                 sim::fromMicroseconds(std::strtoull(arg + 12, nullptr, 10));
+        } else if (std::strncmp(arg, "--fault-plan=", 13) == 0) {
+            a.faultPlan = arg + 13;
+        } else if (std::strncmp(arg, "--fault-seed=", 13) == 0) {
+            a.faultSeed = std::strtoull(arg + 13, nullptr, 10);
         }
     }
     return a;
+}
+
+/**
+ * Install the fault plan named by --fault-plan on @p eq, or return
+ * nullptr (and change nothing) when the flag was absent. A malformed
+ * spec aborts the bench with a diagnostic rather than silently
+ * running faultless. Keep the returned injector alive for the run;
+ * because the injector binds to one event queue, benches that build
+ * several beds must scope it per bed.
+ */
+inline std::unique_ptr<fault::FaultInjector>
+installFaultPlan(const ObsArgs &a, sim::EventQueue &eq)
+{
+    if (a.faultPlan.empty())
+        return nullptr;
+    std::string err;
+    auto plan = fault::FaultPlan::parse(a.faultPlan, &err);
+    if (!plan) {
+        std::fprintf(stderr, "bad --fault-plan: %s\n", err.c_str());
+        std::exit(2);
+    }
+    return std::make_unique<fault::FaultInjector>(eq, *plan, a.faultSeed);
 }
 
 /**
@@ -108,6 +139,7 @@ struct EthBed
     std::unique_ptr<mem::MemoryManager> serverMm, clientMm;
     mem::AddressSpace *serverAs = nullptr, *clientAs = nullptr;
     std::unique_ptr<core::NpfController> serverNpfc, clientNpfc;
+    core::ChannelId serverCh{}, clientCh{};
     std::unique_ptr<eth::EthNic> serverNic, clientNic;
     std::unique_ptr<tcp::Endpoint> server, client;
 
@@ -145,8 +177,10 @@ struct EthBed
         clientAs = &clientMm->createAddressSpace("client");
         serverNpfc = std::make_unique<core::NpfController>(eq);
         clientNpfc = std::make_unique<core::NpfController>(eq);
-        auto sch = serverNpfc->attach(*serverAs);
-        auto cch = clientNpfc->attach(*clientAs);
+        core::ChannelId sch = serverNpfc->attach(*serverAs);
+        core::ChannelId cch = clientNpfc->attach(*clientAs);
+        serverCh = sch;
+        clientCh = cch;
 
         serverNic = std::make_unique<eth::EthNic>(eq, *serverNpfc);
         clientNic = std::make_unique<eth::EthNic>(eq, *clientNpfc);

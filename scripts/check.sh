@@ -30,4 +30,26 @@ cmake -B build-asan -S . \
 cmake --build build-asan -j "$jobs"
 ctest --test-dir build-asan --output-on-failure -j "$jobs"
 
+echo "== tier 3: fault smoke matrix (chaos_recovery under ASan/UBSan) =="
+# Same seed + same plan must replay bit-identically (docs/FAULTS.md);
+# run each seed twice under the sanitizers and diff the outputs.
+smokedir=$(mktemp -d)
+trap 'rm -rf "$smokedir"' EXIT
+for seed in 1 2 3; do
+    ./build-asan/bench/chaos_recovery --fault-seed="$seed" \
+        > "$smokedir/seed$seed.a.txt" 2>&1
+    ./build-asan/bench/chaos_recovery --fault-seed="$seed" \
+        > "$smokedir/seed$seed.b.txt" 2>&1
+    if ! cmp -s "$smokedir/seed$seed.a.txt" "$smokedir/seed$seed.b.txt"; then
+        echo "FAIL: chaos_recovery seed $seed is not deterministic:"
+        diff "$smokedir/seed$seed.a.txt" "$smokedir/seed$seed.b.txt" || true
+        exit 1
+    fi
+    echo "seed $seed: bit-identical replay"
+done
+if cmp -s "$smokedir/seed1.a.txt" "$smokedir/seed2.a.txt"; then
+    echo "FAIL: seeds 1 and 2 produced identical runs (seed ignored?)"
+    exit 1
+fi
+
 echo "== all checks passed =="

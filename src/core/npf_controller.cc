@@ -2,8 +2,25 @@
 
 #include <cassert>
 
+#include "fault/fault.hh"
 #include "mem/memory_manager.hh"
 #include "sim/log.hh"
+
+namespace {
+
+/** True when an active fault plan forces an rNPF on this device-side
+ *  translation attempt. */
+bool
+injectedForcedFault()
+{
+    npf::fault::FaultInjector *fi = npf::fault::FaultInjector::active();
+    if (fi == nullptr)
+        return false;
+    auto d = fi->decide(npf::fault::Site::Npf);
+    return d.has_value() && d->action == npf::fault::Action::ForceFault;
+}
+
+} // namespace
 
 namespace npf::core {
 
@@ -81,6 +98,20 @@ NpfController::attach(mem::AddressSpace &as)
 NpfController::DmaCheck
 NpfController::checkDma(ChannelId ch, mem::VirtAddr iova, std::size_t len)
 {
+    DmaCheck res = checkDmaRaw(ch, iova, len);
+    // Device-side peek only: the controller's own machinery (debounce,
+    // resolution) uses checkDmaRaw() and is immune to injection.
+    if (res.ok && len != 0 && injectedForcedFault()) {
+        res.ok = false;
+        res.missingPages = 1;
+        res.firstMissing = mem::pageOf(iova);
+    }
+    return res;
+}
+
+NpfController::DmaCheck
+NpfController::checkDmaRaw(ChannelId ch, mem::VirtAddr iova, std::size_t len)
+{
     DmaCheck res;
     if (len == 0)
         return res;
@@ -112,6 +143,11 @@ NpfController::dmaAccess(ChannelId ch, mem::VirtAddr iova, std::size_t len,
         if (!t.ok)
             return false;
     }
+    // Forced rNPF: the translation "misses" even though the pages are
+    // resident, before any reference bits are touched — the caller
+    // goes down its real fault-recovery path.
+    if (injectedForcedFault())
+        return false;
     // DMA touches the backing pages: keep referenced/dirty bits hot
     // so reclaim prefers genuinely cold pages.
     for (mem::Vpn v = first; v <= last; ++v) {
@@ -131,7 +167,7 @@ NpfController::raiseNpf(ChannelId ch, mem::VirtAddr iova, std::size_t len,
     Channel &c = chan(ch);
 
     if (cfg_.firmwareBypass) {
-        DmaCheck check = checkDma(ch, iova, len);
+        DmaCheck check = checkDmaRaw(ch, iova, len);
         if (check.ok) {
             // Raced with a completed resolution: nothing to do.
             obs::tracer().instant(obs::Track::Nic, "npf",
@@ -184,7 +220,7 @@ NpfController::startResolve(ChannelId ch, mem::VirtAddr iova,
     auto bd = std::make_shared<NpfBreakdown>();
     bd->trigger = jittered(cfg_.fwTriggerInterrupt);
 
-    DmaCheck check = checkDma(ch, iova, len);
+    DmaCheck check = checkDmaRaw(ch, iova, len);
     mem::Vpn merge_key = check.firstMissing;
     if (cfg_.firmwareBypass && !check.ok)
         c.merges.emplace(merge_key, std::vector<ResolveCallback>{});

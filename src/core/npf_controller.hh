@@ -173,6 +173,10 @@ class NpfController
 
     Channel &chan(ChannelId ch) { return *channels_.at(ch); }
 
+    /** checkDma() without fault injection — for the controller's own
+     *  debounce/resolution machinery. */
+    DmaCheck checkDmaRaw(ChannelId ch, mem::VirtAddr iova, std::size_t len);
+
     /** Start one resolution (a slot is already reserved). */
     void startResolve(ChannelId ch, mem::VirtAddr iova, std::size_t len,
                       bool write, ResolveCallback cb, obs::FlowId flow);

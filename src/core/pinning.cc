@@ -104,10 +104,30 @@ PinDownCache::beforeDma(mem::VirtAddr addr, std::size_t len)
 
     ++misses_;
     sim::Time cost = 0;
-    std::size_t pages = mem::pagesCovering(addr, len);
-    std::size_t bytes = pages * mem::kPageSize;
 
-    while (capacity_ != 0 && pinnedBytes_ + bytes > capacity_ &&
+    // Re-registering the same base with a different length: retire
+    // the old region first so its LRU entry cannot dangle.
+    auto same = regions_.find(addr);
+    if (same != regions_.end())
+        cost += evictRegion(same);
+
+    // Bytes this extent would newly pin. Pages shared with cached
+    // siblings are refcounted, not double-counted, so only pages not
+    // yet tracked consume budget.
+    auto new_bytes = [this, addr, len] {
+        mem::Vpn first = mem::pageOf(addr);
+        mem::Vpn last = mem::pageOf(addr + len - 1);
+        std::size_t fresh = 0;
+        for (mem::Vpn v = first; v <= last; ++v) {
+            if (pageRefs_.find(v) == pageRefs_.end())
+                ++fresh;
+        }
+        return fresh * mem::kPageSize;
+    };
+
+    // Recompute per eviction: evicting a sibling that shares pages
+    // with this extent grows what the extent newly pins.
+    while (capacity_ != 0 && pinnedBytes_ + new_bytes() > capacity_ &&
            !regions_.empty()) {
         cost += evictOne();
     }
@@ -127,12 +147,18 @@ PinDownCache::beforeDma(mem::VirtAddr addr, std::size_t len)
         }
     }
     cost += res.cost;
+    std::size_t pages = mem::pagesCovering(addr, len);
     mem::AccessResult pf = npfc_.prefault(ch_, addr, len, /*write=*/true);
     cost += pf.cost + pinCost(costs_, pages) + costs_.regMrBase;
 
-    pinnedBytes_ += bytes;
+    mem::Vpn first = mem::pageOf(addr);
+    mem::Vpn last = mem::pageOf(addr + len - 1);
+    for (mem::Vpn v = first; v <= last; ++v) {
+        if (++pageRefs_[v] == 1)
+            pinnedBytes_ += mem::kPageSize;
+    }
     lru_.push_front(addr);
-    regions_[addr] = Region{addr, bytes, lru_.begin()};
+    regions_[addr] = Region{addr, len, lru_.begin()};
     return cost;
 }
 
@@ -141,20 +167,58 @@ PinDownCache::evictOne()
 {
     assert(!regions_.empty());
     mem::VirtAddr victim = lru_.back();
-    lru_.pop_back();
     auto it = regions_.find(victim);
     assert(it != regions_.end());
-    Region r = it->second;
-    regions_.erase(it);
+    return evictRegion(it);
+}
 
+sim::Time
+PinDownCache::evictRegion(std::map<mem::VirtAddr, Region>::iterator it)
+{
+    Region r = it->second;
+    lru_.erase(r.lruIt);
+    regions_.erase(it);
+    ++evictions_;
+
+    // The address space pins are per-region (pinRange refcounts at
+    // the PTE), so the symmetric unpin is always safe.
     mem::AddressSpace &as = npfc_.space(ch_);
     as.unpinRange(r.base, r.len);
-    assert(pinnedBytes_ >= r.len);
-    pinnedBytes_ -= r.len;
-    ++evictions_;
-    InvalidationBreakdown inv = npfc_.invalidateRange(ch_, r.base, r.len);
-    std::size_t pages = mem::pagesFor(r.len);
-    return unpinCost(costs_, pages) + inv.total();
+
+    std::size_t pages = mem::pagesCovering(r.base, r.len);
+    sim::Time cost = unpinCost(costs_, pages);
+
+    // Drop page refcounts; invalidate only runs no sibling region
+    // still covers. A still-covered page must keep its device mapping
+    // — the cache promised that sibling's DMAs hit without faulting.
+    mem::Vpn run_start = 0;
+    std::size_t run_pages = 0;
+    auto flush_run = [&] {
+        if (run_pages == 0)
+            return;
+        InvalidationBreakdown inv = npfc_.invalidateRange(
+            ch_, mem::addrOf(run_start), run_pages * mem::kPageSize);
+        cost += inv.total();
+        run_pages = 0;
+    };
+    mem::Vpn first = mem::pageOf(r.base);
+    mem::Vpn last = mem::pageOf(r.base + r.len - 1);
+    for (mem::Vpn v = first; v <= last; ++v) {
+        auto pr = pageRefs_.find(v);
+        assert(pr != pageRefs_.end() && pr->second > 0);
+        if (--pr->second == 0) {
+            pageRefs_.erase(pr);
+            assert(pinnedBytes_ >= mem::kPageSize);
+            pinnedBytes_ -= mem::kPageSize;
+            if (run_pages == 0)
+                run_start = v;
+            ++run_pages;
+        } else {
+            flush_run();
+        }
+    }
+    flush_run();
+    return cost;
 }
 
 } // namespace npf::core

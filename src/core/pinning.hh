@@ -150,11 +150,12 @@ class PinDownCache : public PinningStrategy
     struct Region
     {
         mem::VirtAddr base;
-        std::size_t len;
+        std::size_t len; ///< exact registered length, not page-rounded
         std::list<mem::VirtAddr>::iterator lruIt;
     };
 
     sim::Time evictOne();
+    sim::Time evictRegion(std::map<mem::VirtAddr, Region>::iterator it);
 
     NpfController &npfc_;
     ChannelId ch_;
@@ -162,6 +163,9 @@ class PinDownCache : public PinningStrategy
     PinCosts costs_;
     std::map<mem::VirtAddr, Region> regions_; ///< by base address
     std::list<mem::VirtAddr> lru_;            ///< front = most recent
+    /// Regions covering each pinned page; pinnedBytes_ counts a page
+    /// once no matter how many cached regions overlap it.
+    std::map<mem::Vpn, unsigned> pageRefs_;
     std::uint64_t hits_ = 0;
     std::uint64_t misses_ = 0;
     std::uint64_t evictions_ = 0;

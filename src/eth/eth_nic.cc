@@ -4,6 +4,7 @@
 #include <string>
 
 #include "eth/backup_ring.hh"
+#include "fault/fault.hh"
 #include "obs/flow_tracer.hh"
 
 namespace npf::eth {
@@ -17,6 +18,8 @@ EthNic::EthNic(sim::EventQueue &eq, core::NpfController &npfc,
     obs_.counter("frames_received", &stats_.framesReceived);
     obs_.counter("tx_npfs", &stats_.txNpfs);
     obs_.counter("unroutable", &stats_.unroutable);
+    obs_.counter("rx_corrupt", &stats_.rxCorrupt);
+    obs_.counter("rx_stalls", &stats_.rxStalls);
     backup_ = std::make_unique<BackupRingManager>(eq_, *this,
                                                   cfg_.backupRingSize);
 }
@@ -140,6 +143,32 @@ void
 EthNic::receive(Frame f)
 {
     ++stats_.framesReceived;
+    if (fault::FaultInjector *fi = fault::FaultInjector::active()) {
+        if (auto d = fi->decide(fault::Site::EthRx)) {
+            if (d->action == fault::Action::Corrupt) {
+                // Bad FCS: the MAC counts and discards the frame.
+                ++stats_.rxCorrupt;
+                return;
+            }
+            if (d->action == fault::Action::Stall) {
+                // RX pipeline hiccup: the frame sits in the MAC FIFO
+                // before ring dispatch (seq is assigned at dispatch,
+                // so ring ordering invariants hold).
+                ++stats_.rxStalls;
+                eq_.scheduleAfter(d->delay,
+                                  [this, f = std::move(f)]() mutable {
+                                      dispatchRx(std::move(f));
+                                  }, "fault.eth_rx_stall");
+                return;
+            }
+        }
+    }
+    dispatchRx(std::move(f));
+}
+
+void
+EthNic::dispatchRx(Frame f)
+{
     if (f.dstRing >= rings_.size()) {
         ++stats_.unroutable;
         return;
@@ -183,21 +212,27 @@ EthNic::recvToRing(RxRing &r, Frame f)
     }
 
     if (has_descriptor && present) {
-        // Store directly in the IOuser ring.
-        npfc_.dmaAccess(ch, d->buf, std::min(f.bytes, d->len),
-                        /*write=*/true);
-        d->frame = std::move(f);
-        d->filled = true;
-        ++r.stats.storedDirect;
-        if (r.headOffset != 0) {
-            // Earlier rNPFs unresolved: count it, but completion must
-            // wait (ordering, Fig. 5).
-            ++r.headOffset;
-        } else {
-            ++r.head;
-            raiseUserIsr(r);
+        if (npfc_.dmaAccess(ch, d->buf, std::min(f.bytes, d->len),
+                            /*write=*/true)) {
+            // Store directly in the IOuser ring.
+            d->frame = std::move(f);
+            d->filled = true;
+            ++r.stats.storedDirect;
+            if (r.headOffset != 0) {
+                // Earlier rNPFs unresolved: count it, but completion
+                // must wait (ordering, Fig. 5).
+                ++r.headOffset;
+            } else {
+                ++r.head;
+                raiseUserIsr(r);
+            }
+            return;
         }
-        return;
+        // Injected rNPF at DMA time on a resident page: take the
+        // synthetic-resolution path (the backing page is mapped, so
+        // raiseNpf would be a no-op; only the latency is modeled).
+        present = false;
+        synthetic_fault = true;
     }
 
     bool fault = has_descriptor; // absent descriptor is overflow, not NPF

@@ -52,6 +52,8 @@ class EthNic
         std::uint64_t framesReceived = 0;
         std::uint64_t txNpfs = 0;
         std::uint64_t unroutable = 0;
+        std::uint64_t rxCorrupt = 0; ///< fault-injected FCS drops
+        std::uint64_t rxStalls = 0;  ///< fault-injected RX stalls
     };
 
     EthNic(sim::EventQueue &eq, core::NpfController &npfc,
@@ -127,6 +129,7 @@ class EthNic
         bool faultPending = false;
     };
 
+    void dispatchRx(Frame f);
     void recvToRing(RxRing &r, Frame f);
     void raiseUserIsr(RxRing &r);
     void deliverToUser(RxRing &r);

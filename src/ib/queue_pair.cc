@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "fault/fault.hh"
 #include "sim/log.hh"
 
 namespace npf::ib {
@@ -213,6 +214,13 @@ QueuePair::handleAck(std::uint64_t ackPsn)
         return;
     ackedPsn_ = ackPsn;
     rnrRetries_ = 0;
+    // A cumulative ack covers everything below it, so never transmit
+    // below ackedPsn_: a stale RNR NACK may have rewound txPsn_ into
+    // the range this ack retires, and those inflight entries are
+    // popped right below — buildPacketAt() could no longer cover a
+    // lower txPsn_.
+    if (txPsn_ < ackedPsn_)
+        txPsn_ = ackedPsn_;
     while (!inflight_.empty() && inflight_.front().lastPsn < ackedPsn_) {
         InflightWr done = inflight_.front();
         inflight_.pop_front();
@@ -234,6 +242,15 @@ void
 QueuePair::handleRnrNack(std::uint64_t resumePsn)
 {
     ++stats_.rnrNacksReceived;
+    if (resumePsn < ackedPsn_) {
+        // Stale NACK: a later cumulative ack already retired this
+        // PSN (the receiver re-NACKs retries while its fault is
+        // pending, and delayed/reordered delivery can land one after
+        // the recovery it belongs to). Rewinding would strand txPsn_
+        // below ackedPsn_, where the RTO rewind condition never
+        // triggers and the WRs are gone: a permanent stall.
+        return;
+    }
     ++stats_.rewinds;
     ++rnrRetries_;
     obs::tracer().instant(obs::Track::Transport, "rnr", "rnr_nack.recv");
@@ -286,6 +303,36 @@ QueuePair::sendControl(Packet pkt)
 
 void
 QueuePair::handlePacket(Packet pkt)
+{
+    if (fault::FaultInjector *fi = fault::FaultInjector::active()) {
+        if (auto d = fi->decide(fault::Site::IbRx)) {
+            switch (d->action) {
+              case fault::Action::Drop:
+                // Lost on arrival: PSN sequencing + the retransmit
+                // timer recover (rewind to the oldest unacked PSN).
+                return;
+              case fault::Action::Duplicate:
+                // The copy is processed after the original, same tick.
+                eq_.scheduleAfter(0, [this, pkt] { processPacket(pkt); },
+                                  "fault.ib_dup");
+                break;
+              case fault::Action::Reorder:
+              case fault::Action::Delay:
+                // Processed late; packets behind it overtake.
+                eq_.scheduleAfter(d->delay,
+                                  [this, pkt] { processPacket(pkt); },
+                                  "fault.ib_delay");
+                return;
+              default:
+                break;
+            }
+        }
+    }
+    processPacket(std::move(pkt));
+}
+
+void
+QueuePair::processPacket(Packet pkt)
 {
     switch (pkt.type) {
       case Packet::Type::Ack:

@@ -202,6 +202,7 @@ class QueuePair
 
     // --- receive machinery -------------------------------------------
     void handlePacket(Packet pkt);
+    void processPacket(Packet pkt);
     void handleData(const Packet &pkt);
     void handleReadRequest(const Packet &pkt);
     void handleReadResponse(const Packet &pkt);

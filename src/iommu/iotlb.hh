@@ -85,6 +85,28 @@ class IoTlb
         lru_.clear();
     }
 
+    /**
+     * Evict up to @p n least-recently-used entries (an injected
+     * eviction storm; 0 = everything). @return entries evicted.
+     */
+    std::size_t
+    evictLru(std::size_t n)
+    {
+        if (n == 0 || n >= map_.size()) {
+            std::size_t dropped = map_.size();
+            stats_.evictions += dropped;
+            map_.clear();
+            lru_.clear();
+            return dropped;
+        }
+        for (std::size_t i = 0; i < n; ++i) {
+            map_.erase(lru_.back());
+            lru_.pop_back();
+            ++stats_.evictions;
+        }
+        return n;
+    }
+
     std::size_t size() const { return map_.size(); }
     std::size_t capacity() const { return capacity_; }
     const Stats &stats() const { return stats_; }

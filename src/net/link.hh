@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <functional>
 
+#include "fault/fault.hh"
 #include "obs/metrics.hh"
 #include "sim/event_queue.hh"
 #include "sim/time.hh"
@@ -30,8 +31,9 @@ struct LinkConfig
 /**
  * Unidirectional link. send() queues the packet behind earlier
  * traffic (transmission starts when the wire frees up) and schedules
- * the delivery callback at arrival time. Lossless: loss in npfsim
- * happens at NIC rings, never on the wire.
+ * the delivery callback at arrival time. Lossless by default: loss in
+ * npfsim happens at NIC rings, never on the wire — unless an active
+ * fault plan injects drop/duplicate/reorder/delay at the Link site.
  */
 class Link
 {
@@ -41,6 +43,9 @@ class Link
         std::uint64_t packets = 0;
         std::uint64_t payloadBytes = 0;
         std::uint64_t wireBytes = 0;
+        std::uint64_t injDropped = 0;    ///< fault-injected drops
+        std::uint64_t injDuplicated = 0; ///< fault-injected dups
+        std::uint64_t injDelayed = 0;    ///< fault-injected delay/reorder
     };
 
     Link(sim::EventQueue &eq, LinkConfig cfg = {}) : eq_(eq), cfg_(cfg)
@@ -49,6 +54,9 @@ class Link
         obs_.counter("packets", &stats_.packets);
         obs_.counter("payload_bytes", &stats_.payloadBytes);
         obs_.counter("wire_bytes", &stats_.wireBytes);
+        obs_.counter("inj_dropped", &stats_.injDropped);
+        obs_.counter("inj_duplicated", &stats_.injDuplicated);
+        obs_.counter("inj_delayed", &stats_.injDelayed);
     }
 
     /**
@@ -58,16 +66,35 @@ class Link
     sim::Time
     send(std::size_t bytes, std::function<void()> deliver)
     {
-        std::size_t wire_bytes = bytes + cfg_.perPacketOverheadBytes;
-        sim::Time tx_time = transmissionTime(wire_bytes);
-        sim::Time start = std::max(eq_.now(), busyUntil_);
-        busyUntil_ = start + tx_time;
-        sim::Time arrival = busyUntil_ + cfg_.propagation;
-
-        ++stats_.packets;
-        stats_.payloadBytes += bytes;
-        stats_.wireBytes += wire_bytes;
-
+        sim::Time extra = 0;
+        if (fault::FaultInjector *fi = fault::FaultInjector::active()) {
+            if (auto d = fi->decide(fault::Site::Link)) {
+                switch (d->action) {
+                  case fault::Action::Drop:
+                    // The packet still occupies the wire; it just
+                    // never arrives.
+                    ++stats_.injDropped;
+                    return occupyWire(bytes);
+                  case fault::Action::Duplicate:
+                    // The copy consumes wire time of its own and
+                    // arrives first; the original follows behind it.
+                    ++stats_.injDuplicated;
+                    eq_.schedule(occupyWire(bytes), deliver,
+                                 "net.link.deliver");
+                    break;
+                  case fault::Action::Reorder:
+                  case fault::Action::Delay:
+                    // Arrival slips without holding the wire, so
+                    // later packets overtake this one.
+                    ++stats_.injDelayed;
+                    extra = d->delay;
+                    break;
+                  default:
+                    break;
+                }
+            }
+        }
+        sim::Time arrival = occupyWire(bytes) + extra;
         eq_.schedule(arrival, std::move(deliver), "net.link.deliver");
         return arrival;
     }
@@ -87,6 +114,21 @@ class Link
     const Stats &stats() const { return stats_; }
 
   private:
+    /** FIFO-serialize one packet onto the wire; @return arrival time. */
+    sim::Time
+    occupyWire(std::size_t bytes)
+    {
+        std::size_t wire_bytes = bytes + cfg_.perPacketOverheadBytes;
+        sim::Time tx_time = transmissionTime(wire_bytes);
+        sim::Time start = std::max(eq_.now(), busyUntil_);
+        busyUntil_ = start + tx_time;
+
+        ++stats_.packets;
+        stats_.payloadBytes += bytes;
+        stats_.wireBytes += wire_bytes;
+        return busyUntil_ + cfg_.propagation;
+    }
+
     sim::EventQueue &eq_;
     LinkConfig cfg_;
     sim::Time busyUntil_ = 0;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "fault/fault.hh"
 #include "obs/flow_tracer.hh"
 
 namespace npf::tcp {
@@ -54,8 +55,13 @@ TcpConnection::sendSyn()
     ++stats_.segmentsSent;
     synSentAt_ = eq_.now();
     sink_(s, 0);
-    // SYN retransmission with exponential backoff (1s, 2s, 4s, ...).
-    sim::Time delay = cfg_.initialRto << synRetries_;
+    // SYN retransmission with exponential backoff (1s, 2s, 4s, ...),
+    // clamped to maxRto — an unclamped shift overflows (and is UB past
+    // the word size) once synRetries_ grows large.
+    sim::Time delay = cfg_.initialRto;
+    for (unsigned i = 0; i < synRetries_ && delay < cfg_.maxRto; ++i)
+        delay *= 2;
+    delay = std::min(delay, cfg_.maxRto);
     rtoTimer_ = eq_.scheduleAfter(delay, [this] {
         rtoTimer_ = sim::kInvalidEvent;
         if (state_ != State::SynSent)
@@ -177,6 +183,35 @@ TcpConnection::emitAck()
 
 void
 TcpConnection::receiveSegment(const Segment &seg)
+{
+    if (fault::FaultInjector *fi = fault::FaultInjector::active()) {
+        if (auto d = fi->decide(fault::Site::TcpRx)) {
+            switch (d->action) {
+              case fault::Action::Drop:
+                // Lost on arrival: RTO / fast retransmit recover.
+                return;
+              case fault::Action::Duplicate:
+                // The copy is processed after the original, same tick.
+                eq_.scheduleAfter(0, [this, seg] { processSegment(seg); },
+                                  "fault.tcp_dup");
+                break;
+              case fault::Action::Reorder:
+              case fault::Action::Delay:
+                // Processed late; segments behind it overtake.
+                eq_.scheduleAfter(d->delay,
+                                  [this, seg] { processSegment(seg); },
+                                  "fault.tcp_delay");
+                return;
+              default:
+                break;
+            }
+        }
+    }
+    processSegment(seg);
+}
+
+void
+TcpConnection::processSegment(const Segment &seg)
 {
     if (state_ == State::Failed || state_ == State::Closed)
         return;
@@ -304,8 +339,11 @@ TcpConnection::handleAckField(const Segment &seg)
         return;
     }
 
-    // Duplicate ACK.
-    if (seg.ack == sndUna_ && bytesInFlight() > 0 && seg.len == 0) {
+    // Duplicate ACK. Data-bearing segments count too: with
+    // bidirectional traffic the peer's dup-acks ride piggybacked on
+    // its own data stream, and a pure-ACK-only test starves fast
+    // retransmit (pure ACKs are themselves unreliable).
+    if (seg.ack == sndUna_ && bytesInFlight() > 0) {
         ++stats_.dupAcksReceived;
         if (++dupAcks_ == cfg_.dupAckThreshold) {
             ++stats_.fastRetransmits;

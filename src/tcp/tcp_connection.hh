@@ -117,6 +117,7 @@ class TcpConnection
         mem::VirtAddr src;
     };
 
+    void processSegment(const Segment &seg);
     void pumpSend();
     void emitData(std::uint64_t seq, std::size_t len);
     void emitAck();

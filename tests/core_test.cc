@@ -319,6 +319,72 @@ TEST(Pinning, PinDownCacheEvictsLruUnderBudget)
     EXPECT_EQ(cache.misses(), misses + 1);
 }
 
+TEST(Pinning, PinDownCacheOverlapDoesNotDoubleCount)
+{
+    // Regression: overlapping registrations were each charged their
+    // full page span, so pinnedBytes_ exceeded what is actually
+    // pinned and the budget filled up with phantom bytes.
+    Rig rig;
+    constexpr std::size_t kPage = mem::kPageSize;
+    PinDownCache cache(rig.npfc, rig.ch, /*capacity=*/0);
+    mem::VirtAddr buf = rig.as.allocRegion(16 * kPage);
+    cache.beforeDma(buf, 8 * kPage);             // pages [0, 8)
+    cache.beforeDma(buf + 4 * kPage, 8 * kPage); // pages [4, 12)
+    EXPECT_EQ(cache.pinnedBytes(), 12 * kPage)
+        << "the 4 shared pages must be counted once";
+    EXPECT_EQ(cache.evictions(), 0u);
+}
+
+TEST(Pinning, PinDownCacheEvictionSparesSiblingCoveredPages)
+{
+    // Regression: evicting a region invalidated its whole extent,
+    // unmapping pages a still-cached overlapping sibling relies on —
+    // the sibling then "hits" in the cache but faults on DMA.
+    Rig rig;
+    constexpr std::size_t kPage = mem::kPageSize;
+    PinDownCache cache(rig.npfc, rig.ch, /*capacity=*/12 * kPage);
+    mem::VirtAddr buf = rig.as.allocRegion(16 * kPage);
+    mem::VirtAddr other = rig.as.allocRegion(4 * kPage);
+    cache.beforeDma(buf, 8 * kPage);             // A: pages [0, 8)
+    cache.beforeDma(buf + 4 * kPage, 8 * kPage); // B: pages [4, 12)
+    ASSERT_EQ(cache.pinnedBytes(), 12 * kPage);
+
+    // 4 fresh pages exceed the budget: LRU evicts A.
+    cache.beforeDma(other, 4 * kPage);
+    EXPECT_EQ(cache.evictions(), 1u);
+    EXPECT_EQ(cache.pinnedBytes(), 12 * kPage)
+        << "only A's private pages [0, 4) were released";
+
+    // B must still hit AND its whole extent must still be mapped.
+    std::uint64_t misses = cache.misses();
+    cache.beforeDma(buf + 4 * kPage, 8 * kPage);
+    EXPECT_EQ(cache.misses(), misses);
+    EXPECT_TRUE(rig.npfc.checkDma(rig.ch, buf + 4 * kPage,
+                                  8 * kPage).ok)
+        << "eviction of A must not unmap pages B still covers";
+    // A's private pages really are gone from the device view.
+    EXPECT_FALSE(rig.npfc.checkDma(rig.ch, buf, 4 * kPage).ok);
+}
+
+TEST(Pinning, PinDownCacheSameBaseReRegistrationReplaces)
+{
+    // Re-registering the same base with a longer extent replaces the
+    // old region; the old entry must not linger in the LRU list or
+    // keep its bytes charged.
+    Rig rig;
+    constexpr std::size_t kPage = mem::kPageSize;
+    PinDownCache cache(rig.npfc, rig.ch, /*capacity=*/0);
+    mem::VirtAddr buf = rig.as.allocRegion(16 * kPage);
+    cache.beforeDma(buf, 4 * kPage);
+    cache.beforeDma(buf, 8 * kPage); // longer: a miss, replaces
+    EXPECT_EQ(cache.evictions(), 1u);
+    EXPECT_EQ(cache.pinnedBytes(), 8 * kPage);
+    std::uint64_t misses = cache.misses();
+    cache.beforeDma(buf, 8 * kPage);
+    EXPECT_EQ(cache.misses(), misses) << "replacement region hits";
+    EXPECT_TRUE(rig.npfc.checkDma(rig.ch, buf, 8 * kPage).ok);
+}
+
 TEST(Pinning, NpfModeIsFree)
 {
     NpfPinning npf;

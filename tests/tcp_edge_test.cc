@@ -179,6 +179,138 @@ TEST(TcpEdge, TinyAndHugeMessagesFrameCorrectly)
     EXPECT_EQ(lens[4], 1u);
 }
 
+TEST(TcpEdge, SynBackoffClampsAtMaxRto)
+{
+    // Regression: the SYN retry delay was computed as
+    // `initialRto << synRetries_`, which blows past maxRto and is
+    // outright UB once the shift reaches the word size. With the
+    // clamp, retry k waits min(initialRto * 2^k, maxRto), so the
+    // give-up time is exactly 1s + 80 * 2s.
+    TcpConfig cfg;
+    cfg.initialRto = 1 * sim::kSecond;
+    cfg.maxRto = 2 * sim::kSecond;
+    cfg.maxSynRetries = 80; // unclamped shift would be UB at 64
+    sim::EventQueue eq;
+    TcpConnection lone(eq, 3,
+                       [](const Segment &, mem::VirtAddr) { /* void */ },
+                       cfg);
+    bool connected = true;
+    sim::Time failed_at = 0;
+    lone.connect([&](bool ok) {
+        connected = ok;
+        failed_at = eq.now();
+    });
+    eq.run();
+    EXPECT_FALSE(connected);
+    EXPECT_TRUE(lone.failed());
+    EXPECT_EQ(lone.stats().synRetries, 80u);
+    EXPECT_EQ(failed_at, 1 * sim::kSecond + 80 * (2 * sim::kSecond));
+}
+
+TEST(TcpEdge, PiggybackedDupAcksTriggerFastRetransmit)
+{
+    // Regression: dup-ACK counting required seg.len == 0, so with
+    // bidirectional traffic — where the peer's dup-acks ride on its
+    // own data segments — fast retransmit never fired and every hole
+    // cost a full RTO. Drop one of A's data segments and all of B's
+    // *pure* acks until A fast-retransmits: recovery must come from
+    // the piggybacked dup-acks alone.
+    sim::EventQueue eq;
+    std::unique_ptr<TcpConnection> a, b;
+    int a_data_segs = 0;
+    a = std::make_unique<TcpConnection>(
+        eq, 1, [&](const Segment &s, mem::VirtAddr) {
+            if (s.len > 0 && ++a_data_segs == 3)
+                return; // the hole
+            eq.scheduleAfter(30 * sim::kMicrosecond,
+                             [&, s] { b->receiveSegment(s); });
+        });
+    b = std::make_unique<TcpConnection>(
+        eq, 1, [&](const Segment &s, mem::VirtAddr) {
+            bool pure_ack = s.len == 0 && !s.syn && !s.synAck;
+            if (pure_ack && b->established() &&
+                a->stats().fastRetransmits == 0)
+                return; // pure acks are lossy until FR does its job
+            eq.scheduleAfter(30 * sim::kMicrosecond,
+                             [&, s] { a->receiveSegment(s); });
+        });
+    b->listen();
+    bool up = false;
+    a->connect([&](bool) { up = true; });
+    // Wait for BOTH sides: the passive side only leaves SynReceived
+    // when the final handshake ack lands.
+    eq.runUntilCondition([&] { return up && b->established(); },
+                         30 * sim::kSecond);
+    ASSERT_TRUE(up && b->established());
+
+    constexpr std::size_t kBytes = 400 * 1000;
+    std::uint64_t at_a = 0, at_b = 0;
+    a->onDeliver([&](std::size_t n) { at_a += n; });
+    b->onDeliver([&](std::size_t n) { at_b += n; });
+    a->send(kBytes);
+    b->send(kBytes);
+    eq.runUntilCondition(
+        [&] { return at_a == kBytes && at_b == kBytes; },
+        eq.now() + 30 * sim::kSecond);
+
+    EXPECT_EQ(at_a, kBytes);
+    EXPECT_EQ(at_b, kBytes);
+    EXPECT_GE(a->stats().dupAcksReceived, 3u);
+    EXPECT_GE(a->stats().fastRetransmits, 1u);
+    EXPECT_EQ(a->stats().timeouts, 0u)
+        << "the hole must be repaired by fast retransmit, not RTO";
+}
+
+TEST(TcpEdge, GoBackNRewindOvertakenByCumulativeAck)
+{
+    // A's acks are withheld until after its RTO: the go-back-N rewind
+    // requeues everything past sndUna_, then the (late) cumulative
+    // ACK for the full window arrives and must cancel the requeued
+    // bytes (the seg.ack > sndNxt_ branch) instead of re-sending them.
+    sim::EventQueue eq;
+    std::unique_ptr<TcpConnection> a, b;
+    constexpr std::size_t kMss = 1448;
+    constexpr std::size_t kBytes = 10 * kMss; // one initial window
+    a = std::make_unique<TcpConnection>(
+        eq, 1, [&](const Segment &s, mem::VirtAddr) {
+            eq.scheduleAfter(30 * sim::kMicrosecond,
+                             [&, s] { b->receiveSegment(s); });
+        });
+    b = std::make_unique<TcpConnection>(
+        eq, 1, [&](const Segment &s, mem::VirtAddr) {
+            if (s.len == 0 && !s.syn && !s.synAck && b->established()) {
+                if (s.ack < kBytes)
+                    return; // partial acks vanish
+                // The full cumulative ack arrives only at 300ms,
+                // well after A's ~200ms RTO.
+                eq.schedule(300 * sim::kMillisecond,
+                            [&, s] { a->receiveSegment(s); });
+                return;
+            }
+            eq.scheduleAfter(30 * sim::kMicrosecond,
+                             [&, s] { a->receiveSegment(s); });
+        });
+    b->listen();
+    bool up = false;
+    a->connect([&](bool) { up = true; });
+    eq.runUntilCondition([&] { return up; }, 30 * sim::kSecond);
+    ASSERT_TRUE(up);
+
+    std::uint64_t at_b = 0;
+    b->onDeliver([&](std::size_t n) { at_b += n; });
+    a->send(kBytes);
+    eq.run();
+
+    EXPECT_EQ(at_b, kBytes) << "no duplicate delivery";
+    EXPECT_GE(a->stats().timeouts, 1u) << "the rewind happened";
+    EXPECT_EQ(a->bytesInFlight(), 0u);
+    EXPECT_EQ(a->unsentBytes(), 0u)
+        << "overtaking ack must drain the requeued bytes";
+    // Original window + the single RTO head retransmission; the
+    // overtaken bytes are NOT sent again.
+    EXPECT_EQ(a->stats().bytesSent, kBytes + kMss);
+}
+
 TEST(TcpEdge, FailureHandlerFiresExactlyOnce)
 {
     // A connection whose segments go nowhere: SYN retries exhaust
