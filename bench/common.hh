@@ -21,6 +21,7 @@
 #include "core/npf_controller.hh"
 #include "eth/eth_nic.hh"
 #include "fault/fault.hh"
+#include "load/spec.hh"
 #include "mem/memory_manager.hh"
 #include "obs/session.hh"
 #include "tcp/endpoint.hh"
@@ -52,6 +53,8 @@ row(const char *fmt, ...)
  *   --sample-us=N       sample counter rates every N microseconds
  *   --fault-plan=SPEC   install a fault plan (see docs/FAULTS.md)
  *   --fault-seed=N      seed for the plan's random streams (default 1)
+ *   --warmup=D          warm-up window, e.g. 500ms (0 = bench default)
+ *   --duration=D        measure window, e.g. 2s (0 = bench default)
  *
  * Unrecognized arguments are ignored so benches can add their own.
  */
@@ -63,6 +66,8 @@ struct ObsArgs
     sim::Time sampleInterval = 0;
     std::string faultPlan;
     std::uint64_t faultSeed = 1;
+    sim::Time warmup = 0;   ///< 0: use the bench's default
+    sim::Time duration = 0; ///< 0: use the bench's default
 };
 
 inline ObsArgs
@@ -85,6 +90,16 @@ parseObsArgs(int argc, char **argv)
             a.faultPlan = arg + 13;
         } else if (std::strncmp(arg, "--fault-seed=", 13) == 0) {
             a.faultSeed = std::strtoull(arg + 13, nullptr, 10);
+        } else if (std::strncmp(arg, "--warmup=", 9) == 0) {
+            if (!load::parseDuration(arg + 9, &a.warmup)) {
+                std::fprintf(stderr, "bad --warmup: %s\n", arg + 9);
+                std::exit(2);
+            }
+        } else if (std::strncmp(arg, "--duration=", 11) == 0) {
+            if (!load::parseDuration(arg + 11, &a.duration)) {
+                std::fprintf(stderr, "bad --duration: %s\n", arg + 11);
+                std::exit(2);
+            }
         }
     }
     return a;

@@ -86,17 +86,23 @@ runInstances(unsigned n, bool pinned, const ObsArgs &obs_args)
         vms.push_back(std::move(vm));
     }
 
-    // Warm half a second, then measure one second.
+    // Warm half a second, then measure one second (both overridable
+    // with the standard --warmup / --duration flags).
+    sim::Time warm =
+        obs_args.warmup != 0 ? obs_args.warmup : sim::kSecond / 2;
+    sim::Time measure =
+        obs_args.duration != 0 ? obs_args.duration : sim::kSecond;
     for (auto &vm : vms)
-        vm->bed->eq.runUntil(vm->bed->eq.now() + sim::kSecond / 2);
+        vm->bed->eq.runUntil(vm->bed->eq.now() + warm);
     for (auto &vm : vms)
         vm->slap->resetCounters();
     for (auto &vm : vms)
-        vm->bed->eq.runUntil(vm->bed->eq.now() + sim::kSecond);
+        vm->bed->eq.runUntil(vm->bed->eq.now() + measure);
 
     double total = 0;
     for (auto &vm : vms)
-        total += double(vm->slap->transactions()) / 1000.0;
+        total += double(vm->slap->transactions()) / 1000.0 *
+                 (double(sim::kSecond) / double(measure));
     return total;
 }
 

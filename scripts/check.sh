@@ -52,4 +52,31 @@ if cmp -s "$smokedir/seed1.a.txt" "$smokedir/seed2.a.txt"; then
     exit 1
 fi
 
+echo "== tier 4: load smoke (load_sweep under ASan/UBSan) =="
+# Two swept rates at small scale; per-seed runs must replay
+# bit-identically and different seeds must differ (docs/WORKLOADS.md).
+load_args="--clients=2000 --endpoints=8 --rates=20k,60k \
+    --workload=keys=zipf:n=5k,theta=0.99;get=0.9 \
+    --warmup=200ms --duration=200ms"
+for seed in 1 2; do
+    ./build-asan/bench/load_sweep $load_args --seed="$seed" \
+        > "$smokedir/load$seed.a.txt" 2>&1
+    ./build-asan/bench/load_sweep $load_args --seed="$seed" \
+        > "$smokedir/load$seed.b.txt" 2>&1
+    if ! cmp -s "$smokedir/load$seed.a.txt" "$smokedir/load$seed.b.txt"; then
+        echo "FAIL: load_sweep seed $seed is not deterministic:"
+        diff "$smokedir/load$seed.a.txt" "$smokedir/load$seed.b.txt" || true
+        exit 1
+    fi
+    grep -q "SLO report" "$smokedir/load$seed.a.txt" || {
+        echo "FAIL: load_sweep seed $seed printed no SLO report"
+        exit 1
+    }
+    echo "load seed $seed: bit-identical replay"
+done
+if cmp -s "$smokedir/load1.a.txt" "$smokedir/load2.a.txt"; then
+    echo "FAIL: load seeds 1 and 2 produced identical runs"
+    exit 1
+fi
+
 echo "== all checks passed =="

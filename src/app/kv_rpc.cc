@@ -1,0 +1,149 @@
+#include "app/kv_rpc.hh"
+
+#include <algorithm>
+
+namespace npf::app {
+
+KvRcServer::KvRcServer(sim::EventQueue &eq, KvStore &store,
+                       HostModel &host, mem::AddressSpace &as,
+                       KvRpcConfig cfg)
+    : eq_(eq), store_(store), host_(host), as_(as), cfg_(cfg)
+{
+    std::size_t bytes = std::max<std::size_t>(cfg_.missReplyBytes, 64);
+    scratch_ = as_.allocRegion(bytes, "kvrpc-scratch");
+    as_.touch(scratch_, bytes, true);
+    as_.pinRange(scratch_, bytes);
+}
+
+void
+KvRcServer::addSession(ib::QueuePair &qp, KvRpcRequestQueue requests,
+                       KvRpcResponseQueue responses)
+{
+    auto s = std::make_unique<Session>();
+    s->qp = &qp;
+    s->requests = std::move(requests);
+    s->responses = std::move(responses);
+    std::size_t bytes = std::size_t(cfg_.recvSlots) * cfg_.requestBytes;
+    s->recvRegion = as_.allocRegion(bytes, "kvrpc-recv");
+    // Request buffers are per-packet control memory: warm, pinned and
+    // IOMMU-mapped up front, like the rx rings. The interesting
+    // (value) memory is not — GET responses DMA-read it cold.
+    as_.touch(s->recvRegion, bytes, true);
+    as_.pinRange(s->recvRegion, bytes);
+    qp.controller().prefault(qp.channel(), s->recvRegion, bytes, true);
+    qp.controller().prefault(qp.channel(), scratch_,
+                             std::max<std::size_t>(cfg_.missReplyBytes, 64),
+                             false);
+
+    Session *raw = s.get();
+    qp.onCompletion([this, raw](const ib::Completion &c) {
+        if (c.isRecv)
+            handleRequest(*raw);
+    });
+    for (unsigned i = 0; i < cfg_.recvSlots; ++i)
+        postRecv(*raw);
+    sessions_.push_back(std::move(s));
+}
+
+void
+KvRcServer::postRecv(Session &s)
+{
+    ib::WorkRequest wr;
+    wr.local = s.recvRegion +
+               (s.nextRecv++ % cfg_.recvSlots) * cfg_.requestBytes;
+    wr.len = cfg_.requestBytes;
+    s.qp->postRecv(wr);
+}
+
+void
+KvRcServer::handleRequest(Session &s)
+{
+    if (s.requests->empty())
+        return; // stray completion (e.g. after an error rewind)
+    KvRpcRequest req = s.requests->front();
+    s.requests->pop_front();
+    postRecv(s); // keep the WQE pool full
+
+    // SETs write the value with the CPU; GETs only look it up — the
+    // response Send below DMA-reads the item memory directly.
+    KvResult kr = req.isSet ? store_.set(req.key)
+                            : store_.getRef(req.key);
+    sim::Time cpu = host_.scaled(cfg_.baseOpCpu) + kr.memCost;
+
+    sim::Time start = std::max(eq_.now(), busyUntil_);
+    sim::Time done = start + cpu;
+    busyUntil_ = done;
+    ++ops_;
+
+    bool value = !req.isSet && kr.hit;
+    Session *raw = &s;
+    eq_.schedule(done, [this, raw, req, kr, value] {
+        raw->responses->push_back(KvRpcResponse{req.serial,
+                                                !req.isSet && kr.hit});
+        ib::WorkRequest wr;
+        wr.op = ib::Opcode::Send;
+        wr.local = value ? kr.valueAddr : scratch_;
+        wr.len = value ? cfg_.valueBytes + 48 : cfg_.missReplyBytes;
+        raw->qp->postSend(wr);
+    });
+}
+
+// --- KvRcTransport ----------------------------------------------------
+
+KvRcTransport::KvRcTransport(ib::QueuePair &qp, mem::AddressSpace &as,
+                             KvRpcRequestQueue requests,
+                             KvRpcResponseQueue responses,
+                             KvRpcConfig cfg)
+    : qp_(qp), requests_(std::move(requests)),
+      responses_(std::move(responses)), cfg_(cfg)
+{
+    // The client is the standard stack: everything pinned, mapped and
+    // prefaulted — the interesting faults are all the server's.
+    std::size_t sendBytes = std::size_t(kSlots) * cfg_.requestBytes;
+    sendRegion_ = as.allocRegion(sendBytes, "kvrpc-send");
+    as.touch(sendRegion_, sendBytes, true);
+    as.pinRange(sendRegion_, sendBytes);
+    qp_.controller().prefault(qp_.channel(), sendRegion_, sendBytes, false);
+
+    std::size_t slot = cfg_.valueBytes + 48;
+    std::size_t recvBytes = std::size_t(kSlots) * slot;
+    recvRegion_ = as.allocRegion(recvBytes, "kvrpc-resp");
+    as.touch(recvRegion_, recvBytes, true);
+    as.pinRange(recvRegion_, recvBytes);
+    qp_.controller().prefault(qp_.channel(), recvRegion_, recvBytes, true);
+}
+
+void
+KvRcTransport::connect(load::ClientPool &pool)
+{
+    pool_ = &pool;
+    ep_ = pool.addEndpoint(*this);
+    qp_.onCompletion([this](const ib::Completion &c) {
+        if (!c.isRecv || responses_->empty())
+            return;
+        KvRpcResponse r = responses_->front();
+        responses_->pop_front();
+        pool_->complete(ep_, r.serial, r.hit);
+    });
+}
+
+void
+KvRcTransport::issue(std::uint32_t serial, std::uint64_t key,
+                     bool is_set, std::size_t bytes)
+{
+    requests_->push_back(KvRpcRequest{serial, key, is_set});
+
+    ib::WorkRequest recv;
+    recv.local =
+        recvRegion_ + (nextRecv_++ % kSlots) * (cfg_.valueBytes + 48);
+    recv.len = cfg_.valueBytes + 48;
+    qp_.postRecv(recv);
+
+    ib::WorkRequest send;
+    send.op = ib::Opcode::Send;
+    send.local = sendRegion_ + (nextSend_++ % kSlots) * cfg_.requestBytes;
+    send.len = bytes != 0 ? bytes : cfg_.requestBytes;
+    qp_.postSend(send);
+}
+
+} // namespace npf::app

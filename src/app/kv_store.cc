@@ -42,6 +42,24 @@ KvStore::get(std::uint64_t key)
 }
 
 KvResult
+KvStore::getRef(std::uint64_t key)
+{
+    KvResult res;
+    auto it = map_.find(key);
+    if (it == map_.end()) {
+        ++misses_;
+        return res;
+    }
+    ++hits_;
+    res.hit = true;
+    Entry &e = it->second;
+    lru_.splice(lru_.begin(), lru_, e.lruIt);
+    res.valueAddr = slotAddr(e.slot);
+    res.valueLen = valueBytes_;
+    return res;
+}
+
+KvResult
 KvStore::set(std::uint64_t key)
 {
     KvResult res;

@@ -46,6 +46,14 @@ class KvStore
     /** GET: touches the item memory on a hit. */
     KvResult get(std::uint64_t key);
 
+    /**
+     * GET for zero-copy servers: looks up and LRU-bumps but does not
+     * touch the item memory — the NIC DMA-reads the value straight
+     * out of the (unpinned) item region, so paging cost is paid
+     * through the NPF machinery instead of a CPU fault.
+     */
+    KvResult getRef(std::uint64_t key);
+
     /** SET: inserts (evicting LRU) and writes the item memory. */
     KvResult set(std::uint64_t key);
 

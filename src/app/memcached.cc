@@ -22,7 +22,7 @@ MemcachedServer::handleRequest(RpcChannel &ch, std::uint64_t cookie)
 {
     // Serialize on the instance's worker core.
     bool is_set = (cookie & kOpSet) != 0;
-    std::uint64_t key = cookie & ~(kOpSet | kHitFlag);
+    std::uint64_t key = cookie & kKeyMask;
 
     KvResult kr = is_set ? store_.set(key) : store_.get(key);
     sim::Time cpu = host_.scaled(cfg_.baseOpCpu) + kr.memCost;
@@ -47,43 +47,29 @@ MemcachedServer::handleRequest(RpcChannel &ch, std::uint64_t cookie)
     });
 }
 
+load::PoolConfig
+Memaslap::poolConfig(const MemaslapConfig &cfg, std::size_t channels,
+                     std::uint64_t seed)
+{
+    load::PoolConfig pc;
+    pc.clients = std::uint64_t(cfg.window) * channels;
+    pc.seed = seed;
+    pc.workload.arrival.kind = load::ArrivalSpec::Kind::Closed;
+    pc.workload.keys.kind = load::KeySpec::Kind::Uniform;
+    pc.workload.keys.keys = cfg.keys;
+    pc.workload.getRatio = cfg.getRatio;
+    pc.workload.requestBytes = cfg.requestBytes;
+    return pc;
+}
+
 Memaslap::Memaslap(sim::EventQueue &eq, std::vector<RpcChannel *> channels,
                    MemaslapConfig cfg, std::uint64_t seed)
-    : eq_(eq), channels_(std::move(channels)), cfg_(cfg), rng_(seed)
+    : pool_(eq, poolConfig(cfg, channels.size(), seed))
 {
-    for (std::size_t i = 0; i < channels_.size(); ++i) {
-        channels_[i]->response.onMessage(
-            [this, i](std::uint64_t cookie, std::size_t /*len*/) {
-                ++transactions_;
-                bool hit = (cookie & MemcachedServer::kHitFlag) != 0;
-                if (hit)
-                    ++hits_;
-                if (tpsSeries_)
-                    tpsSeries_->record(eq_.now());
-                if (hpsSeries_ && hit)
-                    hpsSeries_->record(eq_.now());
-                issue(i);
-            });
+    for (RpcChannel *ch : channels) {
+        transports_.emplace_back(*ch);
+        transports_.back().connect(pool_);
     }
-}
-
-void
-Memaslap::start()
-{
-    for (std::size_t i = 0; i < channels_.size(); ++i) {
-        for (unsigned w = 0; w < cfg_.window; ++w)
-            issue(i);
-    }
-}
-
-void
-Memaslap::issue(std::size_t chan)
-{
-    std::uint64_t key = rng_.uniformInt(0, cfg_.keys - 1);
-    std::uint64_t cookie = key;
-    if (!rng_.bernoulli(cfg_.getRatio))
-        cookie |= MemcachedServer::kOpSet;
-    channels_[chan]->request.sendMessage(cfg_.requestBytes, 0, cookie);
 }
 
 } // namespace npf::app

@@ -10,11 +10,13 @@
 #define NPF_APP_MEMCACHED_HH
 
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <vector>
 
 #include "app/host_model.hh"
 #include "app/kv_store.hh"
+#include "load/client_pool.hh"
 #include "sim/random.hh"
 #include "sim/series.hh"
 #include "tcp/endpoint.hh"
@@ -56,13 +58,15 @@ struct MemcachedConfig
  * value (GET hit) or a small status (miss / SET ack).
  *
  * Cookies encode (op, key); bit 63 of the response cookie reports a
- * hit.
+ * hit. Bits 48..61 are ignored by the server and echoed back — load
+ * generators stash a request serial there (see ChannelTransport).
  */
 class MemcachedServer
 {
   public:
     static constexpr std::uint64_t kOpSet = 1ull << 62;
     static constexpr std::uint64_t kHitFlag = 1ull << 63;
+    static constexpr std::uint64_t kKeyMask = (1ull << 48) - 1;
 
     MemcachedServer(sim::EventQueue &eq, KvStore &store, HostModel &host,
                     MemcachedConfig cfg = {});
@@ -85,6 +89,52 @@ class MemcachedServer
     std::uint64_t majorFaults_ = 0;
 };
 
+/**
+ * load::Transport adapter for one RpcChannel: requests carry
+ * (key | op | serial<<48) in the cookie; the server echoes the
+ * cookie, so the response handler recovers the serial and the hit
+ * flag and feeds the pool.
+ */
+class ChannelTransport final : public load::Transport
+{
+  public:
+    static constexpr unsigned kSerialShift = 48;
+
+    explicit ChannelTransport(RpcChannel &ch) : ch_(ch) {}
+
+    /** Register as a pool endpoint and install the response hook. */
+    void
+    connect(load::ClientPool &pool)
+    {
+        pool_ = &pool;
+        ep_ = pool.addEndpoint(*this);
+        ch_.response.onMessage(
+            [this](std::uint64_t cookie, std::size_t /*len*/) {
+                pool_->complete(
+                    ep_,
+                    std::uint32_t(cookie >> kSerialShift) &
+                        load::ClientPool::kSerialMask,
+                    (cookie & MemcachedServer::kHitFlag) != 0);
+            });
+    }
+
+    void
+    issue(std::uint32_t serial, std::uint64_t key, bool is_set,
+          std::size_t bytes) override
+    {
+        std::uint64_t cookie =
+            key | (std::uint64_t(serial) << kSerialShift);
+        if (is_set)
+            cookie |= MemcachedServer::kOpSet;
+        ch_.request.sendMessage(bytes, 0, cookie);
+    }
+
+  private:
+    RpcChannel &ch_;
+    load::ClientPool *pool_ = nullptr;
+    unsigned ep_ = 0;
+};
+
 /** Load-generator parameters (memaslap defaults from the paper). */
 struct MemaslapConfig
 {
@@ -95,7 +145,10 @@ struct MemaslapConfig
 };
 
 /**
- * memaslap: closed-loop generator over a set of RpcChannels.
+ * memaslap: the paper's closed-loop generator, now a thin preset
+ * over load::ClientPool — window*channels logical clients, uniform
+ * keys, zero think time (the pool re-issues inline on completion, so
+ * the event interleaving matches the original generator exactly).
  * Counts transactions and hits; optionally records a rate series
  * (for the throughput-versus-time figures).
  */
@@ -106,40 +159,33 @@ class Memaslap
              MemaslapConfig cfg, std::uint64_t seed = 99);
 
     /** Begin issuing requests (channels must be established). */
-    void start();
+    void start() { pool_.start(); }
 
     /** Change the working set (Fig. 7's dynamic experiment). */
-    void setKeys(std::uint64_t keys) { cfg_.keys = keys; }
+    void setKeys(std::uint64_t keys) { pool_.keyModel().setKeys(keys); }
 
     /** Attach a per-transaction rate recorder. */
     void recordInto(sim::RateSeries *tps, sim::RateSeries *hps)
     {
-        tpsSeries_ = tps;
-        hpsSeries_ = hps;
+        pool_.attachRateSeries(tps, hps);
     }
 
-    std::uint64_t transactions() const { return transactions_; }
-    std::uint64_t hits() const { return hits_; }
+    std::uint64_t transactions() const { return pool_.completions(); }
+    std::uint64_t hits() const { return pool_.hits(); }
 
     /** Reset counters (e.g. after warm-up). */
-    void
-    resetCounters()
-    {
-        transactions_ = 0;
-        hits_ = 0;
-    }
+    void resetCounters() { pool_.resetCounters(); }
+
+    /** The underlying pool (recorder attachment, counters). */
+    load::ClientPool &pool() { return pool_; }
 
   private:
-    void issue(std::size_t chan);
+    static load::PoolConfig poolConfig(const MemaslapConfig &cfg,
+                                       std::size_t channels,
+                                       std::uint64_t seed);
 
-    sim::EventQueue &eq_;
-    std::vector<RpcChannel *> channels_;
-    MemaslapConfig cfg_;
-    sim::Rng rng_;
-    std::uint64_t transactions_ = 0;
-    std::uint64_t hits_ = 0;
-    sim::RateSeries *tpsSeries_ = nullptr;
-    sim::RateSeries *hpsSeries_ = nullptr;
+    load::ClientPool pool_;
+    std::deque<ChannelTransport> transports_; ///< stable addresses
 };
 
 } // namespace npf::app

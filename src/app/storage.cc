@@ -145,6 +145,11 @@ FioClient::FioClient(sim::EventQueue &eq, ib::QueuePair &qp,
             return;
         ++completed_;
         bytesRead_ += blockBytes_;
+        if (rec_ && !submitTimes_.empty()) {
+            sim::Time sent = submitTimes_.front();
+            submitTimes_.pop_front();
+            rec_->recordLatency(recClass_, sent, sent, eq_.now());
+        }
         submit();
     });
 }
@@ -176,6 +181,8 @@ FioClient::submit()
     nextBuf_ = (nextBuf_ + 1) % queueDepth_;
     req.id = nextId_++;
     requests_->push_back(req);
+    if (rec_)
+        submitTimes_.push_back(eq_.now());
 
     ib::WorkRequest s;
     s.op = ib::Opcode::Send;

@@ -16,6 +16,7 @@
 
 #include "app/disk.hh"
 #include "ib/queue_pair.hh"
+#include "load/recorder.hh"
 #include "mem/memory_manager.hh"
 #include "mem/page_cache.hh"
 #include "sim/random.hh"
@@ -115,6 +116,17 @@ class FioClient
 
     void start();
 
+    /**
+     * Feed per-IO latency into @p rec under class @p cls (responses
+     * arrive in submit order: RC ordering + the serialized target).
+     */
+    void
+    recordInto(load::Recorder *rec, load::Recorder::ClassId cls)
+    {
+        rec_ = rec;
+        recClass_ = cls;
+    }
+
     std::uint64_t completed() const { return completed_; }
     std::uint64_t bytesRead() const { return bytesRead_; }
 
@@ -142,6 +154,9 @@ class FioClient
     std::uint64_t nextId_ = 1;
     std::uint64_t completed_ = 0;
     std::uint64_t bytesRead_ = 0;
+    load::Recorder *rec_ = nullptr;
+    load::Recorder::ClassId recClass_ = 0;
+    std::deque<sim::Time> submitTimes_; ///< FIFO, matches responses
 };
 
 } // namespace npf::app

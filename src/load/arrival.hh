@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Arrival processes: the open-loop side of workload generation.
+ *
+ * An ArrivalProcess walks a private clock forward and hands out
+ * successive absolute arrival times, never looking at simulation
+ * state — that is what makes the offered load *open loop*: the
+ * schedule is fixed up front by the seed, and a slow server cannot
+ * push arrivals back (the client pool queues them instead, and the
+ * latency recorder measures from these intended times, which is the
+ * coordinated-omission-free measurement).
+ *
+ * Draws come from a private Rng (sim::mixSeed stream), so arrival
+ * schedules are bit-reproducible regardless of what the rest of the
+ * simulation does.
+ */
+
+#ifndef NPF_LOAD_ARRIVAL_HH
+#define NPF_LOAD_ARRIVAL_HH
+
+#include "load/spec.hh"
+#include "sim/random.hh"
+#include "sim/time.hh"
+
+namespace npf::load {
+
+/**
+ * Generator of absolute arrival times for one aggregate open-loop
+ * stream. Closed-loop specs have no arrival process (clients self-
+ * pace); constructing one for them yields no arrivals.
+ */
+class ArrivalProcess
+{
+  public:
+    ArrivalProcess(const ArrivalSpec &spec, std::uint64_t seed)
+        : spec_(spec), rng_(seed)
+    {
+        if (spec_.kind == ArrivalSpec::Kind::OnOff)
+            stateEndNs_ = dwellNs(true);
+    }
+
+    /**
+     * Absolute time of the next arrival (monotonic across calls).
+     * For on-off, the modulating chain advances as needed; an
+     * off-state rate of zero skips straight to the next on period.
+     */
+    sim::Time
+    next()
+    {
+        switch (spec_.kind) {
+          case ArrivalSpec::Kind::Fixed:
+            cursorNs_ += 1e9 / spec_.ratePerSec;
+            break;
+          case ArrivalSpec::Kind::Poisson:
+            cursorNs_ += rng_.exponential(1e9 / spec_.ratePerSec);
+            break;
+          case ArrivalSpec::Kind::OnOff:
+            stepModulated();
+            break;
+          case ArrivalSpec::Kind::Closed:
+            // No open-loop schedule; effectively "never".
+            return ~sim::Time(0);
+        }
+        return static_cast<sim::Time>(cursorNs_);
+    }
+
+  private:
+    double
+    dwellNs(bool on)
+    {
+        double mean = double(on ? spec_.onMean : spec_.offMean);
+        return spec_.expDwell ? rng_.exponential(mean) : mean;
+    }
+
+    void
+    stepModulated()
+    {
+        for (;;) {
+            double rate = on_ ? spec_.ratePerSec : spec_.offRatePerSec;
+            if (rate > 0) {
+                double gap = rng_.exponential(1e9 / rate);
+                if (cursorNs_ + gap < stateEndNs_) {
+                    cursorNs_ += gap;
+                    return;
+                }
+            }
+            // No arrival before the state flips (memoryless, so the
+            // residual gap is redrawn in the next state).
+            cursorNs_ = stateEndNs_;
+            on_ = !on_;
+            stateEndNs_ += dwellNs(on_);
+        }
+    }
+
+    ArrivalSpec spec_;
+    sim::Rng rng_;
+    double cursorNs_ = 0.0;   ///< private clock, ns (double: no drift)
+    bool on_ = true;          ///< on-off modulating state
+    double stateEndNs_ = 0.0; ///< when the current state ends
+};
+
+} // namespace npf::load
+
+#endif // NPF_LOAD_ARRIVAL_HH

@@ -1,0 +1,337 @@
+#include "load/client_pool.hh"
+
+#include <algorithm>
+#include <cassert>
+
+namespace npf::load {
+
+ClientPool::ClientPool(sim::EventQueue &eq, PoolConfig cfg)
+    : eq_(eq), cfg_(cfg), rng_(cfg.seed),
+      arrival_(cfg.workload.arrival, sim::mixSeed(cfg.seed, 1)),
+      thinkRng_(sim::mixSeed(cfg.seed, 2)),
+      keys_(KeyModel::make(cfg.workload.keys))
+{
+    if (cfg_.clients == 0)
+        cfg_.clients = 1;
+    clients_.resize(cfg_.clients);
+    if (cfg_.sweepInterval == 0 && cfg_.timeout != 0)
+        cfg_.sweepInterval = std::max<sim::Time>(cfg_.timeout / 4, 1);
+    wheel_.resize(cfg_.calendarSlots);
+
+    obs_.init("load.pool");
+    obs_.counter("issued", &issued_);
+    obs_.counter("completions", &completions_);
+    obs_.counter("hits", &hits_);
+    obs_.counter("timeouts", &timeouts_);
+    obs_.counter("retries", &retries_);
+    obs_.counter("giveups", &giveups_);
+    obs_.counter("late_responses", &late_);
+    obs_.counter("shed_arrivals", &shed_);
+    obs_.gauge("in_flight",
+               [this] { return static_cast<double>(inFlight()); });
+}
+
+ClientPool::~ClientPool()
+{
+    stop();
+}
+
+unsigned
+ClientPool::addEndpoint(Transport &t)
+{
+    Endpoint ep;
+    ep.t = &t;
+    eps_.push_back(std::move(ep));
+    return unsigned(eps_.size() - 1);
+}
+
+void
+ClientPool::setRecorder(Recorder &rec)
+{
+    rec_ = &rec;
+    getClass_ = rec.addClass("get");
+    setClass_ = rec.addClass("set");
+}
+
+void
+ClientPool::start()
+{
+    assert(!eps_.empty() && "pool needs at least one endpoint");
+    started_ = true;
+    if (cfg_.workload.arrival.open()) {
+        for (std::uint32_t c = 0; c < cfg_.clients; ++c)
+            idle_.push_back(c);
+        armArrival();
+    } else {
+        // Closed loop: every client fires immediately. Index order is
+        // endpoint-major (clients map to endpoints in contiguous
+        // blocks), matching the legacy per-channel window fill.
+        for (std::uint32_t c = 0; c < cfg_.clients; ++c)
+            issueNew(c, eq_.now());
+    }
+    if (cfg_.timeout != 0)
+        sweepEvent_ = eq_.scheduleAfter(cfg_.sweepInterval,
+                                        [this] { sweep(); },
+                                        "load::ClientPool::sweep");
+}
+
+void
+ClientPool::stop()
+{
+    eq_.cancel(arrivalEvent_);
+    eq_.cancel(wheelEvent_);
+    eq_.cancel(sweepEvent_);
+    arrivalEvent_ = wheelEvent_ = sweepEvent_ = sim::kInvalidEvent;
+    for (auto &slot : wheel_)
+        slot.clear();
+    wheelCount_ = 0;
+    started_ = false;
+}
+
+std::size_t
+ClientPool::inFlight() const
+{
+    std::size_t n = 0;
+    for (const Endpoint &ep : eps_)
+        n += ep.inflight.size();
+    return n;
+}
+
+void
+ClientPool::resetCounters()
+{
+    issued_ = completions_ = hits_ = 0;
+    timeouts_ = retries_ = giveups_ = late_ = shed_ = 0;
+}
+
+unsigned
+ClientPool::endpointFor(std::uint32_t c)
+{
+    if (!cfg_.workload.arrival.open()) {
+        // Fixed block assignment: client c's endpoint never changes,
+        // so a closed loop is window-per-endpoint like memaslap.
+        return unsigned((std::uint64_t(c) * eps_.size()) / cfg_.clients);
+    }
+    unsigned ep = rrNext_;
+    rrNext_ = (rrNext_ + 1) % unsigned(eps_.size());
+    return ep;
+}
+
+void
+ClientPool::issueNew(std::uint32_t c, sim::Time intended)
+{
+    Client &cl = clients_[c];
+    // One shared stream, key drawn before op: the draw order is part
+    // of the reproducibility contract (and of memaslap parity).
+    cl.key = keys_->next(rng_, eq_.now());
+    cl.isSet = !rng_.bernoulli(cfg_.workload.getRatio);
+    cl.intended = intended;
+    cl.attempt = 0;
+    send(c);
+}
+
+void
+ClientPool::send(std::uint32_t c)
+{
+    Client &cl = clients_[c];
+    unsigned epIdx = endpointFor(c);
+    Endpoint &ep = eps_[epIdx];
+
+    std::uint32_t serial = ep.nextSerial++ & kSerialMask;
+    ep.nextSerial &= kSerialMask;
+    ep.inflight.push_back(InFlight{serial, c, cl.intended, eq_.now()});
+
+    cl.state = Client::State::InFlight;
+    ++issued_;
+    if (cl.attempt > 0) {
+        ++retries_;
+        if (rec_)
+            rec_->recordRetry(cl.isSet ? setClass_ : getClass_,
+                              eq_.now());
+    }
+    ep.t->issue(serial, cl.key, cl.isSet, cfg_.workload.requestBytes);
+}
+
+void
+ClientPool::complete(unsigned epIdx, std::uint32_t serial, bool hit)
+{
+    Endpoint &ep = eps_[epIdx];
+    if (ep.inflight.empty() || ep.inflight.front().serial != serial) {
+        // Response to a request the timeout sweep already abandoned
+        // (transports deliver in issue order, so a mismatched front
+        // means the matching entry was popped, never reordered).
+        ++late_;
+        return;
+    }
+    InFlight f = ep.inflight.front();
+    ep.inflight.pop_front();
+
+    Client &cl = clients_[f.client];
+    ++completions_;
+    if (hit)
+        ++hits_;
+    sim::Time now = eq_.now();
+    if (tpsSeries_)
+        tpsSeries_->record(now);
+    if (hpsSeries_ && hit)
+        hpsSeries_->record(now);
+    if (rec_)
+        rec_->recordLatency(cl.isSet ? setClass_ : getClass_,
+                            f.intended, f.sent, now);
+    finishClient(f.client);
+}
+
+void
+ClientPool::finishClient(std::uint32_t c)
+{
+    Client &cl = clients_[c];
+    if (cfg_.workload.arrival.open()) {
+        if (!backlog_.empty()) {
+            // A queued arrival has been waiting for a free client;
+            // its latency clock started at its *intended* time.
+            sim::Time intended = backlog_.front();
+            backlog_.pop_front();
+            issueNew(c, intended);
+        } else {
+            cl.state = Client::State::Idle;
+            idle_.push_back(c);
+        }
+        return;
+    }
+    // Closed loop: think, then re-issue. Zero think time re-issues
+    // inline from the completion callback — no event is scheduled, so
+    // the legacy memaslap interleaving is preserved exactly.
+    const ArrivalSpec &a = cfg_.workload.arrival;
+    if (a.thinkMean == 0) {
+        issueNew(c, eq_.now());
+        return;
+    }
+    double thinkNs = double(a.thinkMean);
+    if (a.expThink)
+        thinkNs = thinkRng_.exponential(thinkNs);
+    cl.state = Client::State::Thinking;
+    calendarInsert(eq_.now() + sim::Time(thinkNs), c);
+}
+
+// --- open-loop arrivals ----------------------------------------------
+
+void
+ClientPool::armArrival()
+{
+    sim::Time next = arrival_.next();
+    if (next == ~sim::Time(0))
+        return;
+    arrivalEvent_ = eq_.schedule(next, [this] { onArrival(); },
+                                 "load::ClientPool::arrival");
+}
+
+void
+ClientPool::onArrival()
+{
+    arrivalEvent_ = sim::kInvalidEvent;
+    sim::Time intended = eq_.now();
+    if (!idle_.empty()) {
+        std::uint32_t c = idle_.front();
+        idle_.pop_front();
+        issueNew(c, intended);
+    } else if (backlog_.size() <
+               std::size_t(cfg_.backlogFactor) * cfg_.clients) {
+        backlog_.push_back(intended);
+    } else {
+        ++shed_;
+    }
+    armArrival();
+}
+
+// --- calendar wheel ---------------------------------------------------
+
+void
+ClientPool::calendarInsert(sim::Time when, std::uint32_t c)
+{
+    clients_[c].wakeAt = when;
+    if (wheelCount_ == 0) {
+        // Wheel idle: re-anchor it at the current time.
+        wheelTime_ = eq_.now();
+    }
+    sim::Time delta = when > wheelTime_ ? when - wheelTime_ : 0;
+    std::size_t idx =
+        std::min<std::size_t>(delta / cfg_.calendarBucket,
+                              cfg_.calendarSlots - 1);
+    wheel_[(wheelHead_ + idx) % cfg_.calendarSlots].push_back(c);
+    ++wheelCount_;
+    if (wheelEvent_ == sim::kInvalidEvent)
+        wheelEvent_ = eq_.schedule(wheelTime_ + cfg_.calendarBucket,
+                                   [this] { calendarFire(); },
+                                   "load::ClientPool::calendar");
+}
+
+void
+ClientPool::calendarFire()
+{
+    wheelEvent_ = sim::kInvalidEvent;
+    std::vector<std::uint32_t> due;
+    due.swap(wheel_[wheelHead_]);
+    wheelHead_ = (wheelHead_ + 1) % cfg_.calendarSlots;
+    wheelTime_ += cfg_.calendarBucket;
+    wheelCount_ -= due.size();
+
+    for (std::uint32_t c : due) {
+        Client &cl = clients_[c];
+        if (cl.wakeAt > wheelTime_) {
+            // Clamped far-future insert: not due yet, cascade onward.
+            calendarInsert(cl.wakeAt, c);
+            continue;
+        }
+        if (cl.state == Client::State::Thinking) {
+            issueNew(c, eq_.now());
+        } else if (cl.state == Client::State::Backoff) {
+            send(c); // resend, keeping key and intended time
+        }
+    }
+    if (wheelCount_ > 0 && wheelEvent_ == sim::kInvalidEvent)
+        wheelEvent_ = eq_.schedule(wheelTime_ + cfg_.calendarBucket,
+                                   [this] { calendarFire(); },
+                                   "load::ClientPool::calendar");
+}
+
+// --- timeout sweep ----------------------------------------------------
+
+sim::Time
+ClientPool::backoffDelay(unsigned attempt) const
+{
+    sim::Time d = cfg_.backoffBase;
+    for (unsigned i = 1; i < attempt && d < cfg_.backoffCap; ++i)
+        d *= 2;
+    return std::min(d, cfg_.backoffCap);
+}
+
+void
+ClientPool::sweep()
+{
+    sim::Time now = eq_.now();
+    for (Endpoint &ep : eps_) {
+        while (!ep.inflight.empty() &&
+               now - ep.inflight.front().sent >= cfg_.timeout) {
+            InFlight f = ep.inflight.front();
+            ep.inflight.pop_front();
+            ++timeouts_;
+            Client &cl = clients_[f.client];
+            if (cl.attempt < cfg_.maxRetries) {
+                ++cl.attempt;
+                cl.state = Client::State::Backoff;
+                calendarInsert(now + backoffDelay(cl.attempt), f.client);
+            } else {
+                ++giveups_;
+                if (rec_)
+                    rec_->recordTimeout(cl.isSet ? setClass_ : getClass_,
+                                        f.intended, now);
+                finishClient(f.client);
+            }
+        }
+    }
+    sweepEvent_ = eq_.scheduleAfter(cfg_.sweepInterval,
+                                    [this] { sweep(); },
+                                    "load::ClientPool::sweep");
+}
+
+} // namespace npf::load

@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Log-bucketed (HDR-style) histogram for latency recording.
+ *
+ * Unlike sim::Histogram (raw samples, exact percentiles, O(n)
+ * memory), this one buckets values by (binary exponent, sub-bucket):
+ * with the default 256 sub-buckets per octave the relative
+ * quantisation error of any percentile is at most ~0.2%, memory is a
+ * few KB regardless of sample count, and recording is O(1) — what a
+ * generator needs when it records millions of requests per run.
+ * Exact min/max/sum are tracked on the side.
+ *
+ * recordCorrected() implements the classic coordinated-omission
+ * back-fill: when a sample exceeds the expected sampling interval,
+ * the stalled-out samples that *would* have been taken are recorded
+ * too (v - i, v - 2i, ... while positive).
+ */
+
+#ifndef NPF_LOAD_HISTOGRAM_HH
+#define NPF_LOAD_HISTOGRAM_HH
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace npf::load {
+
+class Histogram
+{
+  public:
+    /** @param sub_bucket_bits log2 of sub-buckets per octave. */
+    explicit Histogram(unsigned sub_bucket_bits = 8)
+        : subBits_(sub_bucket_bits), subCount_(1u << sub_bucket_bits)
+    {
+    }
+
+    /** Add one sample (negative values clamp to 0). */
+    void record(double v) { recordN(v, 1); }
+
+    /** Add @p n occurrences of @p v. */
+    void
+    recordN(double v, std::uint64_t n)
+    {
+        if (n == 0)
+            return;
+        if (v <= 0) {
+            v = 0;
+            underflow_ += n; // own counter: never mixes with the
+                             // dense bucket window
+        } else {
+            bump(bucketIndex(v), n);
+        }
+        count_ += n;
+        sum_ += v * double(n);
+        if (count_ == n || v < min_)
+            min_ = v;
+        if (count_ == n || v > max_)
+            max_ = v;
+    }
+
+    /**
+     * Coordinated-omission corrected record: the observed sample plus
+     * back-filled samples at v - k*expected_interval (k = 1, 2, ...)
+     * while positive, as if sampling had not stalled.
+     */
+    void
+    recordCorrected(double v, double expected_interval)
+    {
+        record(v);
+        if (expected_interval <= 0)
+            return;
+        for (double x = v - expected_interval; x > 0;
+             x -= expected_interval)
+            record(x);
+    }
+
+    /** Merge another histogram's samples (same sub-bucket config). */
+    void
+    merge(const Histogram &o)
+    {
+        for (std::size_t i = 0; i < o.counts_.size(); ++i) {
+            if (o.counts_[i] != 0)
+                bump(o.base_ + std::int64_t(i), o.counts_[i]);
+        }
+        underflow_ += o.underflow_;
+        if (o.count_ != 0) {
+            if (count_ == 0 || o.min_ < min_)
+                min_ = o.min_;
+            if (count_ == 0 || o.max_ > max_)
+                max_ = o.max_;
+        }
+        count_ += o.count_;
+        sum_ += o.sum_;
+    }
+
+    std::uint64_t count() const { return count_; }
+    bool empty() const { return count_ == 0; }
+    double sum() const { return sum_; }
+    double mean() const { return count_ == 0 ? 0.0 : sum_ / double(count_); }
+    double min() const { return count_ == 0 ? 0.0 : min_; }
+    double max() const { return count_ == 0 ? 0.0 : max_; }
+
+    /**
+     * Percentile by nearest rank over the bucketed distribution.
+     * @p p in [0, 100]; p >= 100 returns the exact maximum. The
+     * result is a bucket midpoint, clamped into [min, max].
+     */
+    double
+    percentile(double p) const
+    {
+        if (count_ == 0)
+            return 0.0;
+        if (p >= 100.0)
+            return max_;
+        auto rank = static_cast<std::uint64_t>(
+            std::ceil(p / 100.0 * double(count_)));
+        if (rank == 0)
+            rank = 1;
+        std::uint64_t seen = underflow_; // zero-valued samples first
+        if (seen >= rank)
+            return 0.0;
+        for (std::size_t i = 0; i < counts_.size(); ++i) {
+            seen += counts_[i];
+            if (seen >= rank) {
+                double v = bucketMid(base_ + std::int64_t(i));
+                if (v < min_)
+                    v = min_;
+                if (v > max_)
+                    v = max_;
+                return v;
+            }
+        }
+        return max_;
+    }
+
+    /** Discard all samples. */
+    void
+    clear()
+    {
+        counts_.clear();
+        base_ = 0;
+        underflow_ = 0;
+        count_ = 0;
+        sum_ = 0;
+        min_ = 0;
+        max_ = 0;
+    }
+
+  private:
+    /**
+     * Global bucket index of @p v: exponent * sub-buckets + mantissa
+     * slice. Values below the smallest normalised double land in one
+     * underflow bucket.
+     */
+    std::int64_t
+    bucketIndex(double v) const
+    {
+        int e = 0;
+        double m = std::frexp(v, &e); // m in [0.5, 1)
+        auto sub = static_cast<std::int64_t>((m - 0.5) * 2.0 *
+                                             double(subCount_));
+        if (sub >= std::int64_t(subCount_))
+            sub = std::int64_t(subCount_) - 1;
+        return std::int64_t(e) * std::int64_t(subCount_) + sub;
+    }
+
+    /** Midpoint of the bucket with global index @p idx. */
+    double
+    bucketMid(std::int64_t idx) const
+    {
+        auto e = static_cast<int>(idx >= 0
+                                      ? idx / std::int64_t(subCount_)
+                                      : -((-idx + std::int64_t(subCount_) -
+                                           1) /
+                                          std::int64_t(subCount_)));
+        std::int64_t sub = idx - std::int64_t(e) * std::int64_t(subCount_);
+        double lo = 0.5 + double(sub) / (2.0 * double(subCount_));
+        double width = 0.5 / double(subCount_);
+        return std::ldexp(lo + width / 2.0, e);
+    }
+
+    /** Increment the bucket, growing the dense window on demand. */
+    void
+    bump(std::int64_t idx, std::uint64_t n)
+    {
+        if (counts_.empty()) {
+            base_ = idx;
+            counts_.assign(1, 0);
+        } else if (idx < base_) {
+            counts_.insert(counts_.begin(), std::size_t(base_ - idx), 0);
+            base_ = idx;
+        } else if (idx >= base_ + std::int64_t(counts_.size())) {
+            counts_.resize(std::size_t(idx - base_) + 1, 0);
+        }
+        counts_[std::size_t(idx - base_)] += n;
+    }
+
+    unsigned subBits_;
+    unsigned subCount_;
+    std::vector<std::uint64_t> counts_; ///< dense window [base_, ...)
+    std::int64_t base_ = 0;
+    std::uint64_t underflow_ = 0; ///< samples at exactly zero
+    std::uint64_t count_ = 0;
+    double sum_ = 0;
+    double min_ = 0;
+    double max_ = 0;
+};
+
+} // namespace npf::load
+
+#endif // NPF_LOAD_HISTOGRAM_HH

@@ -1,0 +1,95 @@
+#include "load/popularity.hh"
+
+#include <cmath>
+
+namespace npf::load {
+
+std::unique_ptr<KeyModel>
+KeyModel::make(const KeySpec &spec)
+{
+    switch (spec.kind) {
+      case KeySpec::Kind::Uniform:
+        return std::make_unique<UniformKeys>(spec.keys);
+      case KeySpec::Kind::Zipf:
+        return std::make_unique<ZipfKeys>(spec.keys, spec.theta);
+      case KeySpec::Kind::HotSet:
+        return std::make_unique<HotSetKeys>(spec);
+      case KeySpec::Kind::Scan:
+        return std::make_unique<ScanKeys>(spec.keys);
+    }
+    return std::make_unique<UniformKeys>(spec.keys);
+}
+
+// --- ZipfKeys ---------------------------------------------------------
+
+ZipfKeys::ZipfKeys(std::uint64_t n, double theta) : n_(n), theta_(theta)
+{
+    precompute();
+}
+
+void
+ZipfKeys::precompute()
+{
+    zetan_ = 0;
+    for (std::uint64_t i = 1; i <= n_; ++i)
+        zetan_ += 1.0 / std::pow(double(i), theta_);
+    zeta2_ = 1.0 + 1.0 / std::pow(2.0, theta_);
+    alpha_ = 1.0 / (1.0 - theta_);
+    eta_ = (1.0 - std::pow(2.0 / double(n_), 1.0 - theta_)) /
+           (1.0 - zeta2_ / zetan_);
+}
+
+void
+ZipfKeys::setKeys(std::uint64_t n)
+{
+    if (n == n_)
+        return;
+    n_ = n;
+    precompute();
+}
+
+std::uint64_t
+ZipfKeys::next(sim::Rng &rng, sim::Time)
+{
+    double u = rng.uniform01();
+    double uz = u * zetan_;
+    if (uz < 1.0)
+        return 0;
+    if (uz < zeta2_)
+        return 1;
+    auto k = static_cast<std::uint64_t>(
+        double(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+    return k >= n_ ? n_ - 1 : k;
+}
+
+// --- HotSetKeys -------------------------------------------------------
+
+std::uint64_t
+HotSetKeys::hotSize() const
+{
+    auto h = static_cast<std::uint64_t>(double(n_) * hotFraction_ + 0.5);
+    if (h == 0)
+        h = 1;
+    return h > n_ ? n_ : h;
+}
+
+std::uint64_t
+HotSetKeys::next(sim::Rng &rng, sim::Time now)
+{
+    if (shiftEvery_ != 0) {
+        while (now >= nextShift_) {
+            std::uint64_t step = shiftBy_ != 0 ? shiftBy_ : hotSize();
+            hotStart_ = (hotStart_ + step) % n_;
+            nextShift_ += shiftEvery_;
+        }
+    }
+    std::uint64_t h = hotSize();
+    if (rng.bernoulli(hotTraffic_))
+        return (hotStart_ + rng.uniformInt(0, h - 1)) % n_;
+    std::uint64_t cold = n_ - h;
+    if (cold == 0)
+        return (hotStart_ + rng.uniformInt(0, h - 1)) % n_;
+    return (hotStart_ + h + rng.uniformInt(0, cold - 1)) % n_;
+}
+
+} // namespace npf::load

@@ -1,0 +1,142 @@
+#include "load/recorder.hh"
+
+#include <cstdio>
+
+#include "obs/flow_tracer.hh"
+
+namespace npf::load {
+
+Recorder::Recorder(RecorderConfig cfg) : cfg_(cfg)
+{
+    obs_.init("load.rec");
+}
+
+Recorder::ClassId
+Recorder::addClass(const std::string &name)
+{
+    perClass_.emplace_back();
+    PerClass &pc = perClass_.back();
+    pc.name = name;
+    obs_.counter(name + ".completions", &pc.completions);
+    obs_.counter(name + ".timeouts", &pc.timeouts);
+    obs_.counter(name + ".retries", &pc.retries);
+    ClassId id = ClassId(perClass_.size() - 1);
+    obs_.distribution(name + ".response_us", [this, id] {
+        const Histogram &h = perClass_[id].response;
+        return obs::DistSnapshot{h.count(),  h.mean(),
+                                 h.percentile(50), h.percentile(90),
+                                 h.percentile(99), h.percentile(99.9),
+                                 h.min(),    h.max()};
+    });
+    return id;
+}
+
+void
+Recorder::recordLatency(ClassId c, sim::Time intended, sim::Time sent,
+                        sim::Time completed)
+{
+    PerClass &pc = perClass_[c];
+    double responseUs = sim::toMicroseconds(completed - intended);
+    pc.window.record(responseUs);
+    if (!measuring(completed))
+        return;
+    ++pc.completions;
+    pc.response.record(responseUs);
+    pc.service.record(sim::toMicroseconds(completed - sent));
+}
+
+void
+Recorder::recordTimeout(ClassId c, sim::Time intended, sim::Time now)
+{
+    PerClass &pc = perClass_[c];
+    double waitedUs = sim::toMicroseconds(now - intended);
+    pc.window.record(waitedUs);
+    if (!measuring(now))
+        return;
+    ++pc.timeouts;
+    // Floor the tail honestly: the request took *at least* this long.
+    pc.response.record(waitedUs);
+}
+
+void
+Recorder::recordRetry(ClassId c, sim::Time now)
+{
+    if (measuring(now))
+        ++perClass_[c].retries;
+}
+
+void
+Recorder::writeReport(std::ostream &os, sim::Time now) const
+{
+    sim::Time end = cfg_.warmup + cfg_.duration;
+    if (cfg_.duration == 0 || end > now)
+        end = now;
+    double secs = end > cfg_.warmup ? sim::toSeconds(end - cfg_.warmup)
+                                    : 0.0;
+
+    char line[256];
+    std::snprintf(line, sizeof(line),
+                  "-- SLO report [measure %.3fs..%.3fs] --",
+                  sim::toSeconds(cfg_.warmup), sim::toSeconds(end));
+    os << line << '\n';
+    std::snprintf(line, sizeof(line),
+                  "%-8s %10s %10s %8s %8s %9s %9s %9s %9s %9s %9s",
+                  "class", "count", "tput/s", "timeout", "retry",
+                  "mean", "p50", "p90", "p99", "p99.9", "max");
+    os << line << "  [us]\n";
+    for (const PerClass &pc : perClass_) {
+        const Histogram &h = pc.response;
+        std::snprintf(
+            line, sizeof(line),
+            "%-8s %10llu %10.0f %8llu %8llu %9.1f %9.1f %9.1f %9.1f "
+            "%9.1f %9.1f",
+            pc.name.c_str(),
+            static_cast<unsigned long long>(pc.completions),
+            secs > 0 ? double(pc.completions) / secs : 0.0,
+            static_cast<unsigned long long>(pc.timeouts),
+            static_cast<unsigned long long>(pc.retries), h.mean(),
+            h.percentile(50), h.percentile(90), h.percentile(99),
+            h.percentile(99.9), h.max());
+        os << line << '\n';
+    }
+}
+
+// --- SloMonitor -------------------------------------------------------
+
+SloMonitor::SloMonitor(sim::EventQueue &eq, Recorder &rec, SloConfig cfg)
+    : eq_(eq), rec_(rec), cfg_(cfg)
+{
+    obs_.init("load.slo");
+    obs_.counter("checks", &checks_);
+    obs_.counter("violations", &violations_);
+    timer_ = eq_.scheduleAfter(cfg_.window, [this] { tick(); },
+                               "load::SloMonitor::tick");
+}
+
+SloMonitor::~SloMonitor()
+{
+    eq_.cancel(timer_);
+}
+
+void
+SloMonitor::tick()
+{
+    ++checks_;
+    Histogram &win = rec_.window(cfg_.cls);
+    if (!win.empty()) {
+        auto pUs = win.percentile(cfg_.percentile);
+        auto p = static_cast<sim::Time>(pUs * double(sim::kMicrosecond));
+        if (p > worst_)
+            worst_ = p;
+        if (cfg_.target != 0 && p > cfg_.target) {
+            ++violations_;
+            obs::FlowTracer::global().instant(
+                obs::Track::App, "load", "slo_violation");
+        }
+        win.clear();
+    }
+    timer_ = eq_.scheduleAfter(cfg_.window, [this] { tick(); },
+                               "load::SloMonitor::tick");
+}
+
+} // namespace npf::load

@@ -14,6 +14,21 @@
 namespace npf::sim {
 
 /**
+ * Derive an independent stream seed from a base seed and a stream
+ * index (splitmix64 finalizer). Subsystems that own several Rngs
+ * (fault clauses, workload generators) use this so stream k's draws
+ * never depend on how many draws stream j consumed.
+ */
+constexpr std::uint64_t
+mixSeed(std::uint64_t seed, std::uint64_t stream)
+{
+    std::uint64_t z = seed + 0x9e3779b97f4a7c15ull * (stream + 1);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+/**
  * Seeded random stream.
  *
  * Each stochastic model (workload generator, jitter model) owns its
