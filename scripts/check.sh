@@ -79,4 +79,26 @@ if cmp -s "$smokedir/load1.a.txt" "$smokedir/load2.a.txt"; then
     exit 1
 fi
 
+echo "== tier 5: engine smoke (engine_speed --smoke) =="
+# Reduced-scale run of the event-engine microbench: proves the ladder
+# engine's determinism replay and emits the JSON artifact. Exit 2 only
+# flags a sub-3x cancel_heavy speedup, which is timing-noise-prone at
+# smoke scale; exit 1 (determinism mismatch) is always fatal.
+if ./build/bench/engine_speed --smoke \
+        --json="$smokedir/BENCH_engine.json" \
+        > "$smokedir/engine.txt" 2>&1; then
+    :
+elif [ $? -eq 2 ]; then
+    echo "note: cancel_heavy speedup below 3x at smoke scale (ok)"
+else
+    echo "FAIL: engine_speed smoke run failed:"
+    cat "$smokedir/engine.txt"
+    exit 1
+fi
+grep "determinism replay" "$smokedir/engine.txt"
+grep -q '"determinism_replay": "ok"' "$smokedir/BENCH_engine.json" || {
+    echo "FAIL: BENCH_engine.json missing determinism_replay=ok"
+    exit 1
+}
+
 echo "== all checks passed =="

@@ -225,9 +225,14 @@ NpfController::startResolve(ChannelId ch, mem::VirtAddr iova,
     if (cfg_.firmwareBypass && !check.ok)
         c.merges.emplace(merge_key, std::vector<ResolveCallback>{});
 
-    eq_.scheduleAfter(bd->trigger, [this, ch, iova, len, write, bd,
-                                    merge_key, has_key = !check.ok, flow,
-                                    cb = std::move(cb)]() mutable {
+    // The fault-resolution continuation is the fattest closure the
+    // controller schedules (breakdown pointer, merge key, resolve
+    // callback); it still must ride the event queue's inline delegate
+    // storage — NPF latency is the quantity this simulator measures,
+    // and an allocation here would sit directly on that path.
+    auto resolve = [this, ch, iova, len, write, bd, merge_key,
+                    has_key = !check.ok, flow,
+                    cb = std::move(cb)]() mutable {
         obs::FlowScope fs(flow);
         Channel &c = chan(ch);
         sim::logf(sim::LogLevel::Debug, eq_.now(),
@@ -269,7 +274,10 @@ NpfController::startResolve(ChannelId ch, mem::VirtAddr iova,
                 next();
             }
         }, "npf.resolve");
-    }, "npf.trigger");
+    };
+    static_assert(sim::Delegate::fitsInline<decltype(resolve)>,
+                  "npf resolution closure must stay inline");
+    eq_.scheduleAfter(bd->trigger, std::move(resolve), "npf.trigger");
 }
 
 void

@@ -126,9 +126,16 @@ EthNic::pumpTx(unsigned txq)
     t.q.pop_front();
     ++stats_.framesSent;
     EthNic *peer = peer_;
-    txLink_->send(f.bytes, [peer, f = std::move(f)]() mutable {
+    std::size_t wire_bytes = f.bytes;
+    // Per-frame delivery rides the event queue's inline delegate
+    // storage; keep the capture (peer pointer + Frame) small enough
+    // that frame transmission never allocates.
+    auto deliver = [peer, f = std::move(f)]() mutable {
         peer->receive(std::move(f));
-    });
+    };
+    static_assert(sim::Delegate::fitsInline<decltype(deliver)>,
+                  "eth frame delivery closure must stay inline");
+    txLink_->send(wire_bytes, std::move(deliver));
 
     if (!t.q.empty() && !t.pumpScheduled) {
         t.pumpScheduled = true;

@@ -166,8 +166,15 @@ QueuePair::transmitOne()
     ++stats_.dataPacketsSent;
 
     QueuePair *peer = peer_;
-    fabric_.send(node_, peer->node_, pkt.bytes,
-                 [peer, pkt] { peer->handlePacket(pkt); });
+    // The per-packet delivery closure is the hottest allocation site
+    // in the whole simulator; pin it to the event queue's inline
+    // delegate storage so growing Packet past the small-buffer
+    // capacity fails to compile instead of silently costing a heap
+    // round trip per packet.
+    auto deliver = [peer, pkt] { peer->handlePacket(pkt); };
+    static_assert(sim::Delegate::fitsInline<decltype(deliver)>,
+                  "ib data-path delivery closure must stay inline");
+    fabric_.send(node_, peer->node_, pkt.bytes, std::move(deliver));
     ++txPsn_;
 
     armRetransmitTimer();
@@ -295,8 +302,11 @@ QueuePair::sendControl(Packet pkt)
 {
     assert(peer_ != nullptr);
     QueuePair *peer = peer_;
+    auto deliver = [peer, pkt] { peer->handlePacket(pkt); };
+    static_assert(sim::Delegate::fitsInline<decltype(deliver)>,
+                  "ib control-path delivery closure must stay inline");
     fabric_.send(node_, peer->node_, cfg_.controlBytes,
-                 [peer, pkt] { peer->handlePacket(pkt); });
+                 std::move(deliver));
 }
 
 // --- receiver -----------------------------------------------------------

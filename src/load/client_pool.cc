@@ -221,7 +221,12 @@ ClientPool::armArrival()
     sim::Time next = arrival_.next();
     if (next == ~sim::Time(0))
         return;
-    arrivalEvent_ = eq_.schedule(next, [this] { onArrival(); },
+    // One arrival event per request at high offered load; keep the
+    // closure inline so the open-loop generator never allocates.
+    auto fire = [this] { onArrival(); };
+    static_assert(sim::Delegate::fitsInline<decltype(fire)>,
+                  "arrival closure must stay inline");
+    arrivalEvent_ = eq_.schedule(next, std::move(fire),
                                  "load::ClientPool::arrival");
 }
 

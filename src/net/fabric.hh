@@ -10,7 +10,6 @@
 #define NPF_NET_FABRIC_HH
 
 #include <cstddef>
-#include <functional>
 #include <memory>
 #include <vector>
 
@@ -46,11 +45,15 @@ class Fabric
     /**
      * Send @p bytes from @p src to @p dst; @p deliver runs at the
      * destination's arrival time. Loopback (src == dst) bypasses the
-     * wire with just the switch latency.
+     * wire with just the switch latency. The hop continuations
+     * capture @p deliver by move: an inline-stored delegate is
+     * relocated (never reallocated), so a packet crossing
+     * uplink -> switch -> downlink costs at most one allocation for
+     * the whole journey instead of one std::function per hop.
      */
     void
     send(unsigned src, unsigned dst, std::size_t bytes,
-         std::function<void()> deliver)
+         sim::EventQueue::Callback deliver)
     {
         if (src == dst) {
             eq_.scheduleAfter(cfg_.switchLatency, std::move(deliver));

@@ -9,7 +9,6 @@
 #define NPF_NET_LINK_HH
 
 #include <cstdint>
-#include <functional>
 
 #include "fault/fault.hh"
 #include "obs/metrics.hh"
@@ -61,10 +60,12 @@ class Link
 
     /**
      * Transmit @p bytes of payload; @p deliver runs at arrival.
+     * Delivery closures ride the event queue's small-buffer Delegate,
+     * so per-packet sends stay allocation-free when the capture fits.
      * @return the arrival time.
      */
     sim::Time
-    send(std::size_t bytes, std::function<void()> deliver)
+    send(std::size_t bytes, sim::EventQueue::Callback deliver)
     {
         sim::Time extra = 0;
         if (fault::FaultInjector *fi = fault::FaultInjector::active()) {

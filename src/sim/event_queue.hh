@@ -6,22 +6,40 @@
  * workloads) advances time exclusively by scheduling callbacks on a
  * shared EventQueue. Events scheduled for the same tick execute in
  * FIFO order of scheduling, which makes runs fully deterministic.
+ *
+ * Internals: a hierarchical timer wheel (six 256-slot levels, 64 ns
+ * finest granularity, ~208 days total span) with an overflow list for
+ * the far future, slab-allocated intrusive entries recycled through a
+ * free list, and generation-stamped handles for O(1) cancellation.
+ * The imminent 64 ns window is drained through a small binary heap so
+ * the determinism contract — global (time, schedule-sequence) order —
+ * is preserved bit-identically against the old binary-heap engine
+ * (kept as tests/heap_event_queue.hh and proven equivalent by
+ * tests/engine_oracle_test.cc). docs/ENGINE.md has the full design.
  */
 
 #ifndef NPF_SIM_EVENT_QUEUE_HH
 #define NPF_SIM_EVENT_QUEUE_HH
 
+#include <algorithm>
+#include <array>
+#include <cassert>
 #include <cstdint>
 #include <functional>
-#include <queue>
-#include <unordered_set>
 #include <vector>
 
+#include "sim/delegate.hh"
 #include "sim/time.hh"
 
 namespace npf::sim {
 
-/** Opaque handle identifying a scheduled event, usable to cancel it. */
+/**
+ * Opaque handle identifying a scheduled event, usable to cancel it.
+ * Encodes slab index (low 32 bits, biased by one so the handle is
+ * never zero) and a per-slot generation stamp (high 32 bits), so a
+ * stale handle — the event ran, was cancelled, or its slot was
+ * recycled — can be rejected in O(1) without any lookup table.
+ */
 using EventId = std::uint64_t;
 
 /** EventId value that never names a live event. */
@@ -37,7 +55,8 @@ constexpr EventId kInvalidEvent = 0;
 class EventQueue
 {
   public:
-    using Callback = std::function<void()>;
+    /** Hot-path callable: small captures run allocation-free. */
+    using Callback = Delegate;
 
     /** Lifetime counters, exported by the observability layer. */
     struct Stats
@@ -54,6 +73,8 @@ class EventQueue
      * Optional post-execution hook: (time, id, site). @p site is the
      * label passed to schedule(), or nullptr. Installed by
      * obs::Session for per-callback-site accounting; keep it cheap.
+     * Re-read after every callback, so a callback that clears it (a
+     * Session tearing itself down mid-run) is honoured immediately.
      */
     using ExecuteHook =
         std::function<void(Time now, EventId id, const char *site)>;
@@ -77,50 +98,80 @@ class EventQueue
     {
         if (when < now_)
             when = now_;
-        EventId id = nextId_++;
-        heap_.push(Entry{when, id, std::move(cb), site});
-        live_.insert(id);
+        // Idle queue: re-anchor the wheels at the new event, in either
+        // direction — forward so a long quiet gap does not force it
+        // through the overflow list, backward so a queue parked at the
+        // far future (a drained "never" sentinel) recovers. Only ghost
+        // heap items can remain, and those are skipped by generation.
+        if (liveCount_ == 0) {
+            base_ = when & ~Time(kSlotSpan0 - 1);
+            curWindowEnd_ = saturatingAdd(base_, kSlotSpan0);
+            wheelMin_ = kTimeMax;
+            overflowMin_ = kTimeMax;
+        }
+        std::uint32_t idx = allocSlot();
+        Entry &e = slab_[idx];
+        e.when = when;
+        e.seq = nextSeq_++;
+        e.cb = std::move(cb);
+        e.site = site;
+        EventId id = makeId(idx, e.gen);
+        place(idx, when);
+        ++liveCount_;
         ++stats_.scheduled;
         return id;
     }
 
-    /** Schedule @p cb to run @p delay after the current time. */
+    /**
+     * Schedule @p cb to run @p delay after the current time. The sum
+     * saturates at the end of time, so a "never" sentinel delay stays
+     * in the far future instead of wrapping around and firing now.
+     */
     EventId
     scheduleAfter(Time delay, Callback cb, const char *site = nullptr)
     {
-        return schedule(now_ + delay, std::move(cb), site);
+        return schedule(saturatingAdd(now_, delay), std::move(cb), site);
     }
 
     /**
-     * Cancel a previously scheduled event. Cancelling an event that
-     * already ran (or was already cancelled) is a harmless no-op —
-     * such ids are ignored outright, so they cannot accumulate.
+     * Cancel a previously scheduled event in O(1): the entry is
+     * unlinked from its wheel bucket and its slot recycled
+     * immediately. Cancelling an event that already ran (or was
+     * already cancelled) is a harmless no-op — the generation stamp
+     * in the handle no longer matches, so stale ids are rejected
+     * outright and cannot accumulate.
      */
     void
     cancel(EventId id)
     {
-        if (id == kInvalidEvent || live_.find(id) == live_.end())
-            return; // never scheduled, executed, or already reaped
-        if (cancelled_.insert(id).second)
-            ++stats_.cancelled;
+        std::uint32_t idx = static_cast<std::uint32_t>(id);
+        if (idx == 0 || idx > slab_.size())
+            return;
+        --idx; // ids are slab index + 1
+        Entry &e = slab_[idx];
+        if (e.gen != static_cast<std::uint32_t>(id >> 32) ||
+            e.bucket == kBucketFree)
+            return; // executed, cancelled, or slot recycled
+        if (e.bucket != kBucketCurrent)
+            unlink(idx);
+        ++stats_.cancelled;
+        ++stats_.cancelledReaped;
+        --liveCount_;
+        freeSlot(idx); // may run capture destructors; keep last
     }
 
     /**
-     * Number of entries still in the queue, *including* events that
-     * were cancelled but whose entries have not been reaped yet. Use
-     * live() for the count of events that will actually run.
+     * Number of events still queued. Cancelled events are reclaimed
+     * immediately (unlike the old heap engine, which reaped them
+     * lazily), so this equals live().
      */
-    std::size_t pending() const { return heap_.size(); }
+    std::size_t pending() const { return liveCount_; }
 
     /** Number of scheduled events that will actually execute. */
-    std::size_t live() const { return heap_.size() - cancelled_.size(); }
+    std::size_t live() const { return liveCount_; }
 
-    /**
-     * True when no entries remain in the queue (a queue holding only
-     * cancelled events is not empty until they are reaped; check
-     * live() == 0 for "nothing left to run").
-     */
-    bool empty() const { return heap_.empty(); }
+    /** True when nothing is left to run. */
+    bool empty() const { return liveCount_ == 0; }
 
     const Stats &stats() const { return stats_; }
 
@@ -134,31 +185,44 @@ class EventQueue
     bool
     step()
     {
-        reapCancelledTop();
-        if (heap_.empty())
-            return false;
-        Entry e = std::move(const_cast<Entry &>(heap_.top()));
-        heap_.pop();
-        live_.erase(e.id);
-        now_ = e.when;
-        ++stats_.executed;
-        e.cb();
-        if (hook_)
-            hook_(now_, e.id, e.site);
-        return true;
+        for (;;) {
+            while (!curHeap_.empty()) {
+                HeapItem top = curHeap_.front();
+                Entry &e = slab_[top.idx];
+                if (e.gen != top.gen || e.bucket != kBucketCurrent) {
+                    popHeap(); // ghost of a cancelled/recycled entry
+                    continue;
+                }
+                if (!trustTop(top.when))
+                    break; // something earlier may sit in the wheels
+                popHeap();
+                // Move everything out of the slot and recycle it
+                // before invoking: the callback may schedule (and the
+                // slab may reallocate) or cancel re-entrantly.
+                Callback cb = std::move(e.cb);
+                const char *site = e.site;
+                EventId id = makeId(top.idx, top.gen);
+                freeSlot(top.idx);
+                --liveCount_;
+                now_ = top.when;
+                ++stats_.executed;
+                cb();
+                if (hook_) // re-read: the callback may have cleared it
+                    hook_(now_, id, site);
+                return true;
+            }
+            if (!advance())
+                return false;
+        }
     }
 
     /** Run all events up to and including time @p until. */
     void
     runUntil(Time until)
     {
-        for (;;) {
-            reapCancelledTop();
-            if (heap_.empty() || heap_.top().when > until)
-                break;
-            if (!step())
-                break;
-        }
+        Time next;
+        while (peekNextTime(next) && next <= until)
+            step();
         if (now_ < until)
             now_ = until;
     }
@@ -173,7 +237,9 @@ class EventQueue
 
     /**
      * Run until @p predicate becomes true (checked after each event),
-     * the queue drains, or @p deadline passes.
+     * the queue drains, or @p deadline passes. On failure the clock is
+     * clamped to @p deadline, exactly like runUntil(), so callers
+     * alternating the two never observe a stalled clock.
      * @return true if the predicate was satisfied.
      */
     bool
@@ -181,58 +247,447 @@ class EventQueue
     {
         if (predicate())
             return true;
-        for (;;) {
-            reapCancelledTop();
-            if (heap_.empty() || heap_.top().when > deadline)
-                break;
-            if (!step())
-                break;
+        Time next;
+        while (peekNextTime(next) && next <= deadline) {
+            step();
             if (predicate())
                 return true;
         }
-        return predicate();
+        if (predicate())
+            return true;
+        if (now_ < deadline)
+            now_ = deadline;
+        return false;
     }
 
   private:
+    // --- geometry -------------------------------------------------------
+    //
+    // Six wheel levels of 256 slots; level L slots are 2^(6+8L) ns
+    // wide. Level 0 resolves 64 ns buckets; the whole hierarchy spans
+    // 2^54 ns (~208 days) ahead of base_. Anything farther (e.g.
+    // kTimeMax "never" timers) waits in the overflow list.
+    static constexpr unsigned kLevels = 6;
+    static constexpr unsigned kSlotBits = 8;
+    static constexpr unsigned kSlots = 1u << kSlotBits;   // 256
+    static constexpr unsigned kShift0 = 6;                // 64 ns
+    static constexpr Time kSlotSpan0 = Time(1) << kShift0;
+
+    static constexpr unsigned
+    levelShift(unsigned level)
+    {
+        return kShift0 + kSlotBits * level;
+    }
+
+    // Bucket ids: wheels first, then the special pseudo-buckets.
+    static constexpr std::uint32_t kBucketOverflow = kLevels * kSlots;
+    static constexpr std::uint32_t kBucketCurrent = kBucketOverflow + 1;
+    static constexpr std::uint32_t kBucketFree = kBucketOverflow + 2;
+    static constexpr std::uint32_t kNil = 0xffffffffu;
+
+    /** One slab slot: an intrusive doubly-linked list node. */
     struct Entry
     {
-        Time when;
-        EventId id;
+        Time when = 0;
+        std::uint64_t seq = 0; ///< schedule order, same-tick FIFO key
         Callback cb;
         const char *site = nullptr;
-
-        bool
-        operator>(const Entry &o) const
-        {
-            // Earlier time first; FIFO among equal times via id.
-            if (when != o.when)
-                return when > o.when;
-            return id > o.id;
-        }
+        std::uint32_t gen = 1;  ///< bumped on every free (stale-id check)
+        std::uint32_t next = kNil;
+        std::uint32_t prev = kNil;
+        std::uint32_t bucket = kBucketFree;
     };
 
-    /** Discard cancelled entries sitting at the top of the heap, so
-     *  time-bounded loops never confuse a cancelled event's time with
-     *  that of the next live one. */
-    void
-    reapCancelledTop()
+    struct BucketList
     {
-        while (!heap_.empty()) {
-            auto it = cancelled_.find(heap_.top().id);
-            if (it == cancelled_.end())
-                return;
-            live_.erase(heap_.top().id);
-            cancelled_.erase(it);
-            ++stats_.cancelledReaped;
-            heap_.pop();
+        std::uint32_t head = kNil;
+        std::uint32_t tail = kNil;
+    };
+
+    /** curHeap_ item; (when, seq) orders the imminent window. */
+    struct HeapItem
+    {
+        Time when;
+        std::uint64_t seq;
+        std::uint32_t idx;
+        std::uint32_t gen;
+    };
+
+    static EventId
+    makeId(std::uint32_t idx, std::uint32_t gen)
+    {
+        return (EventId(gen) << 32) | (idx + 1);
+    }
+
+    std::uint32_t
+    allocSlot()
+    {
+        if (freeHead_ != kNil) {
+            std::uint32_t idx = freeHead_;
+            freeHead_ = slab_[idx].next;
+            return idx;
+        }
+        slab_.emplace_back();
+        return static_cast<std::uint32_t>(slab_.size() - 1);
+    }
+
+    /**
+     * Recycle a slot: bump the generation (invalidating outstanding
+     * handles), push it on the free list, and destroy the callback
+     * last — capture destructors may re-enter schedule()/cancel().
+     */
+    void
+    freeSlot(std::uint32_t idx)
+    {
+        Entry &e = slab_[idx];
+        ++e.gen;
+        e.bucket = kBucketFree;
+        e.prev = kNil;
+        e.next = freeHead_;
+        freeHead_ = idx;
+        Callback dead = std::move(e.cb);
+        // `dead` destroyed here; `e` may dangle if it reallocates the
+        // slab re-entrantly, so don't touch it again.
+    }
+
+    void
+    linkTail(std::uint32_t bucketIdx, std::uint32_t idx)
+    {
+        BucketList &b = buckets_[bucketIdx];
+        Entry &e = slab_[idx];
+        e.bucket = bucketIdx;
+        e.next = kNil;
+        e.prev = b.tail;
+        if (b.tail == kNil)
+            b.head = idx;
+        else
+            slab_[b.tail].next = idx;
+        b.tail = idx;
+        if (bucketIdx < kBucketOverflow)
+            setBit(bucketIdx / kSlots, bucketIdx % kSlots);
+        else
+            ++overflowCount_;
+    }
+
+    void
+    unlink(std::uint32_t idx)
+    {
+        Entry &e = slab_[idx];
+        BucketList &b = buckets_[e.bucket];
+        if (e.prev == kNil)
+            b.head = e.next;
+        else
+            slab_[e.prev].next = e.next;
+        if (e.next == kNil)
+            b.tail = e.prev;
+        else
+            slab_[e.next].prev = e.prev;
+        if (e.bucket < kBucketOverflow) {
+            if (b.head == kNil)
+                clearBit(e.bucket / kSlots, e.bucket % kSlots);
+        } else {
+            // A stale-low overflowMin_ is harmless while entries
+            // remain (it only triggers an early pull), but must not
+            // linger once the list empties: trustTop() would then
+            // spin advance() forever chasing a phantom minimum.
+            if (--overflowCount_ == 0)
+                overflowMin_ = kTimeMax;
         }
     }
 
-    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
-    std::unordered_set<EventId> live_;      ///< scheduled, not yet popped
-    std::unordered_set<EventId> cancelled_; ///< subset of live_
+    // --- occupancy bitmaps (256 bits per level) -------------------------
+
+    void
+    setBit(unsigned level, unsigned slot)
+    {
+        occ_[level][slot >> 6] |= std::uint64_t(1) << (slot & 63);
+    }
+
+    void
+    clearBit(unsigned level, unsigned slot)
+    {
+        occ_[level][slot >> 6] &= ~(std::uint64_t(1) << (slot & 63));
+    }
+
+    /**
+     * Circular distance (0..255) from bit @p start to the first set
+     * bit in a 256-bit map, or -1 when the map is empty.
+     */
+    static int
+    findCircular(const std::uint64_t *occ, unsigned start)
+    {
+        unsigned w0 = start >> 6, b0 = start & 63;
+        std::uint64_t m = occ[w0] & (~std::uint64_t(0) << b0);
+        if (m)
+            return int((unsigned(__builtin_ctzll(m)) + (w0 << 6) - start) &
+                       (kSlots - 1));
+        for (unsigned i = 1; i < 4; ++i) {
+            unsigned w = (w0 + i) & 3;
+            if (occ[w])
+                return int((unsigned(__builtin_ctzll(occ[w])) + (w << 6) -
+                            start) &
+                           (kSlots - 1));
+        }
+        m = occ[w0] & ((std::uint64_t(1) << b0) - 1);
+        if (m)
+            return int((unsigned(__builtin_ctzll(m)) + (w0 << 6) - start) &
+                       (kSlots - 1));
+        return -1;
+    }
+
+    // --- placement ------------------------------------------------------
+
+    /**
+     * File event @p idx (when = @p when) into the structure that owns
+     * its time range: the imminent-window heap, the finest wheel
+     * level whose 256-slot window (anchored at base_) reaches it, or
+     * the overflow list.
+     */
+    void
+    place(std::uint32_t idx, Time when)
+    {
+        if (when < curWindowEnd_) {
+            slab_[idx].bucket = kBucketCurrent;
+            pushHeap(HeapItem{when, slab_[idx].seq, idx, slab_[idx].gen});
+            return;
+        }
+        for (unsigned level = 0; level < kLevels; ++level) {
+            unsigned sh = levelShift(level);
+            if ((when >> sh) - (base_ >> sh) < kSlots) {
+                unsigned slot = (when >> sh) & (kSlots - 1);
+                if (when < wheelMin_)
+                    wheelMin_ = when;
+                linkTail(level * kSlots + slot, idx);
+                return;
+            }
+        }
+        if (when < overflowMin_)
+            overflowMin_ = when;
+        linkTail(kBucketOverflow, idx);
+    }
+
+    // --- advancement ----------------------------------------------------
+
+    /**
+     * Make the earliest pending events available in curHeap_ by
+     * cascading wheel buckets (and pulling the overflow list) until
+     * the imminent window holds the global minimum. Returns false
+     * when nothing is queued anywhere.
+     */
+    bool
+    advance()
+    {
+        for (;;) {
+            // Earliest occupied bucket per level; min start wins,
+            // ties go to the coarsest level so its contents merge
+            // down before anything beneath them drains.
+            int bestLevel = -1;
+            Time bestStart = 0;
+            std::uint64_t bestAbs = 0;
+            for (unsigned level = 0; level < kLevels; ++level) {
+                unsigned sh = levelShift(level);
+                std::uint64_t cursor = base_ >> sh;
+                int k = findCircular(occ_[level].data(),
+                                     unsigned(cursor & (kSlots - 1)));
+                if (k < 0)
+                    continue;
+                std::uint64_t abs = cursor + std::uint64_t(k);
+                Time start = Time(abs) << sh;
+                if (bestLevel < 0 || start < bestStart ||
+                    (start == bestStart && level > unsigned(bestLevel))) {
+                    bestLevel = int(level);
+                    bestStart = start;
+                    bestAbs = abs;
+                }
+            }
+            // Every wheel event's time is at least its slot's start,
+            // so the earliest candidate start is an exact lower bound;
+            // refresh the (possibly stale-low) cache with it.
+            wheelMin_ = bestLevel >= 0 ? bestStart : kTimeMax;
+
+            // The overflow list holds events that were beyond the
+            // wheels when scheduled; pull it back in whenever its
+            // (conservative) minimum could precede the next window.
+            if (overflowCount_ > 0) {
+                bool mustPull = bestLevel < 0 && curHeap_.empty();
+                Time limit = bestLevel >= 0
+                                 ? saturatingAdd(bestStart, kSlotSpan0)
+                                 : curWindowEnd_;
+                if (mustPull || overflowMin_ < limit) {
+                    pullOverflow(mustPull);
+                    continue;
+                }
+            }
+
+            if (!curHeap_.empty() &&
+                (bestLevel < 0 || bestStart >= curWindowEnd_))
+                return true; // imminent window already holds the min
+
+            if (bestLevel < 0)
+                return false; // nothing queued anywhere
+
+            base_ = bestStart;
+            // Saturate: a window anchored in the last 64 ns of time
+            // must not wrap curWindowEnd_ to zero, or place() would
+            // misfile every subsequent event.
+            curWindowEnd_ = saturatingAdd(bestStart, kSlotSpan0);
+            std::uint32_t bucketIdx =
+                unsigned(bestLevel) * kSlots +
+                unsigned(bestAbs & (kSlots - 1));
+            if (bestLevel == 0) {
+                moveBucketToCurrent(bucketIdx);
+                return true;
+            }
+            cascade(bucketIdx);
+        }
+    }
+
+    /** Spill a level-0 bucket into the imminent-window heap. */
+    void
+    moveBucketToCurrent(std::uint32_t bucketIdx)
+    {
+        std::uint32_t idx = detachBucket(bucketIdx);
+        while (idx != kNil) {
+            Entry &e = slab_[idx];
+            std::uint32_t next = e.next;
+            e.bucket = kBucketCurrent;
+            pushHeap(HeapItem{e.when, e.seq, idx, e.gen});
+            idx = next;
+        }
+    }
+
+    /** Redistribute a coarse bucket across the finer levels. */
+    void
+    cascade(std::uint32_t bucketIdx)
+    {
+        std::uint32_t idx = detachBucket(bucketIdx);
+        while (idx != kNil) {
+            std::uint32_t next = slab_[idx].next;
+            place(idx, slab_[idx].when);
+            idx = next;
+        }
+    }
+
+    /** Unhook a bucket's whole chain, clearing its occupancy bit. */
+    std::uint32_t
+    detachBucket(std::uint32_t bucketIdx)
+    {
+        BucketList &b = buckets_[bucketIdx];
+        std::uint32_t head = b.head;
+        b.head = b.tail = kNil;
+        clearBit(bucketIdx / kSlots, bucketIdx % kSlots);
+        return head;
+    }
+
+    /**
+     * Re-place every overflow event that now fits the wheels. When
+     * nothing nearer exists (@p rebase), first jump base_ to the true
+     * overflow minimum so at least that event lands in a wheel.
+     */
+    void
+    pullOverflow(bool rebase)
+    {
+        BucketList &b = buckets_[kBucketOverflow];
+        Time trueMin = kTimeMax;
+        for (std::uint32_t i = b.head; i != kNil; i = slab_[i].next)
+            trueMin = std::min(trueMin, slab_[i].when);
+        overflowMin_ = trueMin;
+        if (rebase && trueMin > curWindowEnd_) {
+            base_ = trueMin & ~Time(kSlotSpan0 - 1);
+            curWindowEnd_ = saturatingAdd(base_, kSlotSpan0);
+        }
+        std::uint32_t idx = b.head;
+        b.head = b.tail = kNil;
+        overflowCount_ = 0;
+        overflowMin_ = kTimeMax;
+        while (idx != kNil) {
+            std::uint32_t next = slab_[idx].next;
+            place(idx, slab_[idx].when); // re-files or re-appends
+            idx = next;
+        }
+    }
+
+    // --- imminent-window heap ------------------------------------------
+
+    struct HeapGreater
+    {
+        bool
+        operator()(const HeapItem &a, const HeapItem &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    void
+    pushHeap(HeapItem item)
+    {
+        curHeap_.push_back(item);
+        std::push_heap(curHeap_.begin(), curHeap_.end(), HeapGreater{});
+    }
+
+    void
+    popHeap()
+    {
+        std::pop_heap(curHeap_.begin(), curHeap_.end(), HeapGreater{});
+        curHeap_.pop_back();
+    }
+
+    /**
+     * True when the imminent-window heap's top is provably the global
+     * minimum. Normally every curHeap_ entry precedes everything in
+     * the wheels and the overflow list by construction, but that
+     * invariant can lapse at the very end of the time axis (a window
+     * anchored at kTimeMax cannot extend past it), so the hot path
+     * re-checks against two conservative lower bounds — never too
+     * high, so a stale value costs an advance() rescan, never a
+     * misordered event.
+     */
+    bool
+    trustTop(Time when) const
+    {
+        return when <= wheelMin_ && when <= overflowMin_;
+    }
+
+    /**
+     * Time of the next event that will actually run, advancing the
+     * wheels (but executing nothing) to find it.
+     */
+    bool
+    peekNextTime(Time &t)
+    {
+        for (;;) {
+            while (!curHeap_.empty()) {
+                const HeapItem &top = curHeap_.front();
+                const Entry &e = slab_[top.idx];
+                if (e.gen != top.gen || e.bucket != kBucketCurrent) {
+                    popHeap(); // discard ghost
+                    continue;
+                }
+                if (!trustTop(top.when))
+                    break; // something earlier may sit in the wheels
+                t = top.when;
+                return true;
+            }
+            if (!advance())
+                return false;
+        }
+    }
+
+    std::vector<Entry> slab_;
+    std::uint32_t freeHead_ = kNil;
+    std::array<BucketList, kLevels * kSlots + 1> buckets_{};
+    std::array<std::array<std::uint64_t, 4>, kLevels> occ_{};
+    std::vector<HeapItem> curHeap_;
+    Time base_ = 0;                  ///< start of the imminent window
+    Time curWindowEnd_ = kSlotSpan0; ///< events below this live in curHeap_
+    Time wheelMin_ = kTimeMax;       ///< conservative (never too high)
+    Time overflowMin_ = kTimeMax;    ///< conservative (never too high)
+    std::size_t overflowCount_ = 0;
+    std::size_t liveCount_ = 0;
     Time now_ = 0;
-    EventId nextId_ = 1;
+    std::uint64_t nextSeq_ = 1;
     Stats stats_;
     ExecuteHook hook_;
 };

@@ -21,6 +21,20 @@ constexpr Time kMicrosecond = 1000;
 constexpr Time kMillisecond = 1000 * 1000;
 constexpr Time kSecond = 1000ull * 1000 * 1000;
 
+/** Largest representable time; doubles as a "never" sentinel. */
+constexpr Time kTimeMax = ~Time(0);
+
+/**
+ * t + delta without wraparound: a sum past the end of time saturates
+ * at kTimeMax instead of wrapping into the past. Timer code uses this
+ * so a "never" sentinel delay stays in the far future.
+ */
+constexpr Time
+saturatingAdd(Time t, Time delta)
+{
+    return delta > kTimeMax - t ? kTimeMax : t + delta;
+}
+
 /** Convert simulated time to seconds. */
 constexpr double
 toSeconds(Time t)

@@ -190,11 +190,14 @@ TcpConnection::receiveSegment(const Segment &seg)
               case fault::Action::Drop:
                 // Lost on arrival: RTO / fast retransmit recover.
                 return;
-              case fault::Action::Duplicate:
+              case fault::Action::Duplicate: {
                 // The copy is processed after the original, same tick.
-                eq_.scheduleAfter(0, [this, seg] { processSegment(seg); },
-                                  "fault.tcp_dup");
+                auto redo = [this, seg] { processSegment(seg); };
+                static_assert(sim::Delegate::fitsInline<decltype(redo)>,
+                              "tcp segment closure must stay inline");
+                eq_.scheduleAfter(0, std::move(redo), "fault.tcp_dup");
                 break;
+              }
               case fault::Action::Reorder:
               case fault::Action::Delay:
                 // Processed late; segments behind it overtake.
@@ -370,10 +373,16 @@ TcpConnection::armRto()
 {
     if (rtoTimer_ != sim::kInvalidEvent)
         return;
-    rtoTimer_ = eq_.scheduleAfter(rto_, [this] {
+    // Armed and cancelled around nearly every ACK: the classic
+    // timer-restart pattern the event engine's O(1) cancel exists
+    // for. Keep the closure inline so re-arming never allocates.
+    auto fire = [this] {
         rtoTimer_ = sim::kInvalidEvent;
         onRtoFire();
-    }, "tcp.rto");
+    };
+    static_assert(sim::Delegate::fitsInline<decltype(fire)>,
+                  "tcp rto timer closure must stay inline");
+    rtoTimer_ = eq_.scheduleAfter(rto_, std::move(fire), "tcp.rto");
 }
 
 void

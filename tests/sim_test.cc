@@ -6,9 +6,13 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
+#include <vector>
 
+#include "sim/delegate.hh"
 #include "sim/event_queue.hh"
 #include "sim/histogram.hh"
 #include "sim/random.hh"
@@ -193,8 +197,12 @@ TEST(EventQueue, CancelOfExecutedIdDoesNotLeak)
     EXPECT_EQ(eq.live(), 0u);
 }
 
-TEST(EventQueue, PendingCountsCancelledLiveDoesNot)
+TEST(EventQueue, CancelReclaimsEntryImmediately)
 {
+    // The ladder engine unlinks a cancelled entry in O(1) and recycles
+    // its slot on the spot, so pending() tracks live() exactly (the
+    // old heap engine kept cancelled entries queued until they
+    // bubbled to the top).
     sim::EventQueue eq;
     sim::EventId a = eq.schedule(10, [] {});
     eq.schedule(20, [] {});
@@ -202,10 +210,9 @@ TEST(EventQueue, PendingCountsCancelledLiveDoesNot)
     EXPECT_EQ(eq.pending(), 3u);
     EXPECT_EQ(eq.live(), 3u);
     eq.cancel(a);
-    // The entry is still in the heap (pending) but will never run
-    // (not live).
-    EXPECT_EQ(eq.pending(), 3u);
+    EXPECT_EQ(eq.pending(), 2u);
     EXPECT_EQ(eq.live(), 2u);
+    EXPECT_EQ(eq.stats().cancelledReaped, 1u);
     EXPECT_FALSE(eq.empty());
     eq.run();
     EXPECT_EQ(eq.stats().executed, 2u);
@@ -335,6 +342,312 @@ TEST(Rng, UniformIntBounds)
         EXPECT_GE(v, 3u);
         EXPECT_LE(v, 9u);
     }
+}
+
+TEST(EventQueue, ScheduleAfterSaturatesAtEndOfTime)
+{
+    // Regression: now_ + delay on unsigned Time wrapped for "never"
+    // sentinel delays (e.g. ~0ull), got clamped to now(), and fired
+    // immediately. The sum must saturate at kTimeMax instead.
+    sim::EventQueue eq;
+    bool never_fired = false;
+    eq.schedule(100, [] {});
+    eq.run();
+    ASSERT_EQ(eq.now(), 100u);
+    eq.scheduleAfter(sim::kTimeMax, [&] { never_fired = true; });
+    eq.scheduleAfter(sim::kTimeMax - 50, [&] { never_fired = true; });
+    eq.runUntil(1000 * sim::kSecond);
+    EXPECT_FALSE(never_fired) << "a sentinel delay wrapped and fired";
+    EXPECT_EQ(eq.now(), 1000 * sim::kSecond);
+    // The sentinels still exist at the far horizon; a full drain
+    // executes them at the end of time, not before.
+    eq.run();
+    EXPECT_TRUE(never_fired);
+    EXPECT_EQ(eq.now(), sim::kTimeMax);
+}
+
+TEST(Time, SaturatingAdd)
+{
+    EXPECT_EQ(sim::saturatingAdd(0, 5), 5u);
+    EXPECT_EQ(sim::saturatingAdd(10, sim::kTimeMax - 10), sim::kTimeMax);
+    EXPECT_EQ(sim::saturatingAdd(11, sim::kTimeMax - 10), sim::kTimeMax);
+    EXPECT_EQ(sim::saturatingAdd(sim::kTimeMax, sim::kTimeMax),
+              sim::kTimeMax);
+}
+
+TEST(EventQueue, RunUntilConditionClampsClockLikeRunUntil)
+{
+    // Regression: runUntilCondition() returned without advancing
+    // now() to the deadline when the predicate never fired, so a
+    // caller alternating it with runUntil() saw a stalled clock and
+    // re-ran already-elapsed windows.
+    sim::EventQueue eq;
+    int count = 0;
+    eq.schedule(5, [&] { ++count; });
+    bool ok = eq.runUntilCondition([&] { return count >= 2; }, 100);
+    EXPECT_FALSE(ok);
+    EXPECT_EQ(count, 1);
+    EXPECT_EQ(eq.now(), 100u) << "failed wait must clamp like runUntil";
+
+    // Mixed-call sequence: each window advances the clock exactly
+    // once; no window is observed twice.
+    eq.schedule(150, [&] { ++count; });
+    eq.runUntil(200);
+    EXPECT_EQ(eq.now(), 200u);
+    ok = eq.runUntilCondition([&] { return false; }, 300);
+    EXPECT_FALSE(ok);
+    EXPECT_EQ(eq.now(), 300u);
+    eq.runUntil(400);
+    EXPECT_EQ(eq.now(), 400u);
+    EXPECT_EQ(count, 2);
+}
+
+TEST(EventQueue, RunUntilConditionDoesNotClampOnSuccess)
+{
+    sim::EventQueue eq;
+    int count = 0;
+    for (int i = 1; i <= 5; ++i)
+        eq.schedule(sim::Time(i * 10), [&] { ++count; });
+    bool ok = eq.runUntilCondition([&] { return count == 2; }, 1000);
+    EXPECT_TRUE(ok);
+    EXPECT_EQ(eq.now(), 20u) << "success stops at the satisfying event";
+    // An immediately-true predicate runs nothing and moves nothing.
+    ok = eq.runUntilCondition([] { return true; }, 500);
+    EXPECT_TRUE(ok);
+    EXPECT_EQ(eq.now(), 20u);
+}
+
+TEST(EventQueue, CallbackClearingHookIsHonouredSameStep)
+{
+    // A callback that tears down the obs::Session mid-run (the PR-1
+    // UAF family) clears the hook and frees the state it captured;
+    // the engine must re-read the hook after the callback and not
+    // call into the freed state. ASan (tier 2) catches a violation.
+    struct HookState
+    {
+        int hits = 0;
+    };
+    sim::EventQueue eq;
+    auto *state = new HookState;
+    eq.setExecuteHook(
+        [state](sim::Time, sim::EventId, const char *) { ++state->hits; });
+    bool after_ran = false;
+    eq.schedule(10, [&] {
+        eq.setExecuteHook(nullptr);
+        delete state; // hook must never fire for this or later events
+    });
+    eq.schedule(20, [&] { after_ran = true; });
+    eq.run();
+    EXPECT_TRUE(after_ran);
+}
+
+TEST(EventQueue, CallbackInstallingHookSeesItSameStep)
+{
+    // The flip side of the re-read contract: a hook installed from
+    // inside a callback fires for that very event.
+    sim::EventQueue eq;
+    int hits = 0;
+    eq.schedule(10, [&] {
+        eq.setExecuteHook(
+            [&](sim::Time, sim::EventId, const char *) { ++hits; });
+    });
+    eq.schedule(20, [] {});
+    eq.run();
+    EXPECT_EQ(hits, 2) << "installing event and the one after";
+}
+
+TEST(EventQueue, StaleHandleAfterSlotReuseIsRejected)
+{
+    // Generation stamps: cancelling a stale handle whose slab slot
+    // was recycled must not touch the new occupant.
+    sim::EventQueue eq;
+    bool first = false, second = false;
+    sim::EventId a = eq.schedule(10, [&] { first = true; });
+    eq.cancel(a); // frees the slot
+    sim::EventId b = eq.schedule(20, [&] { second = true; });
+    EXPECT_NE(a, b);
+    eq.cancel(a); // stale: same slot, older generation
+    eq.run();
+    EXPECT_FALSE(first);
+    EXPECT_TRUE(second);
+    EXPECT_EQ(eq.stats().cancelled, 1u);
+    EXPECT_EQ(eq.stats().executed, 1u);
+}
+
+TEST(EventQueue, WheelLevelsExecuteInOrderAcrossHugeSpans)
+{
+    // One event per wheel level plus the overflow list: nanoseconds
+    // apart through hours and days apart, scheduled out of order.
+    sim::EventQueue eq;
+    std::vector<sim::Time> fired;
+    const sim::Time whens[] = {
+        3,                       // imminent window
+        500,                     // level 0
+        40 * sim::kMicrosecond,  // level 1
+        9 * sim::kMillisecond,   // level 2
+        3 * sim::kSecond,        // level 3
+        20 * 60 * sim::kSecond,       // level 4
+        40 * 3600 * sim::kSecond,     // level 5 (hours)
+        300ull * 86400 * sim::kSecond // past the wheel span: overflow
+    };
+    for (int i = 7; i >= 0; --i)
+        eq.schedule(whens[i], [&fired, &eq] { fired.push_back(eq.now()); });
+    eq.run();
+    ASSERT_EQ(fired.size(), 8u);
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(fired[i], whens[i]);
+}
+
+TEST(EventQueue, SameTickFifoSurvivesCascading)
+{
+    // Events landing on one far-future tick from different distances
+    // (some direct, some rescheduled closer to the tick) must still
+    // run in schedule order once the tick arrives.
+    sim::EventQueue eq;
+    const sim::Time tick = 2 * sim::kSecond + 37;
+    std::vector<int> order;
+    eq.schedule(tick, [&] { order.push_back(0); }); // via coarse level
+    eq.schedule(sim::kSecond, [&eq, &order, tick] {
+        // Scheduled mid-flight from a nearer vantage point: later
+        // sequence number, so it must run after event 0.
+        eq.schedule(tick, [&order] { order.push_back(1); });
+    });
+    eq.schedule(tick, [&] { order.push_back(2); });
+    eq.run();
+    // Sequence order is 0, 2 (scheduled immediately), then 1
+    // (scheduled at t=1s).
+    EXPECT_EQ(order, (std::vector<int>{0, 2, 1}));
+    EXPECT_EQ(eq.now(), tick);
+}
+
+TEST(EventQueue, TimerRestartPatternRecyclesSlots)
+{
+    // The cancel-heavy hot pattern: arm a far-out retransmit timer,
+    // cancel it, re-arm. Slots must recycle through the free list
+    // instead of accumulating dead entries.
+    sim::EventQueue eq;
+    sim::EventId timer = sim::kInvalidEvent;
+    for (int i = 0; i < 100000; ++i) {
+        eq.cancel(timer);
+        timer = eq.scheduleAfter(200 * sim::kMillisecond, [] {});
+        EXPECT_EQ(eq.live(), 1u);
+    }
+    EXPECT_EQ(eq.stats().cancelled, 99999u);
+    eq.run();
+    EXPECT_EQ(eq.stats().executed, 1u);
+}
+
+TEST(EventQueue, CancelFromInsideCallbacks)
+{
+    sim::EventQueue eq;
+    bool victim_ran = false;
+    sim::EventId victim =
+        eq.schedule(50, [&] { victim_ran = true; });
+    eq.schedule(10, [&] { eq.cancel(victim); });
+    // Also cancel an event sitting in the same imminent window.
+    bool near_ran = false;
+    sim::EventId near_id = eq.schedule(12, [&] { near_ran = true; });
+    eq.schedule(11, [&] { eq.cancel(near_id); });
+    eq.run();
+    EXPECT_FALSE(victim_ran);
+    EXPECT_FALSE(near_ran);
+    EXPECT_EQ(eq.stats().cancelled, 2u);
+}
+
+TEST(Delegate, InlineStorageForSmallCaptures)
+{
+    int hits = 0;
+    auto small = [&hits] { ++hits; };
+    static_assert(sim::Delegate::fitsInline<decltype(small)>,
+                  "a one-pointer capture must be inline");
+    sim::Delegate d(small);
+    ASSERT_TRUE(bool(d));
+    d();
+    d();
+    EXPECT_EQ(hits, 2);
+    sim::Delegate moved(std::move(d));
+    moved();
+    EXPECT_EQ(hits, 3);
+}
+
+TEST(Delegate, HeapFallbackForLargeCaptures)
+{
+    struct Big
+    {
+        char blob[256];
+    };
+    int hits = 0;
+    Big big{};
+    auto fat = [&hits, big] { ++hits; (void)big; };
+    static_assert(!sim::Delegate::fitsInline<decltype(fat)>,
+                  "a 256-byte capture must spill to the heap");
+    sim::Delegate d(fat);
+    sim::Delegate moved(std::move(d));
+    EXPECT_FALSE(bool(d));
+    moved();
+    EXPECT_EQ(hits, 1);
+    sim::Delegate copied(moved);
+    copied();
+    moved();
+    EXPECT_EQ(hits, 3);
+}
+
+TEST(Delegate, DestroysCapturesExactlyOnce)
+{
+    auto token = std::make_shared<int>(7);
+    std::weak_ptr<int> watch = token;
+    {
+        sim::Delegate d([token] { (void)*token; });
+        token.reset();
+        EXPECT_FALSE(watch.expired()) << "capture keeps it alive";
+        d();
+        sim::Delegate d2(std::move(d));
+        sim::Delegate d3;
+        d3 = std::move(d2);
+        d3();
+        EXPECT_FALSE(watch.expired());
+    }
+    EXPECT_TRUE(watch.expired()) << "capture destroyed with delegate";
+}
+
+TEST(Delegate, CopyAssignReplacesExisting)
+{
+    int a = 0, b = 0;
+    sim::Delegate da([&a] { ++a; });
+    sim::Delegate db([&b] { ++b; });
+    da = db;
+    da();
+    db();
+    EXPECT_EQ(a, 0);
+    EXPECT_EQ(b, 2);
+    da = sim::Delegate();
+    EXPECT_FALSE(bool(da));
+}
+
+TEST(EventQueue, HotPathClosuresStayInline)
+{
+    // Pin the fattest real per-packet closure shape in the tree (an
+    // ib::QueuePair-style packet of ~80 bytes plus a peer pointer) to
+    // the allocation-free path; growing Packet past the delegate's
+    // inline capacity should fail here, not silently regress perf.
+    struct PacketLike
+    {
+        int type, op;
+        std::uint64_t a, b, c, d, e, f, g;
+        bool x, y;
+    };
+    struct Peer
+    {
+        void take(PacketLike) {}
+    };
+    Peer *peer = nullptr;
+    PacketLike pkt{};
+    auto closure = [peer, pkt] {
+        if (peer)
+            peer->take(pkt);
+    };
+    static_assert(sim::Delegate::fitsInline<decltype(closure)>,
+                  "per-packet delivery closures must not allocate");
 }
 
 TEST(Rng, LognormalJitterMedianNearOne)
