@@ -17,8 +17,11 @@
  * the same pair replays bit-identically, different seeds do not.
  * Flags: --fault-plan=SPEC (grammar in docs/FAULTS.md), --fault-seed=N,
  * plus the shared obs flags; like the sweep benches, each scenario
- * opens its own obs session, so --trace/--metrics-out files reflect
- * the last scenario (the storm sweep).
+ * opens its own obs session with a per-scenario output suffix
+ * (trace.000.json = TCP, .001 = IB, .002 = storm; --trace-overwrite
+ * restores a single clobbered file). With --flight-recorder the
+ * scenarios also dump the flight ring at injected-fault clause
+ * boundaries (first firing per clause, every timed-storm firing).
  */
 
 #include <memory>
@@ -78,6 +81,33 @@ makeInjector(const ObsArgs &a, sim::EventQueue &eq)
     return fault::FaultInjector(eq, *plan, a.faultSeed);
 }
 
+/**
+ * With --flight-recorder, dump the ring at injected-fault clause
+ * boundaries: the first firing of every clause (high-rate wire
+ * clauses would drain the dump budget otherwise) and every firing of
+ * the timed storm sites (each burst is a recovery episode worth a
+ * pre-incident window). FlightRecorder::maxDumps bounds the total.
+ */
+void
+armClauseDumps(fault::FaultInjector &inj)
+{
+    if (!obs::flightRecorder().armed())
+        return;
+    inj.onClauseFired([](std::size_t clause, fault::Site site,
+                         fault::Action action, std::uint64_t fired) {
+        bool timed =
+            site == fault::Site::Mem || site == fault::Site::Iotlb;
+        if (!timed && fired != 1)
+            return;
+        char reason[80];
+        std::snprintf(reason, sizeof(reason), "clause %zu %s:%s #%llu",
+                      clause, fault::siteName(site),
+                      fault::actionName(action),
+                      (unsigned long long)fired);
+        obs::flightRecorder().dump(reason);
+    });
+}
+
 // --- scenario 1: TCP over Ethernet -----------------------------------
 
 void
@@ -85,8 +115,9 @@ tcpScenario(const ObsArgs &args)
 {
     header("chaos 1: TCP/Ethernet bidirectional RPC under plan");
     EthBed bed(EthBed::Options{});
-    auto obs = openObsSession(args, bed.eq);
+    auto obs = openObsSession(withIter(args, 0), bed.eq);
     fault::FaultInjector inj = makeInjector(args, bed.eq);
+    armClauseDumps(inj);
     // Timed sites squeeze the server host while traffic flows.
     inj.onTimedAction(fault::Site::Mem, [&](std::uint64_t pages) {
         bed.serverMm->reclaimPages(pages);
@@ -144,8 +175,9 @@ ibScenario(const ObsArgs &args)
 {
     header("chaos 2: IB RC send/recv, cold buffers, under plan");
     sim::EventQueue eq;
-    auto obs = openObsSession(args, eq);
+    auto obs = openObsSession(withIter(args, 1), eq);
     fault::FaultInjector inj = makeInjector(args, eq);
+    armClauseDumps(inj);
     net::Fabric fabric(eq, 2,
                        net::FabricConfig{net::LinkConfig{56e9, 300, 32},
                                          200});
@@ -213,8 +245,9 @@ stormScenario(const ObsArgs &args)
 {
     header("chaos 3: mem-pressure + IOTLB storms vs steady DMA");
     sim::EventQueue eq;
-    auto obs = openObsSession(args, eq);
+    auto obs = openObsSession(withIter(args, 2), eq);
     fault::FaultInjector inj = makeInjector(args, eq);
+    armClauseDumps(inj);
     mem::MemoryManager mm(32 * kMiB);
     mem::AddressSpace &as = mm.createAddressSpace("sweep");
     core::NpfController npfc(eq);

@@ -23,6 +23,7 @@
 #include "fault/fault.hh"
 #include "load/spec.hh"
 #include "mem/memory_manager.hh"
+#include "obs/flight.hh"
 #include "obs/session.hh"
 #include "tcp/endpoint.hh"
 
@@ -49,12 +50,24 @@ row(const char *fmt, ...)
  * Observability flags shared by all benches:
  *
  *   --trace[=FILE]      record a Chrome trace (default trace.json)
+ *   --trace-overwrite   sweep benches: one output file, last iteration
+ *                       wins (default: per-iteration .NNN suffix)
  *   --metrics-out=FILE  write the metrics snapshot JSON on exit
  *   --sample-us=N       sample counter rates every N microseconds
  *   --fault-plan=SPEC   install a fault plan (see docs/FAULTS.md)
  *   --fault-seed=N      seed for the plan's random streams (default 1)
  *   --warmup=D          warm-up window, e.g. 500ms (0 = bench default)
  *   --duration=D        measure window, e.g. 2s (0 = bench default)
+ *   --flight-recorder[=N]  arm the always-on flight recorder with an
+ *                       N-event ring (default 65536)
+ *   --flight-dump-on-slo   dump the ring when the SLO monitor trips
+ *                       (implies --flight-recorder)
+ *   --flight-dump[=FILE]   dump the ring at end of run (implies
+ *                       --flight-recorder; default flight.json)
+ *   --attr              causal latency attribution (phase-attributed
+ *                       tails in the SLO report)
+ *   --profile-eq        event-loop profiler (per-site counts and wall
+ *                       time in the metrics snapshot)
  *
  * Unrecognized arguments are ignored so benches can add their own.
  */
@@ -62,12 +75,19 @@ struct ObsArgs
 {
     bool trace = false;
     std::string traceOut = "trace.json";
+    bool traceOverwrite = false;
     std::string metricsOut;
     sim::Time sampleInterval = 0;
     std::string faultPlan;
     std::uint64_t faultSeed = 1;
     sim::Time warmup = 0;   ///< 0: use the bench's default
     sim::Time duration = 0; ///< 0: use the bench's default
+    std::size_t flightCapacity = 0; ///< 0: recorder off
+    std::string flightDumpPath = "flight.json";
+    bool flightDumpOnSlo = false;
+    bool flightDumpAtEnd = false;
+    bool attribution = false;
+    bool profileEventLoop = false;
 };
 
 inline ObsArgs
@@ -100,9 +120,54 @@ parseObsArgs(int argc, char **argv)
                 std::fprintf(stderr, "bad --duration: %s\n", arg + 11);
                 std::exit(2);
             }
+        } else if (std::strcmp(arg, "--trace-overwrite") == 0) {
+            a.traceOverwrite = true;
+        } else if (std::strcmp(arg, "--flight-recorder") == 0) {
+            if (a.flightCapacity == 0)
+                a.flightCapacity = 1u << 16;
+        } else if (std::strncmp(arg, "--flight-recorder=", 18) == 0) {
+            a.flightCapacity = std::strtoull(arg + 18, nullptr, 10);
+        } else if (std::strcmp(arg, "--flight-dump-on-slo") == 0) {
+            a.flightDumpOnSlo = true;
+            if (a.flightCapacity == 0)
+                a.flightCapacity = 1u << 16;
+        } else if (std::strcmp(arg, "--flight-dump") == 0) {
+            a.flightDumpAtEnd = true;
+            if (a.flightCapacity == 0)
+                a.flightCapacity = 1u << 16;
+        } else if (std::strncmp(arg, "--flight-dump=", 14) == 0) {
+            a.flightDumpAtEnd = true;
+            a.flightDumpPath = arg + 14;
+            if (a.flightCapacity == 0)
+                a.flightCapacity = 1u << 16;
+        } else if (std::strcmp(arg, "--attr") == 0) {
+            a.attribution = true;
+        } else if (std::strcmp(arg, "--profile-eq") == 0) {
+            a.profileEventLoop = true;
         }
     }
     return a;
+}
+
+/**
+ * Copy of @p a with iteration @p idx folded into every output path
+ * ("trace.json" -> "trace.003.json"). Sweep benches that open one
+ * obs::Session per configuration call this so iterations do not
+ * clobber each other; --trace-overwrite restores the old behavior.
+ */
+inline ObsArgs
+withIter(const ObsArgs &a, unsigned idx)
+{
+    ObsArgs b = a;
+    if (b.traceOverwrite)
+        return b;
+    if (b.trace)
+        b.traceOut = obs::indexedPath(b.traceOut, idx);
+    if (!b.metricsOut.empty())
+        b.metricsOut = obs::indexedPath(b.metricsOut, idx);
+    if (b.flightCapacity != 0)
+        b.flightDumpPath = obs::indexedPath(b.flightDumpPath, idx);
+    return b;
 }
 
 /**
@@ -136,13 +201,20 @@ installFaultPlan(const ObsArgs &a, sim::EventQueue &eq)
 inline std::unique_ptr<obs::Session>
 openObsSession(const ObsArgs &a, sim::EventQueue &eq)
 {
-    if (!a.trace && a.metricsOut.empty() && a.sampleInterval == 0)
+    if (!a.trace && a.metricsOut.empty() && a.sampleInterval == 0 &&
+        a.flightCapacity == 0 && !a.attribution && !a.profileEventLoop)
         return nullptr;
     obs::SessionOptions opt;
     opt.trace = a.trace;
     opt.traceOut = a.traceOut;
     opt.metricsOut = a.metricsOut;
     opt.sampleInterval = a.sampleInterval;
+    opt.flightCapacity = a.flightCapacity;
+    opt.flightDumpPath = a.flightDumpPath;
+    opt.flightDumpOnSlo = a.flightDumpOnSlo;
+    opt.flightDumpAtEnd = a.flightDumpAtEnd;
+    opt.attribution = a.attribution;
+    opt.profileEventLoop = a.profileEventLoop;
     return std::make_unique<obs::Session>(eq, opt);
 }
 

@@ -288,9 +288,13 @@ main(int argc, char **argv)
         "achieved/s", "p50[us]", "p99[us]", "p99.9[us]", "srv-p99",
         "timeout", "retry", "shed", "slo!");
     RateResult last;
+    unsigned iter = 0;
     for (double rate : a.rates) {
-        RateResult r = a.transport == "ib" ? runIb(a, obs_args, rate)
-                                           : runEth(a, obs_args, rate);
+        // Per-rate output files (trace.000.json, ...) unless
+        // --trace-overwrite asked for the old clobbering behavior.
+        ObsArgs it = withIter(obs_args, iter++);
+        RateResult r = a.transport == "ib" ? runIb(a, it, rate)
+                                           : runEth(a, it, rate);
         row("%10.0f %10.0f %9.1f %9.1f %10.1f %9.1f %8llu %8llu %8llu "
             "%6llu",
             r.offered, r.achieved, r.p50, r.p99, r.p999, r.servP99,

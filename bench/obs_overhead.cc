@@ -1,0 +1,281 @@
+/**
+ * @file
+ * Observability-overhead microbenchmark: proves that the always-on
+ * instrumentation hooks are free when nothing is armed.
+ *
+ * Two claims, both printed as greppable PASS/FAIL lines (scripts/
+ * check.sh tier 6 asserts them):
+ *
+ *  - disabled_overhead: an engine_speed-class event loop whose every
+ *    callback hits the disabled-path gates (FlowTracer emits,
+ *    Attributor block/charge calls) runs within 2% of the same loop
+ *    without any instrumentation. Min-of-trials on both sides.
+ *  - flight_steady_allocs: with the flight ring armed, steady-state
+ *    recording (begin/instant/end well past one ring wrap) performs
+ *    zero heap allocations, verified by a counting global operator
+ *    new.
+ *
+ * An armed-ring timing is also reported (informational) so the cost
+ * of leaving the flight recorder on for a whole run is visible.
+ *
+ * Emits BENCH_obs.json (override with --json=FILE); --smoke divides
+ * the workload by 8 for CI. Exit 2 = overhead threshold missed (soft,
+ * like engine_speed's speedup target); exit 1 = steady-state
+ * allocation detected (a real regression, never noise).
+ */
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <random>
+
+#include "obs/attribution.hh"
+#include "obs/flight.hh"
+#include "obs/flow_tracer.hh"
+#include "sim/event_queue.hh"
+#include "sim/time.hh"
+
+// --- allocation counter ----------------------------------------------
+// Counts every global new (scalar and array). Single-threaded bench,
+// plain counter. delete stays count-free: only allocation matters.
+
+static std::uint64_t g_allocs = 0;
+
+void *
+operator new(std::size_t sz)
+{
+    ++g_allocs;
+    if (void *p = std::malloc(sz != 0 ? sz : 1))
+        return p;
+    throw std::bad_alloc();
+}
+
+void *
+operator new[](std::size_t sz)
+{
+    return ::operator new(sz);
+}
+
+void
+operator delete(void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+using namespace npf;
+
+namespace {
+
+double
+secondsSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         t0)
+        .count();
+}
+
+/** What each trial's callbacks do on top of the xorshift work. */
+enum class Mode {
+    Bare,        ///< no instrumentation calls at all
+    Disabled,    ///< gated calls, nothing armed (the claim under test)
+    FlightArmed, ///< gated calls with the flight ring recording
+};
+
+/**
+ * engine_speed-class workload: @p n packet deliveries scheduled at
+ * random offsets and drained, each callback doing a short xorshift
+ * chain. In Disabled/FlightArmed mode every callback additionally
+ * hits the instrumentation entry points the real stack uses on its
+ * fault hot paths: one flow begin/instant/end triple and an
+ * Attributor block pair + charge.
+ */
+double
+runTrial(Mode mode, std::uint64_t n, std::uint64_t *sink_out)
+{
+    sim::EventQueue eq;
+    obs::FlowTracer &tr = obs::tracer();
+    obs::Attributor &at = obs::attributor();
+    tr.setClock(&eq);
+
+    std::mt19937_64 rng(42);
+    std::uniform_int_distribution<sim::Time> d(sim::kMicrosecond,
+                                               10 * sim::kMillisecond);
+    std::uint64_t sink = 0;
+    std::uint64_t x = 0x9e3779b97f4a7c15ull;
+    auto work = [&sink, &x] {
+        for (int i = 0; i < 16; ++i) {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+        }
+        sink += x;
+    };
+
+    auto t0 = std::chrono::steady_clock::now();
+    if (mode == Mode::Bare) {
+        for (std::uint64_t i = 0; i < n; ++i)
+            eq.scheduleAfter(d(rng), work, "obs_overhead.bare");
+    } else {
+        for (std::uint64_t i = 0; i < n; ++i) {
+            eq.scheduleAfter(
+                d(rng),
+                [&work, &tr, &at] {
+                    obs::FlowId f = tr.beginFlow("bench", "pkt");
+                    tr.instant(obs::Track::Nic, "bench", "rx", f);
+                    int lane = at.rootLane();
+                    at.blockBegin(lane, obs::Phase::NpfDriver);
+                    work();
+                    at.blockEnd(lane, obs::Phase::NpfDriver);
+                    at.charge(lane, obs::Phase::Server, 1);
+                    tr.endFlow(f);
+                },
+                "obs_overhead.gated");
+        }
+    }
+    eq.run();
+    double secs = secondsSince(t0);
+    tr.setClock(nullptr);
+    *sink_out = sink;
+    return secs;
+}
+
+double
+minOfTrials(Mode mode, std::uint64_t n, unsigned trials,
+            std::uint64_t *sink_out)
+{
+    double best = 1e99;
+    for (unsigned t = 0; t < trials; ++t) {
+        double s = runTrial(mode, n, sink_out);
+        if (s < best)
+            best = s;
+    }
+    return best;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const char *json_path = "BENCH_obs.json";
+    std::uint64_t scale = 1;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], "--json=", 7) == 0)
+            json_path = argv[i] + 7;
+        else if (std::strcmp(argv[i], "--smoke") == 0)
+            scale = 8;
+    }
+
+    const std::uint64_t kEvents = 1'000'000 / scale;
+    const unsigned kTrials = scale == 1 ? 5 : 3;
+    constexpr double kThresholdPct = 2.0;
+
+    std::printf("obs_overhead: instrumentation cost when nothing is "
+                "armed (%llu events, min of %u trials)\n",
+                static_cast<unsigned long long>(kEvents), kTrials);
+
+    // Nothing armed: tracing off, flight ring off, attribution off.
+    obs::tracer().enable(false);
+    obs::flightRecorder().disarm();
+    obs::attributor().enable(false);
+
+    std::uint64_t sink = 0;
+    double bare = minOfTrials(Mode::Bare, kEvents, kTrials, &sink);
+    double disabled =
+        minOfTrials(Mode::Disabled, kEvents, kTrials, &sink);
+    double overhead_pct = 100.0 * (disabled - bare) / bare;
+    bool perf_ok = overhead_pct <= kThresholdPct;
+    std::printf("  bare      %8.3f s  %12.0f ev/s\n", bare,
+                double(kEvents) / bare);
+    std::printf("  disabled  %8.3f s  %12.0f ev/s\n", disabled,
+                double(kEvents) / disabled);
+    std::printf("disabled_overhead=%.2f%% (threshold %.0f%%) %s\n",
+                overhead_pct, kThresholdPct, perf_ok ? "PASS" : "FAIL");
+
+    // Informational: same loop with the flight ring recording.
+    obs::FlightRecorder &fr = obs::flightRecorder();
+    fr.arm(obs::FlightOptions{1u << 14, "obs_overhead_flight.json",
+                              false, 0});
+    double armed =
+        minOfTrials(Mode::FlightArmed, kEvents, kTrials, &sink);
+    std::printf("  armed     %8.3f s  %12.0f ev/s  (+%.1f%% vs bare, "
+                "informational)\n",
+                armed, double(kEvents) / armed,
+                100.0 * (armed - bare) / bare);
+
+    // Steady-state allocation check: ring already warm from the armed
+    // trials (well past one wrap); emit another large batch and count
+    // every global new.
+    sim::EventQueue eq;
+    obs::tracer().setClock(&eq);
+    const std::uint64_t kSteady = 100'000 / scale;
+    std::uint64_t before = g_allocs;
+    for (std::uint64_t i = 0; i < kSteady; ++i) {
+        obs::FlowId f = obs::tracer().beginFlow("bench", "steady");
+        obs::tracer().instant(obs::Track::Nic, "bench", "rx", f);
+        obs::tracer().span(obs::Track::Driver, "bench", "svc", eq.now(),
+                           1, f);
+        obs::tracer().endFlow(f);
+    }
+    std::uint64_t steady_allocs = g_allocs - before;
+    bool alloc_ok = steady_allocs == 0;
+    std::printf("flight_steady_allocs=%llu %s\n",
+                static_cast<unsigned long long>(steady_allocs),
+                alloc_ok ? "PASS" : "FAIL");
+    std::printf("  ring: size=%zu overwritten=%llu\n",
+                obs::tracer().flightSize(),
+                static_cast<unsigned long long>(
+                    obs::tracer().flightOverwritten()));
+    obs::tracer().setClock(nullptr);
+    fr.disarm();
+
+    std::FILE *js = std::fopen(json_path, "w");
+    if (!js) {
+        std::perror("fopen BENCH_obs.json");
+        return 1;
+    }
+    std::fprintf(js, "{\n  \"bench\": \"obs_overhead\",\n");
+    std::fprintf(js, "  \"events\": %llu,\n",
+                 static_cast<unsigned long long>(kEvents));
+    std::fprintf(js, "  \"bare_seconds\": %.6f,\n", bare);
+    std::fprintf(js, "  \"disabled_seconds\": %.6f,\n", disabled);
+    std::fprintf(js, "  \"armed_seconds\": %.6f,\n", armed);
+    std::fprintf(js, "  \"disabled_overhead_pct\": %.3f,\n",
+                 overhead_pct);
+    std::fprintf(js, "  \"threshold_pct\": %.1f,\n", kThresholdPct);
+    std::fprintf(js, "  \"flight_steady_allocs\": %llu,\n",
+                 static_cast<unsigned long long>(steady_allocs));
+    std::fprintf(js, "  \"overhead_ok\": %s,\n",
+                 perf_ok ? "true" : "false");
+    std::fprintf(js, "  \"allocs_ok\": %s\n}\n",
+                 alloc_ok ? "true" : "false");
+    std::fclose(js);
+    std::printf("  wrote %s\n", json_path);
+
+    if (!alloc_ok)
+        return 1;
+    if (!perf_ok)
+        return 2;
+    return 0;
+}

@@ -101,4 +101,49 @@ grep -q '"determinism_replay": "ok"' "$smokedir/BENCH_engine.json" || {
     exit 1
 }
 
+echo "== tier 6: observability smoke (obs_overhead + trace validation) =="
+# Reduced-scale obs_overhead: the disabled-path gates must cost <2%
+# (noise-prone at smoke scale, soft like tier 5's speedup target) and
+# the armed flight ring must allocate nothing in steady state (never
+# noise, always fatal).
+if ./build/bench/obs_overhead --smoke \
+        --json="$smokedir/BENCH_obs.json" \
+        > "$smokedir/obs.txt" 2>&1; then
+    :
+elif [ $? -eq 2 ]; then
+    echo "note: disabled overhead above 2% at smoke scale (ok)"
+else
+    echo "FAIL: obs_overhead smoke run failed:"
+    cat "$smokedir/obs.txt"
+    exit 1
+fi
+grep "disabled_overhead=" "$smokedir/obs.txt"
+grep -q "flight_steady_allocs=0 PASS" "$smokedir/obs.txt" || {
+    echo "FAIL: flight recorder allocated in steady state"
+    cat "$smokedir/obs.txt"
+    exit 1
+}
+
+# Attribution + flight recorder + per-iteration outputs end to end: a
+# tiny swept run must print a phase-attribution table and produce
+# indexed trace/flight files that parse as Chrome trace JSON.
+./build/bench/load_sweep --clients=500 --endpoints=4 --rates=20k,40k \
+    "--workload=keys=zipf:n=1k,theta=0.99;get=0.9" \
+    --warmup=100ms --duration=100ms --attr \
+    --trace="$smokedir/trace.json" \
+    --flight-recorder=4096 --flight-dump="$smokedir/flight.json" \
+    > "$smokedir/obs_sweep.txt" 2>&1
+grep -q "phase attribution" "$smokedir/obs_sweep.txt" || {
+    echo "FAIL: load_sweep --attr printed no phase-attribution table"
+    cat "$smokedir/obs_sweep.txt"
+    exit 1
+}
+if command -v python3 >/dev/null 2>&1; then
+    python3 scripts/validate_trace.py \
+        "$smokedir/trace.000.json" "$smokedir/trace.001.json" \
+        "$smokedir/flight.000.000.json" "$smokedir/flight.001.000.json"
+else
+    echo "note: python3 not found, skipping trace validation"
+fi
+
 echo "== all checks passed =="

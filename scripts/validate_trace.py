@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Validate Chrome trace_event JSON written by the flow tracer or the
+flight recorder (obs::FlowTracer::writeChromeTrace / writeFlightTrace).
+
+Checks the envelope (displayTimeUnit, traceEvents array), every
+event's phase against the set the tracer emits, and the per-phase
+required fields. Stdlib only; used by scripts/check.sh tier 6 and
+handy standalone:
+
+    python3 scripts/validate_trace.py trace.000.json flight.000.000.json
+
+Exits 1 on the first malformed file, 2 on usage error.
+"""
+
+import json
+import sys
+
+ALLOWED_PH = {"M", "X", "i", "b", "e", "C"}
+
+
+def validate(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("displayTimeUnit") != "ns":
+        raise ValueError("missing or wrong displayTimeUnit")
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        raise ValueError("traceEvents missing or empty")
+    counts = {}
+    for i, e in enumerate(events):
+        ph = e.get("ph")
+        if ph not in ALLOWED_PH:
+            raise ValueError(f"event {i}: unknown ph {ph!r}")
+        counts[ph] = counts.get(ph, 0) + 1
+        if "pid" not in e:
+            raise ValueError(f"event {i}: missing pid")
+        if ph == "M":
+            if e.get("name") != "thread_name" or "args" not in e:
+                raise ValueError(f"event {i}: malformed metadata entry")
+            continue
+        for key in ("ts", "cat", "name"):
+            if key not in e:
+                raise ValueError(f"event {i} (ph={ph}): missing {key}")
+        if ph == "X" and "dur" not in e:
+            raise ValueError(f"event {i}: span without dur")
+        if ph in ("b", "e") and "id" not in e:
+            raise ValueError(f"event {i}: async {ph} without id")
+        if ph == "C" and "value" not in e.get("args", {}):
+            raise ValueError(f"event {i}: counter without args.value")
+    return counts
+
+
+def main(argv):
+    if len(argv) < 2:
+        print("usage: validate_trace.py FILE...", file=sys.stderr)
+        return 2
+    for path in argv[1:]:
+        try:
+            counts = validate(path)
+        except (OSError, ValueError) as err:
+            print(f"{path}: INVALID: {err}", file=sys.stderr)
+            return 1
+        total = sum(n for p, n in counts.items() if p != "M")
+        summary = " ".join(f"{p}={n}" for p, n in sorted(counts.items()))
+        print(f"{path}: ok ({total} events: {summary})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

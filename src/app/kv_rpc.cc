@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/attribution.hh"
+
 namespace npf::app {
 
 KvRcServer::KvRcServer(sim::EventQueue &eq, KvStore &store,
@@ -34,6 +36,19 @@ KvRcServer::addSession(ib::QueuePair &qp, KvRpcRequestQueue requests,
     qp.controller().prefault(qp.channel(), scratch_,
                              std::max<std::size_t>(cfg_.missReplyBytes, 64),
                              false);
+
+    // Attribution lanes: one lane per session shared by both QP
+    // directions (server-side faults land in the client's window),
+    // parented on one lane for the shared server core.
+    obs::Attributor &at = obs::attributor();
+    if (at.enabled()) {
+        if (attrLane_ < 0)
+            attrLane_ = at.openLane("kvrc.server");
+        int lane = at.openLane("kvrc.session", attrLane_);
+        qp.setAttrLane(lane);
+        if (qp.peer() != nullptr)
+            qp.peer()->setAttrLane(lane);
+    }
 
     Session *raw = s.get();
     qp.onCompletion([this, raw](const ib::Completion &c) {
@@ -74,6 +89,10 @@ KvRcServer::handleRequest(Session &s)
     sim::Time done = start + cpu;
     busyUntil_ = done;
     ++ops_;
+    // Shared-resource charge: CPU occupancy on the server-core lane.
+    // Every session folds this in, so a request's window shows all
+    // server work that delayed it, not just its own service time.
+    obs::attributor().charge(attrLane_, obs::Phase::Server, cpu);
 
     bool value = !req.isSet && kr.hit;
     Session *raw = &s;
@@ -117,7 +136,7 @@ void
 KvRcTransport::connect(load::ClientPool &pool)
 {
     pool_ = &pool;
-    ep_ = pool.addEndpoint(*this);
+    ep_ = pool.addEndpoint(*this, qp_.attrLane());
     qp_.onCompletion([this](const ib::Completion &c) {
         if (!c.isRecv || responses_->empty())
             return;

@@ -101,6 +101,7 @@ class KvRcServer
     mem::VirtAddr scratch_ = 0; ///< miss/ack reply source (warm)
     sim::Time busyUntil_ = 0;
     std::uint64_t ops_ = 0;
+    int attrLane_ = -1; ///< server-core lane (shared by all sessions)
     std::vector<std::unique_ptr<Session>> sessions_;
 };
 

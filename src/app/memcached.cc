@@ -1,5 +1,7 @@
 #include "app/memcached.hh"
 
+#include "obs/attribution.hh"
+
 namespace npf::app {
 
 MemcachedServer::MemcachedServer(sim::EventQueue &eq, KvStore &store,
@@ -11,6 +13,18 @@ MemcachedServer::MemcachedServer(sim::EventQueue &eq, KvStore &store,
 void
 MemcachedServer::serve(RpcChannel &ch)
 {
+    // Attribution lanes: one lane per channel shared by both TCP
+    // directions (response-side retransmits stall the client too),
+    // parented on one lane for the shared server core.
+    obs::Attributor &at = obs::attributor();
+    if (at.enabled()) {
+        if (attrLane_ < 0)
+            attrLane_ = at.openLane("memcached.server");
+        int lane = at.openLane("memcached.channel", attrLane_);
+        ch.client.setAttrLane(lane);
+        ch.server.setAttrLane(lane);
+    }
+
     ch.request.onMessage(
         [this, &ch](std::uint64_t cookie, std::size_t /*len*/) {
             handleRequest(ch, cookie);
@@ -32,6 +46,8 @@ MemcachedServer::handleRequest(RpcChannel &ch, std::uint64_t cookie)
     sim::Time done = start + cpu;
     busyUntil_ = done;
     ++ops_;
+    // Shared-resource charge: CPU occupancy on the server-core lane.
+    obs::attributor().charge(attrLane_, obs::Phase::Server, cpu);
 
     eq_.schedule(done, [this, &ch, cookie, kr, is_set] {
         std::uint64_t rsp_cookie = cookie;

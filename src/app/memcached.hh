@@ -87,6 +87,7 @@ class MemcachedServer
     sim::Time busyUntil_ = 0;
     std::uint64_t ops_ = 0;
     std::uint64_t majorFaults_ = 0;
+    int attrLane_ = -1; ///< server-core lane (shared by all channels)
 };
 
 /**
@@ -107,7 +108,7 @@ class ChannelTransport final : public load::Transport
     connect(load::ClientPool &pool)
     {
         pool_ = &pool;
-        ep_ = pool.addEndpoint(*this);
+        ep_ = pool.addEndpoint(*this, ch_.client.attrLane());
         ch_.response.onMessage(
             [this](std::uint64_t cookie, std::size_t /*len*/) {
                 pool_->complete(

@@ -59,7 +59,7 @@ NpfController::traceBreakdown(obs::FlowId flow, const NpfBreakdown &bd,
                               sim::Time end)
 {
     obs::FlowTracer &tr = obs::tracer();
-    if (!tr.enabled())
+    if (!tr.active())
         return;
     sim::Time t = end - bd.total();
     tr.span(obs::Track::Nic, "npf", "trigger", t, bd.trigger, flow);
@@ -331,7 +331,7 @@ NpfController::computeResolve(ChannelId ch, mem::VirtAddr iova,
     bd.resume = jittered(cfg_.fwResume);
     // Synchronous: the caller accounts the time itself, so the spans
     // project forward from now instead of ending at now.
-    if (obs::tracer().enabled()) {
+    if (obs::tracer().active()) {
         obs::FlowId flow = obs::tracer().beginFlow("npf", "npf.sync");
         traceBreakdown(flow, bd, eq_.now() + bd.total());
         obs::tracer().endFlowAt(flow, eq_.now() + bd.total());
@@ -392,7 +392,7 @@ NpfController::invalidateRange(ChannelId ch, mem::VirtAddr iova,
         bd.swUpdates = cfg_.invSwUpdates;
     }
     obs::FlowTracer &tr = obs::tracer();
-    if (tr.enabled()) {
+    if (tr.active()) {
         sim::Time t = eq_.now();
         tr.span(obs::Track::Driver, "inv", "checks", t, bd.checks);
         t += bd.checks;

@@ -5,6 +5,7 @@
 
 #include "eth/backup_ring.hh"
 #include "fault/fault.hh"
+#include "obs/attribution.hh"
 #include "obs/flow_tracer.hh"
 
 namespace npf::eth {
@@ -295,6 +296,12 @@ EthNic::recvToRing(RxRing &r, Frame f)
             obs::tracer().endFlow(flow);
             return;
         }
+        // Head-of-line blocking starts with the first parked slot:
+        // every in-order frame behind it now waits on rNPF
+        // resolution. Host-global, so it goes on the root lane.
+        if (r.headOffset == 0)
+            obs::attributor().blockBegin(obs::attributor().rootLane(),
+                                         obs::Phase::NpfDriver);
         r.bit(r.bmIndex + r.headOffset) = 1;
         ++r.headOffset;
         ++r.stats.toBackup;
@@ -316,6 +323,9 @@ EthNic::resolveRnpf(unsigned ring, std::uint64_t bit_index)
         ++r.bmIndex;
         advanced = true;
     }
+    if (advanced && r.headOffset == 0)
+        obs::attributor().blockEnd(obs::attributor().rootLane(),
+                                   obs::Phase::NpfDriver);
     if (advanced)
         raiseUserIsr(r);
 }

@@ -450,9 +450,11 @@ FaultInjector::decide(Site site)
         ++cs.fired;
         ++injected_[s];
         obs::FlowTracer &tr = obs::tracer();
-        if (tr.enabled())
+        if (tr.active())
             tr.instant(obs::Track::Sim, "fault",
                        injectionLabel(site, c.action));
+        if (clauseHook_)
+            clauseHook_(idx, site, c.action, cs.fired);
         hit = Decision{c.action, c.delay};
     }
     return hit;
@@ -497,9 +499,11 @@ FaultInjector::fireTimed(std::size_t idx)
     ++cs.fired;
     ++injected_[s];
     obs::FlowTracer &tr = obs::tracer();
-    if (tr.enabled())
+    if (tr.active())
         tr.instant(obs::Track::Sim, "fault",
                    injectionLabel(c.site, c.action));
+    if (clauseHook_)
+        clauseHook_(idx, c.site, c.action, cs.fired);
     if (handlers_[s])
         handlers_[s](c.magnitude);
     if (c.trigger == FaultClause::Trigger::Every) {

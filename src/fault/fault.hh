@@ -141,6 +141,18 @@ class FaultInjector
     /** Timed-site callback; receives the clause's magnitude. */
     using TimedHandler = std::function<void(std::uint64_t magnitude)>;
 
+    /**
+     * Observer invoked on every clause firing (polled hits and timed
+     * actions alike), after the injection counters are bumped but
+     * before the effect is delivered. @p fired is the clause's firing
+     * count including this one. Runs inside the injection path — keep
+     * it cheap and do not mutate the injector from it. Used by the
+     * chaos harness to dump the flight recorder at clause boundaries.
+     */
+    using ClauseHook = std::function<void(
+        std::size_t clauseIdx, Site site, Action action,
+        std::uint64_t fired)>;
+
     FaultInjector(sim::EventQueue &eq, FaultPlan plan,
                   std::uint64_t seed = 1);
     ~FaultInjector();
@@ -166,6 +178,9 @@ class FaultInjector
      * translate magnitudes into reclaimPages()/invalidation calls.
      */
     void onTimedAction(Site site, TimedHandler h);
+
+    /** Install (or clear, with nullptr) the clause-firing observer. */
+    void onClauseFired(ClauseHook h) { clauseHook_ = std::move(h); }
 
     /** Injections delivered at @p site so far. */
     std::uint64_t injected(Site site) const
@@ -204,6 +219,7 @@ class FaultInjector
     std::vector<ClauseState> st_;
     std::vector<std::size_t> bySite_[kSiteCount];
     TimedHandler handlers_[kSiteCount];
+    ClauseHook clauseHook_;
     std::uint64_t injected_[kSiteCount] = {};
     std::uint64_t observed_[kSiteCount] = {};
 

@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "fault/fault.hh"
+#include "obs/attribution.hh"
 #include "sim/log.hh"
 
 namespace npf::ib {
@@ -148,10 +149,14 @@ QueuePair::transmitOne()
             obs::tracer().instant(obs::Track::Transport, "npf",
                                   "ib.send_npf");
             localFaultPending_ = true;
+            obs::attributor().blockBegin(attrLane_,
+                                         obs::Phase::NpfDriver);
             // Batched pre-fault: resolve the whole WR's buffer.
             npfc_.raiseNpf(channel_, owner->wr.local, owner->wr.len,
                            /*write=*/false,
                            [this](const core::NpfBreakdown &) {
+                               obs::attributor().blockEnd(
+                                   attrLane_, obs::Phase::NpfDriver);
                                localFaultPending_ = false;
                                pumpSend();
                            });
@@ -203,10 +208,14 @@ QueuePair::armRetransmitTimer()
                 return;
             }
             if (ackedPsn_ == ackedAtArm_ && txPsn_ > ackedPsn_) {
-                // No progress: rewind to the oldest unacked PSN.
+                // No progress: rewind to the oldest unacked PSN. The
+                // whole expired timer period was a retransmit stall.
                 ++stats_.rewinds;
                 obs::tracer().instant(obs::Track::Transport, "ib",
                                       "ib.rto_rewind");
+                obs::attributor().charge(attrLane_,
+                                         obs::Phase::Retransmit,
+                                         cfg_.retransmitTimeout);
                 txPsn_ = ackedPsn_;
                 pumpSend();
             }
@@ -291,7 +300,9 @@ QueuePair::handleRnrNack(std::uint64_t resumePsn)
     senderPaused_ = true;
     obs::tracer().span(obs::Track::Transport, "rnr", "rnr_pause",
                        eq_.now(), npfc_.config().rnrTimer);
+    obs::attributor().blockBegin(attrLane_, obs::Phase::RnrBackoff);
     eq_.scheduleAfter(npfc_.config().rnrTimer, [this] {
+        obs::attributor().blockEnd(attrLane_, obs::Phase::RnrBackoff);
         senderPaused_ = false;
         pumpSend();
     }, "ib.rnr_resume");
@@ -367,7 +378,11 @@ QueuePair::processPacket(Packet pkt)
             readResp_.active = true;
             readResp_.paused = true;
             readResp_.nextPsn = pkt.psn;
+            obs::attributor().blockBegin(attrLane_,
+                                         obs::Phase::RnrBackoff);
             eq_.scheduleAfter(npfc_.config().rnrTimer, [this] {
+                obs::attributor().blockEnd(attrLane_,
+                                           obs::Phase::RnrBackoff);
                 readResp_.paused = false;
                 pumpReadResponse();
             }, "ib.read_rnr_resume");
@@ -457,6 +472,7 @@ QueuePair::handleData(const Packet &pkt)
         ++stats_.recvNpfs;
         ++stats_.dataPacketsDropped;
         rnpfPending_ = true;
+        obs::attributor().blockBegin(attrLane_, obs::Phase::NpfDriver);
         ++stats_.rnrNacksSent;
         Packet nack;
         nack.type = Packet::Type::RnrNack;
@@ -465,8 +481,10 @@ QueuePair::handleData(const Packet &pkt)
         std::size_t pages = mem::pagesCovering(target, pkt.bytes);
         sim::Time lat = npfc_.sampleResolveLatency(channel_, pages,
                                                    cfg_.syntheticMajor);
-        eq_.scheduleAfter(lat, [this] { rnpfPending_ = false; },
-                          "ib.synthetic_rnpf");
+        eq_.scheduleAfter(lat, [this] {
+            obs::attributor().blockEnd(attrLane_, obs::Phase::NpfDriver);
+            rnpfPending_ = false;
+        }, "ib.synthetic_rnpf");
         return;
     }
 
@@ -508,6 +526,7 @@ QueuePair::raiseRnpf(mem::VirtAddr addr, std::size_t len, std::uint64_t psn)
 {
     ++stats_.recvNpfs;
     rnpfPending_ = true;
+    obs::attributor().blockBegin(attrLane_, obs::Phase::NpfDriver);
     // One flow per RNR suspension: NACK -> fault resolution -> resume.
     rnpfFlow_ = obs::tracer().beginFlow("rnr", "rnr");
     obs::FlowScope fs(rnpfFlow_);
@@ -535,6 +554,8 @@ QueuePair::raiseRnpf(mem::VirtAddr addr, std::size_t len, std::uint64_t psn)
                                              "rnr.resolved", rnpfFlow_);
                        obs::tracer().endFlow(rnpfFlow_);
                        rnpfFlow_ = 0;
+                       obs::attributor().blockEnd(attrLane_,
+                                                  obs::Phase::NpfDriver);
                        rnpfPending_ = false;
                    });
 }
@@ -592,9 +613,12 @@ QueuePair::pumpReadResponse()
     if (!npfc_.dmaAccess(channel_, src, bytes, /*write=*/false)) {
         ++stats_.sendNpfs;
         readResp_.paused = true;
+        obs::attributor().blockBegin(attrLane_, obs::Phase::NpfDriver);
         npfc_.raiseNpf(channel_, readResp_.base, readResp_.len,
                        /*write=*/false,
                        [this](const core::NpfBreakdown &) {
+                           obs::attributor().blockEnd(
+                               attrLane_, obs::Phase::NpfDriver);
                            readResp_.paused = false;
                            pumpReadResponse();
                        });
@@ -657,10 +681,12 @@ QueuePair::handleReadResponse(const Packet &pkt)
         ++stats_.recvNpfs;
         ++stats_.dataPacketsDropped;
         ri.faultPending = true;
+        obs::attributor().blockBegin(attrLane_, obs::Phase::NpfDriver);
         std::size_t pages = mem::pagesCovering(target, pkt.bytes);
         sim::Time lat = npfc_.sampleResolveLatency(channel_, pages,
                                                    cfg_.syntheticMajor);
         eq_.scheduleAfter(lat, [this] {
+            obs::attributor().blockEnd(attrLane_, obs::Phase::NpfDriver);
             readInit_.faultPending = false;
             ++stats_.nakSeqSent;
             Packet nak;
@@ -678,6 +704,7 @@ QueuePair::handleReadResponse(const Packet &pkt)
         obs::tracer().instant(obs::Track::Transport, "npf",
                               "ib.read_fault");
         ri.faultPending = true;
+        obs::attributor().blockBegin(attrLane_, obs::Phase::NpfDriver);
         if (cfg_.readRnrExtension) {
             // Extension (§4 proposal): suspend the responder right
             // away, exactly like the Send/Write RNR path.
@@ -690,6 +717,8 @@ QueuePair::handleReadResponse(const Packet &pkt)
             npfc_.raiseNpf(channel_, ri.wr.local, ri.wr.len,
                            /*write=*/true,
                            [this](const core::NpfBreakdown &) {
+                               obs::attributor().blockEnd(
+                                   attrLane_, obs::Phase::NpfDriver);
                                readInit_.faultPending = false;
                            });
             return;
@@ -699,6 +728,8 @@ QueuePair::handleReadResponse(const Packet &pkt)
         // resolved (§4).
         npfc_.raiseNpf(channel_, ri.wr.local, ri.wr.len, /*write=*/true,
                        [this](const core::NpfBreakdown &) {
+                           obs::attributor().blockEnd(
+                               attrLane_, obs::Phase::NpfDriver);
                            readInit_.faultPending = false;
                            ++stats_.nakSeqSent;
                            obs::tracer().instant(obs::Track::Transport,

@@ -94,6 +94,18 @@ class QueuePair
     /** Wire this QP to its remote peer (call on both sides). */
     void connect(QueuePair &peer) { peer_ = &peer; }
 
+    /** The connected remote peer (nullptr before connect()). */
+    QueuePair *peer() { return peer_; }
+
+    /**
+     * obs::Attributor lane this QP's blocking phases (send NPF, rNPF
+     * resolution, RNR backoff, retransmit rewinds) are charged to.
+     * Both QPs of one session conventionally share a lane, so the
+     * client's breakdown sees server-side faults too. -1 = off.
+     */
+    void setAttrLane(int lane) { attrLane_ = lane; }
+    int attrLane() const { return attrLane_; }
+
     /** Post a send/RDMA work request. */
     void postSend(WorkRequest wr);
 
@@ -225,6 +237,7 @@ class QueuePair
     QueuePair *peer_ = nullptr;
     CompletionHandler completionHandler_;
     Stats stats_;
+    int attrLane_ = -1; ///< attribution lane (-1 = off)
 
     // sender
     std::deque<WorkRequest> sendQueue_; ///< not yet assigned PSNs

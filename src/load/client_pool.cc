@@ -37,10 +37,11 @@ ClientPool::~ClientPool()
 }
 
 unsigned
-ClientPool::addEndpoint(Transport &t)
+ClientPool::addEndpoint(Transport &t, int attrLane)
 {
     Endpoint ep;
     ep.t = &t;
+    ep.attrLane = attrLane;
     eps_.push_back(std::move(ep));
     return unsigned(eps_.size() - 1);
 }
@@ -139,7 +140,10 @@ ClientPool::send(std::uint32_t c)
 
     std::uint32_t serial = ep.nextSerial++ & kSerialMask;
     ep.nextSerial &= kSerialMask;
-    ep.inflight.push_back(InFlight{serial, c, cl.intended, eq_.now()});
+    ep.inflight.push_back(InFlight{serial, c, cl.intended, eq_.now(), {}});
+    if (ep.attrLane >= 0)
+        obs::attributor().snapshot(ep.attrLane,
+                                   ep.inflight.back().snap);
 
     cl.state = Client::State::InFlight;
     ++issued_;
@@ -175,9 +179,30 @@ ClientPool::complete(unsigned epIdx, std::uint32_t serial, bool hit)
         tpsSeries_->record(now);
     if (hpsSeries_ && hit)
         hpsSeries_->record(now);
-    if (rec_)
-        rec_->recordLatency(cl.isSet ? setClass_ : getClass_,
-                            f.intended, f.sent, now);
+    if (rec_) {
+        Recorder::ClassId cls = cl.isSet ? setClass_ : getClass_;
+        rec_->recordLatency(cls, f.intended, f.sent, now);
+        if (ep.attrLane >= 0) {
+            // Phase-attribute the sojourn: blocking phases are the
+            // lane's accumulation over the request's wire window; the
+            // unexplained remainder is Queue, so the breakdown sums to
+            // e2e exactly (see obs/attribution.hh).
+            obs::PhaseBreakdown end;
+            obs::attributor().snapshot(ep.attrLane, end);
+            obs::PhaseBreakdown bd;
+            std::int64_t blocking = 0;
+            for (unsigned i = 0; i < obs::kPhaseCount; ++i) {
+                bd.ns[i] = end.ns[i] - f.snap.ns[i];
+                blocking += bd.ns[i];
+            }
+            bd.e2e = std::int64_t(now - f.intended);
+            bd.ns[unsigned(obs::Phase::Backlog)] =
+                std::int64_t(f.sent - f.intended);
+            bd.ns[unsigned(obs::Phase::Queue)] =
+                std::int64_t(now - f.sent) - blocking;
+            rec_->recordBreakdown(cls, bd, now);
+        }
+    }
     finishClient(f.client);
 }
 

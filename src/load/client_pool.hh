@@ -42,6 +42,7 @@
 #include "load/popularity.hh"
 #include "load/recorder.hh"
 #include "load/spec.hh"
+#include "obs/attribution.hh"
 #include "obs/metrics.hh"
 #include "sim/event_queue.hh"
 #include "sim/random.hh"
@@ -105,8 +106,14 @@ class ClientPool
     ClientPool(const ClientPool &) = delete;
     ClientPool &operator=(const ClientPool &) = delete;
 
-    /** Attach a transport endpoint (before start()). @return index. */
-    unsigned addEndpoint(Transport &t);
+    /**
+     * Attach a transport endpoint (before start()). @return index.
+     * @p attrLane optionally names the obs::Attributor lane the
+     * endpoint's requests travel through (-1 = no attribution); when
+     * set, the pool snapshots the lane at send and diffs at complete
+     * to build per-request phase breakdowns for the recorder.
+     */
+    unsigned addEndpoint(Transport &t, int attrLane = -1);
 
     /**
      * Attach a latency recorder; registers "get"/"set" classes.
@@ -178,6 +185,8 @@ class ClientPool
         std::uint32_t client = 0;
         sim::Time intended = 0;
         sim::Time sent = 0;
+        /** Attribution-lane snapshot at send (lanes enabled only). */
+        obs::PhaseBreakdown snap;
     };
 
     struct Endpoint
@@ -185,6 +194,7 @@ class ClientPool
         Transport *t = nullptr;
         std::deque<InFlight> inflight;
         std::uint32_t nextSerial = 0;
+        int attrLane = -1;
     };
 
     unsigned endpointFor(std::uint32_t c);

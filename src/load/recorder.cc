@@ -1,7 +1,10 @@
 #include "load/recorder.hh"
 
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 
+#include "obs/flight.hh"
 #include "obs/flow_tracer.hh"
 
 namespace npf::load {
@@ -66,6 +69,29 @@ Recorder::recordRetry(ClassId c, sim::Time now)
 }
 
 void
+Recorder::recordBreakdown(ClassId c, const obs::PhaseBreakdown &bd,
+                          sim::Time completed)
+{
+    if (cfg_.slowK == 0 || !measuring(completed))
+        return;
+    PerClass &pc = perClass_[c];
+    auto slower = [](const obs::PhaseBreakdown &a,
+                     const obs::PhaseBreakdown &b) {
+        return a.e2e > b.e2e;
+    };
+    if (pc.slow.size() < cfg_.slowK) {
+        pc.slow.push_back(bd);
+        std::push_heap(pc.slow.begin(), pc.slow.end(), slower);
+        return;
+    }
+    if (bd.e2e <= pc.slow.front().e2e)
+        return;
+    std::pop_heap(pc.slow.begin(), pc.slow.end(), slower);
+    pc.slow.back() = bd;
+    std::push_heap(pc.slow.begin(), pc.slow.end(), slower);
+}
+
+void
 Recorder::writeReport(std::ostream &os, sim::Time now) const
 {
     sim::Time end = cfg_.warmup + cfg_.duration;
@@ -98,6 +124,71 @@ Recorder::writeReport(std::ostream &os, sim::Time now) const
             h.percentile(50), h.percentile(90), h.percentile(99),
             h.percentile(99.9), h.max());
         os << line << '\n';
+    }
+
+    bool anySamples = false;
+    for (const PerClass &pc : perClass_)
+        anySamples = anySamples || !pc.slow.empty();
+    if (!anySamples)
+        return;
+
+    // Phase attribution: for each class, the retained slow sample
+    // nearest the histogram's p99 and p99.9, plus the worst. Phase
+    // columns sum to e2e exactly in ns (rounding here is display
+    // only); a negative queue means overlapping lump charges (shared
+    // server core) over-explain the window — see docs/OBSERVABILITY.md.
+    os << "-- phase attribution (slowest " << cfg_.slowK
+       << " per class) --\n";
+    std::snprintf(line, sizeof(line),
+                  "%-8s %-6s %10s %9s %9s %9s %9s %9s %9s", "class",
+                  "which", "e2e", "backlog", "queue", "server", "npf",
+                  "rnr", "retrans");
+    os << line << "  [us]\n";
+    for (const PerClass &pc : perClass_) {
+        if (pc.slow.empty())
+            continue;
+        std::vector<obs::PhaseBreakdown> sorted = pc.slow;
+        std::sort(sorted.begin(), sorted.end(),
+                  [](const obs::PhaseBreakdown &a,
+                     const obs::PhaseBreakdown &b) {
+                      return a.e2e < b.e2e;
+                  });
+        auto nearest = [&sorted](double targetUs) {
+            std::int64_t target =
+                std::int64_t(targetUs * double(sim::kMicrosecond));
+            const obs::PhaseBreakdown *best = &sorted.front();
+            for (const obs::PhaseBreakdown &bd : sorted) {
+                if (std::llabs(bd.e2e - target) <
+                    std::llabs(best->e2e - target))
+                    best = &bd;
+            }
+            return best;
+        };
+        const Histogram &h = pc.response;
+        struct Row
+        {
+            const char *which;
+            const obs::PhaseBreakdown *bd;
+        } rows[] = {
+            {"p99", nearest(h.percentile(99))},
+            {"p99.9", nearest(h.percentile(99.9))},
+            {"max", &sorted.back()},
+        };
+        for (const Row &r : rows) {
+            const obs::PhaseBreakdown &bd = *r.bd;
+            auto us = [](std::int64_t ns) { return double(ns) / 1e3; };
+            std::snprintf(
+                line, sizeof(line),
+                "%-8s %-6s %10.1f %9.1f %9.1f %9.1f %9.1f %9.1f %9.1f",
+                pc.name.c_str(), r.which, us(bd.e2e),
+                us(bd.ns[unsigned(obs::Phase::Backlog)]),
+                us(bd.ns[unsigned(obs::Phase::Queue)]),
+                us(bd.ns[unsigned(obs::Phase::Server)]),
+                us(bd.ns[unsigned(obs::Phase::NpfDriver)]),
+                us(bd.ns[unsigned(obs::Phase::RnrBackoff)]),
+                us(bd.ns[unsigned(obs::Phase::Retransmit)]));
+            os << line << '\n';
+        }
     }
 }
 
@@ -132,6 +223,7 @@ SloMonitor::tick()
             ++violations_;
             obs::FlowTracer::global().instant(
                 obs::Track::App, "load", "slo_violation");
+            obs::FlightRecorder::global().onSloViolation();
         }
         win.clear();
     }

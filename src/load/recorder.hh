@@ -27,8 +27,10 @@
 #include <deque>
 #include <ostream>
 #include <string>
+#include <vector>
 
 #include "load/histogram.hh"
+#include "obs/attribution.hh"
 #include "obs/metrics.hh"
 #include "sim/event_queue.hh"
 #include "sim/time.hh"
@@ -40,6 +42,10 @@ struct RecorderConfig
 {
     sim::Time warmup = 0;   ///< discard completions before this time
     sim::Time duration = 0; ///< measure window length (0 = unbounded)
+
+    /** Phase breakdowns retained per class (the slowest K by e2e);
+     *  only filled when attribution is on and the pool has lanes. */
+    std::size_t slowK = 64;
 };
 
 class Recorder
@@ -80,6 +86,20 @@ class Recorder
 
     /** Count one retry transmission. */
     void recordRetry(ClassId c, sim::Time now);
+
+    /**
+     * Record a phase-attributed breakdown for a completed request;
+     * the slowest slowK by e2e are retained per class. Gated on
+     * measuring(@p completed) like recordLatency.
+     */
+    void recordBreakdown(ClassId c, const obs::PhaseBreakdown &bd,
+                         sim::Time completed);
+
+    /** Retained breakdowns (unordered; the slowest slowK by e2e). */
+    const std::vector<obs::PhaseBreakdown> &slowSamples(ClassId c) const
+    {
+        return perClass_[c].slow;
+    }
 
     /** CO-corrected response-latency distribution [us]. */
     const Histogram &response(ClassId c) const
@@ -131,6 +151,8 @@ class Recorder
         std::uint64_t completions = 0;
         std::uint64_t timeouts = 0;
         std::uint64_t retries = 0;
+        /** Min-heap on e2e: front is the fastest retained sample. */
+        std::vector<obs::PhaseBreakdown> slow;
     };
 
     RecorderConfig cfg_;

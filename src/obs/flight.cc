@@ -1,0 +1,80 @@
+#include "obs/flight.hh"
+
+#include <cstdio>
+#include <fstream>
+
+#include "obs/flow_tracer.hh"
+#include "sim/log.hh"
+
+namespace npf::obs {
+
+FlightRecorder &
+FlightRecorder::global()
+{
+    static FlightRecorder r;
+    return r;
+}
+
+void
+FlightRecorder::arm(FlightOptions opt)
+{
+    opt_ = std::move(opt);
+    dumps_ = 0;
+    armed_ = opt_.capacity != 0;
+    tracer().setFlightCapacity(armed_ ? opt_.capacity : 0);
+}
+
+void
+FlightRecorder::disarm()
+{
+    armed_ = false;
+    tracer().setFlightCapacity(0);
+}
+
+bool
+FlightRecorder::dump(const char *reason)
+{
+    if (!armed_)
+        return false;
+    if (dumps_ >= opt_.maxDumps) {
+        sim::logf(sim::LogLevel::Warn, tracer().now(),
+                  "flight: dump budget (%u) exhausted, skipping (%s)",
+                  opt_.maxDumps, reason);
+        return false;
+    }
+    std::string path = indexedPath(opt_.dumpPath, dumps_);
+    std::ofstream f(path);
+    if (!f) {
+        sim::logf(sim::LogLevel::Warn, tracer().now(),
+                  "flight: cannot write %s", path.c_str());
+        return false;
+    }
+    tracer().writeFlightTrace(f);
+    ++dumps_;
+    sim::logf(sim::LogLevel::Info, tracer().now(),
+              "flight: dumped %zu events to %s (%s)",
+              tracer().flightSize(), path.c_str(), reason);
+    return true;
+}
+
+void
+FlightRecorder::onSloViolation()
+{
+    if (dumpOnSlo())
+        dump("slo-violation");
+}
+
+std::string
+indexedPath(const std::string &path, unsigned n)
+{
+    char idx[8];
+    std::snprintf(idx, sizeof(idx), "%03u", n);
+    std::size_t dot = path.find_last_of('.');
+    std::size_t slash = path.find_last_of('/');
+    if (dot == std::string::npos ||
+        (slash != std::string::npos && dot < slash))
+        return path + '.' + idx;
+    return path.substr(0, dot) + '.' + idx + path.substr(dot);
+}
+
+} // namespace npf::obs

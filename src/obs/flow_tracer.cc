@@ -12,6 +12,8 @@ void
 annotateLogLine(std::FILE *out)
 {
     FlowTracer &t = tracer();
+    // Only in full-trace mode: flow-id prefixes are for correlating
+    // logs against a complete trace, not against the flight ring.
     if (t.enabled() && t.currentFlow() != 0)
         std::fprintf(out, "[flow %llu] ",
                      static_cast<unsigned long long>(t.currentFlow()));
@@ -65,16 +67,41 @@ FlowTracer::admit()
 }
 
 void
-FlowTracer::push(Event e)
+FlowTracer::push(const Event &e)
 {
-    if (admit())
+    if (enabled_ && admit())
         events_.push_back(e);
+    if (flightCap_ != 0) {
+        flight_[flightHead_] = e;
+        flightHead_ = flightHead_ + 1 == flightCap_ ? 0 : flightHead_ + 1;
+        if (flightCount_ < flightCap_)
+            ++flightCount_;
+        else
+            ++flightOverwritten_;
+    }
+}
+
+void
+FlowTracer::setFlightCapacity(std::size_t cap)
+{
+    flightCap_ = cap;
+    flightHead_ = 0;
+    flightCount_ = 0;
+    flightOverwritten_ = 0;
+    flight_.assign(cap, Event{});
+    flight_.shrink_to_fit();
+    if (cap != 0)
+        flightOpen_.assign(kFlightOpenSlots, FlightOpen{0, "", ""});
+    else {
+        flightOpen_.clear();
+        flightOpen_.shrink_to_fit();
+    }
 }
 
 FlowId
 FlowTracer::beginFlow(const char *cat, const char *name)
 {
-    if (!enabled_)
+    if (!active())
         return 0;
     return beginFlowAt(cat, name, now());
 }
@@ -82,10 +109,16 @@ FlowTracer::beginFlow(const char *cat, const char *name)
 FlowId
 FlowTracer::beginFlowAt(const char *cat, const char *name, sim::Time t)
 {
-    if (!enabled_)
+    if (!active())
         return 0;
     FlowId f = nextFlow_++;
-    open_[f] = FlowInfo{cat, name};
+    if (enabled_)
+        open_[f] = FlowInfo{cat, name};
+    else
+        // Flight-only: fixed-slot table, no allocation. A collision
+        // evicts the older flow; its end event is then skipped, which
+        // the ring (itself lossy by design) tolerates.
+        flightOpen_[f & (kFlightOpenSlots - 1)] = FlightOpen{f, cat, name};
     push(Event{'b', 0, f, cat, name, t, 0, 0.0});
     return f;
 }
@@ -93,7 +126,7 @@ FlowTracer::beginFlowAt(const char *cat, const char *name, sim::Time t)
 void
 FlowTracer::endFlow(FlowId f)
 {
-    if (!enabled_ || f == 0)
+    if (!active() || f == 0)
         return;
     endFlowAt(f, now());
 }
@@ -101,20 +134,29 @@ FlowTracer::endFlow(FlowId f)
 void
 FlowTracer::endFlowAt(FlowId f, sim::Time t)
 {
-    if (!enabled_ || f == 0)
+    if (!active() || f == 0)
         return;
-    auto it = open_.find(f);
-    if (it == open_.end())
+    if (enabled_) {
+        auto it = open_.find(f);
+        if (it == open_.end())
+            return;
+        push(Event{'e', 0, f, it->second.cat, it->second.name, t, 0,
+                   0.0});
+        open_.erase(it);
         return;
-    push(Event{'e', 0, f, it->second.cat, it->second.name, t, 0, 0.0});
-    open_.erase(it);
+    }
+    FlightOpen &slot = flightOpen_[f & (kFlightOpenSlots - 1)];
+    if (slot.id != f)
+        return;
+    push(Event{'e', 0, f, slot.cat, slot.name, t, 0, 0.0});
+    slot.id = 0;
 }
 
 void
 FlowTracer::span(Track track, const char *cat, const char *name,
                  sim::Time start, sim::Time dur, FlowId f)
 {
-    if (!enabled_)
+    if (!active())
         return;
     push(Event{'X', static_cast<int>(track), f, cat, name, start, dur,
                0.0});
@@ -124,7 +166,7 @@ void
 FlowTracer::instant(Track track, const char *cat, const char *name,
                     FlowId f)
 {
-    if (!enabled_)
+    if (!active())
         return;
     instantAt(track, cat, name, now(), f);
 }
@@ -133,7 +175,7 @@ void
 FlowTracer::instantAt(Track track, const char *cat, const char *name,
                       sim::Time t, FlowId f)
 {
-    if (!enabled_)
+    if (!active())
         return;
     push(Event{'i', static_cast<int>(track), f, cat, name, t, 0, 0.0});
 }
@@ -141,7 +183,7 @@ FlowTracer::instantAt(Track track, const char *cat, const char *name,
 void
 FlowTracer::counter(const char *name, double value)
 {
-    if (!enabled_)
+    if (!active())
         return;
     push(Event{'C', static_cast<int>(Track::Sim), 0, "counter", name,
                now(), 0, value});
@@ -153,10 +195,15 @@ FlowTracer::clear()
     events_.clear();
     open_.clear();
     dropped_ = 0;
+    flightHead_ = 0;
+    flightCount_ = 0;
+    flightOverwritten_ = 0;
+    for (FlightOpen &s : flightOpen_)
+        s.id = 0;
 }
 
 void
-FlowTracer::writeChromeTrace(std::ostream &os) const
+FlowTracer::writeProlog(std::ostream &os) const
 {
     os << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
     JsonSep sep;
@@ -169,46 +216,75 @@ FlowTracer::writeChromeTrace(std::ostream &os) const
         jsonString(os, trackName(tid));
         os << "}}";
     }
+}
 
-    for (const Event &e : events_) {
-        sep.emit(os);
-        // ts in microseconds (Chrome's unit), sub-us as fractions.
-        double ts = static_cast<double>(e.ts) / 1000.0;
-        os << "{\"ph\":\"" << e.ph << "\",\"pid\":0";
-        switch (e.ph) {
-          case 'X':
-            os << ",\"tid\":" << e.tid << ",\"ts\":";
-            jsonNumber(os, ts);
-            os << ",\"dur\":";
-            jsonNumber(os, static_cast<double>(e.dur) / 1000.0);
-            break;
-          case 'i':
-            os << ",\"tid\":" << e.tid << ",\"ts\":";
-            jsonNumber(os, ts);
-            os << ",\"s\":\"t\"";
-            break;
-          case 'b':
-          case 'e':
-            os << ",\"tid\":0,\"id\":" << e.flow << ",\"ts\":";
-            jsonNumber(os, ts);
-            break;
-          case 'C':
-            os << ",\"tid\":" << e.tid << ",\"ts\":";
-            jsonNumber(os, ts);
-            break;
-        }
-        os << ",\"cat\":";
-        jsonString(os, e.cat);
-        os << ",\"name\":";
-        jsonString(os, e.name);
-        if (e.ph == 'C') {
-            os << ",\"args\":{\"value\":";
-            jsonNumber(os, e.value);
-            os << '}';
-        } else if (e.flow != 0) {
-            os << ",\"args\":{\"flow\":" << e.flow << '}';
-        }
+void
+FlowTracer::writeEventJson(std::ostream &os, const Event &e) const
+{
+    // ts in microseconds (Chrome's unit), sub-us as fractions.
+    double ts = static_cast<double>(e.ts) / 1000.0;
+    os << "{\"ph\":\"" << e.ph << "\",\"pid\":0";
+    switch (e.ph) {
+      case 'X':
+        os << ",\"tid\":" << e.tid << ",\"ts\":";
+        jsonNumber(os, ts);
+        os << ",\"dur\":";
+        jsonNumber(os, static_cast<double>(e.dur) / 1000.0);
+        break;
+      case 'i':
+        os << ",\"tid\":" << e.tid << ",\"ts\":";
+        jsonNumber(os, ts);
+        os << ",\"s\":\"t\"";
+        break;
+      case 'b':
+      case 'e':
+        os << ",\"tid\":0,\"id\":" << e.flow << ",\"ts\":";
+        jsonNumber(os, ts);
+        break;
+      case 'C':
+        os << ",\"tid\":" << e.tid << ",\"ts\":";
+        jsonNumber(os, ts);
+        break;
+    }
+    os << ",\"cat\":";
+    jsonString(os, e.cat);
+    os << ",\"name\":";
+    jsonString(os, e.name);
+    if (e.ph == 'C') {
+        os << ",\"args\":{\"value\":";
+        jsonNumber(os, e.value);
         os << '}';
+    } else if (e.flow != 0) {
+        os << ",\"args\":{\"flow\":" << e.flow << '}';
+    }
+    os << '}';
+}
+
+void
+FlowTracer::writeChromeTrace(std::ostream &os) const
+{
+    writeProlog(os);
+    for (const Event &e : events_) {
+        os << ',';
+        writeEventJson(os, e);
+    }
+    os << "]}";
+}
+
+void
+FlowTracer::writeFlightTrace(std::ostream &os) const
+{
+    writeProlog(os);
+    // Oldest event first: when full, the head slot (next overwrite
+    // target) is the oldest; otherwise the ring starts at slot 0.
+    std::size_t start =
+        flightCount_ == flightCap_ ? flightHead_ : 0;
+    for (std::size_t i = 0; i < flightCount_; ++i) {
+        std::size_t idx = start + i;
+        if (idx >= flightCap_)
+            idx -= flightCap_;
+        os << ',';
+        writeEventJson(os, flight_[idx]);
     }
     os << "]}";
 }

@@ -12,9 +12,19 @@
  * appears as an async lane so one fault's journey reads top to
  * bottom.
  *
- * Disabled by default. Every emit entry point starts with a single
- * inline `enabled()` test, so instrumented hot paths cost one
- * predictable branch when tracing is off.
+ * Two capture modes share the same emit entry points:
+ *
+ *  - **Full tracing** (`enable(true)`): every event is buffered (up to
+ *    a large cap) for a complete Chrome trace of the run.
+ *  - **Flight recorder** (`setFlightCapacity(N)`): the last N events
+ *    are kept in a preallocated ring that is overwritten in steady
+ *    state and allocates nothing after arming. It stays armed for a
+ *    whole run at negligible cost and is dumped *after* something
+ *    interesting happens (SLO violation, fault clause, explicit
+ *    request) to show what led up to it.
+ *
+ * Both disabled (the default) costs one predictable inline `active()`
+ * branch per emit call.
  */
 
 #ifndef NPF_OBS_FLOW_TRACER_HH
@@ -54,11 +64,14 @@ class FlowTracer
     bool enabled() const { return enabled_; }
     void enable(bool on) { enabled_ = on; }
 
+    /** True when any capture mode (full trace or flight ring) is on. */
+    bool active() const { return enabled_ || flightCap_ != 0; }
+
     /** Timestamps come from this queue; nullptr reads as t=0. */
     void setClock(const sim::EventQueue *eq) { clock_ = eq; }
     sim::Time now() const { return clock_ != nullptr ? clock_->now() : 0; }
 
-    /** Start a flow at the current time. @return 0 when disabled. */
+    /** Start a flow at the current time. @return 0 when inactive. */
     FlowId beginFlow(const char *cat, const char *name);
     FlowId beginFlowAt(const char *cat, const char *name, sim::Time t);
 
@@ -93,11 +106,27 @@ class FlowTracer
     /** Cap on buffered events; further emissions count as dropped. */
     void setCapacity(std::size_t cap) { capacity_ = cap; }
 
+    /**
+     * Arm (cap > 0) or disarm (cap == 0) the flight ring. Arming
+     * preallocates everything the ring will ever use; steady-state
+     * recording performs no allocation.
+     */
+    void setFlightCapacity(std::size_t cap);
+
+    std::size_t flightCapacity() const { return flightCap_; }
+    /** Events currently held in the ring (<= capacity). */
+    std::size_t flightSize() const { return flightCount_; }
+    /** Events overwritten since arming/clear (ring wrapped this much). */
+    std::uint64_t flightOverwritten() const { return flightOverwritten_; }
+
     /** Drop all buffered events and open-flow bookkeeping. */
     void clear();
 
     /** Write the buffered events as Chrome trace_event JSON. */
     void writeChromeTrace(std::ostream &os) const;
+
+    /** Write the flight ring (oldest first) as Chrome trace JSON. */
+    void writeFlightTrace(std::ostream &os) const;
 
   private:
     struct Event
@@ -112,8 +141,19 @@ class FlowTracer
         double value;    ///< 'C' only
     };
 
+    /** Open-flow record for flight-only mode: fixed, hash-indexed. */
+    struct FlightOpen
+    {
+        FlowId id;
+        const char *cat;
+        const char *name;
+    };
+    static constexpr std::size_t kFlightOpenSlots = 1024; // power of 2
+
     bool admit();
-    void push(Event e);
+    void push(const Event &e);
+    void writeEventJson(std::ostream &os, const Event &e) const;
+    void writeProlog(std::ostream &os) const;
 
     bool enabled_ = false;
     const sim::EventQueue *clock_ = nullptr;
@@ -128,6 +168,14 @@ class FlowTracer
         const char *name;
     };
     std::unordered_map<FlowId, FlowInfo> open_;
+
+    // --- flight ring (all storage preallocated by setFlightCapacity) ---
+    std::size_t flightCap_ = 0;
+    std::size_t flightHead_ = 0;  ///< next slot to write
+    std::size_t flightCount_ = 0;
+    std::uint64_t flightOverwritten_ = 0;
+    std::vector<Event> flight_;
+    std::vector<FlightOpen> flightOpen_;
 };
 
 /** Process-wide tracer accessor (shorthand). */

@@ -1,7 +1,10 @@
 #include "obs/session.hh"
 
 #include <fstream>
+#include <map>
 
+#include "obs/attribution.hh"
+#include "obs/flight.hh"
 #include "obs/json.hh"
 #include "sim/log.hh"
 
@@ -23,6 +26,21 @@ Session::Session(sim::EventQueue &eq, SessionOptions opt)
     tr.clear();
     tr.setClock(&eq_);
     tr.enable(opt_.trace);
+
+    if (opt_.flightCapacity > 0) {
+        FlightOptions fo;
+        fo.capacity = opt_.flightCapacity;
+        fo.dumpPath = opt_.flightDumpPath;
+        fo.dumpOnSlo = opt_.flightDumpOnSlo;
+        FlightRecorder::global().arm(std::move(fo));
+    }
+
+    Attributor &at = attributor();
+    at.setClock(&eq_);
+    at.enable(opt_.attribution);
+
+    eq_.clearProfile();
+    eq_.enableProfile(opt_.profileEventLoop);
 
     obs_.init("sim.eq");
     const sim::EventQueue::Stats &st = eq_.stats();
@@ -112,6 +130,17 @@ Session::finish()
                       opt_.traceOut.c_str());
     }
 
+    if (opt_.flightDumpAtEnd)
+        FlightRecorder::global().dump("end-of-run");
+    if (opt_.flightCapacity > 0)
+        FlightRecorder::global().disarm();
+
+    Attributor &at = attributor();
+    at.enable(false);
+    at.setClock(nullptr);
+
+    eq_.enableProfile(false);
+
     FlowTracer &tr = tracer();
     tr.enable(false);
     tr.setClock(nullptr);
@@ -139,6 +168,31 @@ Session::writeMetrics(std::ostream &os) const
         os << ':' << unlabeledEvents_;
     }
     os << '}';
+
+    if (opt_.profileEventLoop) {
+        // Merge pointer-keyed entries by text: distinct literals with
+        // identical spelling (one per TU) must read as one site.
+        std::map<std::string, sim::EventQueue::SiteProfile> merged;
+        for (const auto &[site, sp] : eq_.siteProfiles()) {
+            sim::EventQueue::SiteProfile &m =
+                merged[site[0] != '\0' ? site : "(unlabeled)"];
+            m.count += sp.count;
+            m.wallNs += sp.wallNs;
+            m.maxWallNs = std::max(m.maxWallNs, sp.maxWallNs);
+            m.simLagNs += sp.simLagNs;
+        }
+        os << ",\"event_loop_profile\":{";
+        sep.reset();
+        for (const auto &[site, sp] : merged) {
+            sep.emit(os);
+            jsonString(os, site);
+            os << ":{\"count\":" << sp.count
+               << ",\"wall_ns\":" << sp.wallNs
+               << ",\"max_wall_ns\":" << sp.maxWallNs
+               << ",\"sim_lag_ns\":" << sp.simLagNs << '}';
+        }
+        os << '}';
+    }
 
     os << ",\"series\":{";
     sep.reset();

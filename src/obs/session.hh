@@ -56,6 +56,21 @@ struct SessionOptions
     /** Counter/gauge names to sample into RateSeries. When empty,
      *  the session samples its own `sim.eqN.executed` counter. */
     std::vector<std::string> sampledCounters;
+
+    /** Flight recorder: ring capacity in events (0 = off). */
+    std::size_t flightCapacity = 0;
+    /** Dump-file stem; dumps are numbered (flight.000.json, ...). */
+    std::string flightDumpPath = "flight.json";
+    /** Dump the ring whenever an SloMonitor window violates. */
+    bool flightDumpOnSlo = false;
+    /** Dump whatever the ring holds when the session finishes. */
+    bool flightDumpAtEnd = false;
+
+    /** Enable causal latency attribution (obs::Attributor). */
+    bool attribution = false;
+
+    /** Enable the event-loop profiler (per-site wall/sim time). */
+    bool profileEventLoop = false;
 };
 
 class Session

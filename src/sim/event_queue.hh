@@ -24,8 +24,10 @@
 #include <algorithm>
 #include <array>
 #include <cassert>
+#include <chrono>
 #include <cstdint>
 #include <functional>
+#include <unordered_map>
 #include <vector>
 
 #include "sim/delegate.hh"
@@ -67,6 +69,23 @@ class EventQueue
                                            ///< a live event
         std::uint64_t cancelledReaped = 0; ///< cancelled entries
                                            ///< discarded unexecuted
+    };
+
+    /**
+     * Per-schedule-site accounting collected by the event-loop
+     * profiler (enableProfile()). Keyed by the site string literal's
+     * address — distinct literals with identical text are merged at
+     * export time, not here, to keep the hot path to one hash of a
+     * pointer. simLagNs is the events' queue residency (execution
+     * time minus schedule time): high values mean a site schedules
+     * far ahead, not that the loop is slow.
+     */
+    struct SiteProfile
+    {
+        std::uint64_t count = 0;
+        std::uint64_t wallNs = 0;
+        std::uint64_t maxWallNs = 0;
+        std::uint64_t simLagNs = 0;
     };
 
     /**
@@ -115,6 +134,7 @@ class EventQueue
         e.seq = nextSeq_++;
         e.cb = std::move(cb);
         e.site = site;
+        e.schedAt = now_;
         EventId id = makeId(idx, e.gen);
         place(idx, when);
         ++liveCount_;
@@ -179,6 +199,21 @@ class EventQueue
     void setExecuteHook(ExecuteHook hook) { hook_ = std::move(hook); }
 
     /**
+     * Event-loop profiler: per-schedule-site execution counts, wall
+     * time (host clock; excluded from simulation state so determinism
+     * is untouched) and sim-time queue residency. Off by default; the
+     * disabled cost is one branch per executed event.
+     */
+    void enableProfile(bool on) { profile_ = on; }
+    bool profiling() const { return profile_; }
+    void clearProfile() { siteProfiles_.clear(); }
+    const std::unordered_map<const char *, SiteProfile> &
+    siteProfiles() const
+    {
+        return siteProfiles_;
+    }
+
+    /**
      * Run a single event, advancing time to it.
      * @return false when the queue is empty.
      */
@@ -201,12 +236,29 @@ class EventQueue
                 // slab may reallocate) or cancel re-entrantly.
                 Callback cb = std::move(e.cb);
                 const char *site = e.site;
+                Time schedAt = e.schedAt;
                 EventId id = makeId(top.idx, top.gen);
                 freeSlot(top.idx);
                 --liveCount_;
                 now_ = top.when;
                 ++stats_.executed;
-                cb();
+                if (profile_) {
+                    auto t0 = std::chrono::steady_clock::now();
+                    cb();
+                    auto wall = std::chrono::duration_cast<
+                        std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() - t0);
+                    SiteProfile &sp =
+                        siteProfiles_[site != nullptr ? site : ""];
+                    ++sp.count;
+                    std::uint64_t w =
+                        static_cast<std::uint64_t>(wall.count());
+                    sp.wallNs += w;
+                    sp.maxWallNs = std::max(sp.maxWallNs, w);
+                    sp.simLagNs += now_ - schedAt;
+                } else {
+                    cb();
+                }
                 if (hook_) // re-read: the callback may have cleared it
                     hook_(now_, id, site);
                 return true;
@@ -292,6 +344,7 @@ class EventQueue
         std::uint64_t seq = 0; ///< schedule order, same-tick FIFO key
         Callback cb;
         const char *site = nullptr;
+        Time schedAt = 0;      ///< now() at schedule, for the profiler
         std::uint32_t gen = 1;  ///< bumped on every free (stale-id check)
         std::uint32_t next = kNil;
         std::uint32_t prev = kNil;
@@ -690,6 +743,8 @@ class EventQueue
     std::uint64_t nextSeq_ = 1;
     Stats stats_;
     ExecuteHook hook_;
+    bool profile_ = false;
+    std::unordered_map<const char *, SiteProfile> siteProfiles_;
 };
 
 } // namespace npf::sim

@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "fault/fault.hh"
+#include "obs/attribution.hh"
 #include "obs/flow_tracer.hh"
 
 namespace npf::tcp {
@@ -382,6 +383,7 @@ TcpConnection::armRto()
     };
     static_assert(sim::Delegate::fitsInline<decltype(fire)>,
                   "tcp rto timer closure must stay inline");
+    rtoArmedAt_ = eq_.now();
     rtoTimer_ = eq_.scheduleAfter(rto_, std::move(fire), "tcp.rto");
 }
 
@@ -402,6 +404,10 @@ TcpConnection::onRtoFire()
     ++stats_.timeouts;
     ++stats_.retransmissions;
     obs::tracer().instant(obs::Track::Transport, "tcp", "tcp.rto_fire");
+    // The silence since arming was a retransmit stall: progress would
+    // have restarted the timer via cancelRto()/armRto().
+    obs::attributor().charge(attrLane_, obs::Phase::Retransmit,
+                             eq_.now() - rtoArmedAt_);
     if (++retries_ > cfg_.maxDataRetries) {
         fail();
         return;

@@ -99,6 +99,14 @@ class TcpConnection
     /** Inbound segment from the NIC. */
     void receiveSegment(const Segment &seg);
 
+    /**
+     * obs::Attributor lane this connection's retransmit stalls are
+     * charged to (-1 = off). Both directions of one RPC channel
+     * conventionally share a lane.
+     */
+    void setAttrLane(int lane) { attrLane_ = lane; }
+    int attrLane() const { return attrLane_; }
+
     const Stats &stats() const { return stats_; }
     std::size_t cwnd() const { return cwnd_; }
     std::size_t bytesInFlight() const
@@ -159,8 +167,10 @@ class TcpConnection
     sim::Time rttSentAt_ = 0;
     bool rttTiming_ = false;
     sim::EventId rtoTimer_ = sim::kInvalidEvent;
+    sim::Time rtoArmedAt_ = 0;  ///< for retransmit-stall attribution
     unsigned synRetries_ = 0;
     sim::Time synSentAt_ = 0;
+    int attrLane_ = -1;         ///< attribution lane (-1 = off)
 
     // --- receiver ---
     std::uint64_t rcvNxt_ = 0;
