@@ -7,8 +7,6 @@
  * under bursts even though the backup ring itself has room.
  */
 
-#include <memory>
-
 #include "bench/common.hh"
 #include "eth/backup_ring.hh"
 
@@ -77,8 +75,7 @@ main(int argc, char **argv)
             rig.eq.schedule(i * 20 * sim::kMicrosecond, [&rig] {
                 eth::Frame f;
                 f.dstRing = rig.ring;
-                f.bytes = 1500;
-                f.payload = std::make_shared<int>(0);
+                f.bytes = 1500; // payload stays empty: never read here
                 eth::EthNic *dst = &rig.nic;
                 rig.peer.txLink()->send(f.bytes,
                                         [dst, f] { dst->receive(f); });

@@ -260,8 +260,8 @@ runIb(const SweepArgs &a, const ObsArgs &obs_args, double rate)
                                                    clientNpfc, cch);
         qpS->connect(*qpC);
         qpC->connect(*qpS);
-        auto reqs = std::make_shared<std::deque<KvRpcRequest>>();
-        auto rsps = std::make_shared<std::deque<KvRpcResponse>>();
+        auto reqs = std::make_shared<sim::RingDeque<KvRpcRequest>>();
+        auto rsps = std::make_shared<sim::RingDeque<KvRpcResponse>>();
         server.addSession(*qpS, reqs, rsps);
         transports.emplace_back(*qpC, clientAs, reqs, rsps, rpc);
         transports.back().connect(pool);

@@ -146,4 +146,50 @@ else
     echo "note: python3 not found, skipping trace validation"
 fi
 
+echo "== tier 7: allocation gate + replay digests (stack_bench) =="
+# The stack-wide allocation gate: three end-to-end scenarios must run
+# their measure window with exactly zero global operator new calls
+# (docs/MEMORY.md). Any non-zero count is a real regression — always
+# fatal, never timing noise.
+if ! ./build/bench/stack_bench --smoke \
+        --json="$smokedir/BENCH_stack.json" \
+        > "$smokedir/stack.txt" 2>&1; then
+    echo "FAIL: stack_bench alloc gate tripped:"
+    cat "$smokedir/stack.txt"
+    echo "hint: rerun with STACK_BENCH_TRACE=1 to get per-site stacks"
+    exit 1
+fi
+grep "stack_steady_allocs" "$smokedir/stack.txt"
+grep -q '"allocs_ok": true' "$smokedir/BENCH_stack.json" || {
+    echo "FAIL: BENCH_stack.json missing allocs_ok=true"
+    exit 1
+}
+
+# Pooling must not change simulation behaviour: the paper-replay
+# benches have to reproduce their pre-pooling output bit for bit
+# (digests pinned in scripts/golden_digests.sha256; regenerate that
+# file only when a bench's output is changed on purpose). Full-scale
+# runs, ~3-4 minutes total.
+./build/bench/fig04_cold_ring           > "$smokedir/fig04.txt" 2>&1
+./build/bench/tab05_memcached_overcommit > "$smokedir/tab05.txt" 2>&1
+./build/bench/fig07_dynamic_working_set > "$smokedir/fig07.txt" 2>&1
+./build/bench/chaos_recovery            > "$smokedir/chaos.txt" 2>&1
+if (cd "$smokedir" && sha256sum -c "$OLDPWD/scripts/golden_digests.sha256"); then
+    echo "replay digests: bit-identical to pre-pooling goldens"
+else
+    echo "FAIL: a replay bench diverged from its pre-pooling golden."
+    echo "If the divergence is intentional, regenerate"
+    echo "scripts/golden_digests.sha256 from the new outputs."
+    exit 1
+fi
+
+# Refresh the committed allocation-gate artifact at full scale.
+./build/bench/stack_bench --json=BENCH_stack.json \
+    > "$smokedir/stack_full.txt" 2>&1 || {
+    echo "FAIL: full-scale stack_bench run failed:"
+    cat "$smokedir/stack_full.txt"
+    exit 1
+}
+echo "BENCH_stack.json regenerated"
+
 echo "== all checks passed =="

@@ -21,7 +21,6 @@
 #define NPF_APP_KV_RPC_HH
 
 #include <cstdint>
-#include <deque>
 #include <memory>
 #include <vector>
 
@@ -29,6 +28,7 @@
 #include "app/kv_store.hh"
 #include "ib/queue_pair.hh"
 #include "load/client_pool.hh"
+#include "sim/ring_deque.hh"
 
 namespace npf::app {
 
@@ -59,8 +59,11 @@ struct KvRpcResponse
     bool hit = false;
 };
 
-using KvRpcRequestQueue = std::shared_ptr<std::deque<KvRpcRequest>>;
-using KvRpcResponseQueue = std::shared_ptr<std::deque<KvRpcResponse>>;
+// Flat FIFO rings: std::deque churns allocator blocks as descriptors
+// cycle through; RingDeque reaches its high-water mark once and then
+// recycles in place (the alloc-gate benches count on this).
+using KvRpcRequestQueue = std::shared_ptr<sim::RingDeque<KvRpcRequest>>;
+using KvRpcResponseQueue = std::shared_ptr<sim::RingDeque<KvRpcResponse>>;
 
 /**
  * RC key-value server. One instance serializes all sessions on a

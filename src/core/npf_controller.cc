@@ -5,8 +5,26 @@
 #include "fault/fault.hh"
 #include "mem/memory_manager.hh"
 #include "sim/log.hh"
+#include "sim/pool.hh"
 
 namespace {
+
+/**
+ * Slab for in-flight NPF breakdowns. The resolution closure chain
+ * carries an 8-byte generation-stamped handle instead of a
+ * shared_ptr, so raising an NPF performs no heap allocation and each
+ * continuation revalidates the handle at fire time (a stale handle —
+ * the breakdown released while a continuation still held it — aborts
+ * instead of reading recycled memory). Static so handles in closures
+ * parked in a dying event queue can never dangle.
+ */
+npf::sim::Pool<npf::core::NpfBreakdown> &
+breakdownPool()
+{
+    static auto *p =
+        new npf::sim::Pool<npf::core::NpfBreakdown>("core::breakdownPool");
+    return *p;
+}
 
 /** True when an active fault plan forces an rNPF on this device-side
  *  translation attempt. */
@@ -217,8 +235,9 @@ NpfController::startResolve(ChannelId ch, mem::VirtAddr iova,
     Channel &c = chan(ch);
     ++stats_.npfs;
 
-    auto bd = std::make_shared<NpfBreakdown>();
-    bd->trigger = jittered(cfg_.fwTriggerInterrupt);
+    sim::PoolHandle bdh = breakdownPool().create();
+    sim::Time trigger = jittered(cfg_.fwTriggerInterrupt);
+    breakdownPool().get(bdh)->trigger = trigger;
 
     DmaCheck check = checkDmaRaw(ch, iova, len);
     mem::Vpn merge_key = check.firstMissing;
@@ -226,15 +245,19 @@ NpfController::startResolve(ChannelId ch, mem::VirtAddr iova,
         c.merges.emplace(merge_key, std::vector<ResolveCallback>{});
 
     // The fault-resolution continuation is the fattest closure the
-    // controller schedules (breakdown pointer, merge key, resolve
+    // controller schedules (breakdown handle, merge key, resolve
     // callback); it still must ride the event queue's inline delegate
     // storage — NPF latency is the quantity this simulator measures,
-    // and an allocation here would sit directly on that path.
-    auto resolve = [this, ch, iova, len, write, bd, merge_key,
+    // and an allocation here would sit directly on that path. The
+    // breakdown travels as a pooled handle that each continuation
+    // revalidates (get() aborts on a stale generation) and that the
+    // final continuation releases, exactly once.
+    auto resolve = [this, ch, iova, len, write, bdh, merge_key,
                     has_key = !check.ok, flow,
                     cb = std::move(cb)]() mutable {
         obs::FlowScope fs(flow);
         Channel &c = chan(ch);
+        NpfBreakdown *bd = breakdownPool().get(bdh);
         sim::logf(sim::LogLevel::Debug, eq_.now(),
                   "npf: ch=%u resolving iova=0x%llx len=%zu write=%d", ch,
                   static_cast<unsigned long long>(iova), len, int(write));
@@ -242,10 +265,11 @@ NpfController::startResolve(ChannelId ch, mem::VirtAddr iova,
         bd->resume = jittered(cfg_.fwResume);
         sim::Time rest = bd->driver + bd->ptUpdate + bd->resume;
 
-        eq_.scheduleAfter(rest, [this, ch, bd, merge_key, has_key, flow,
+        eq_.scheduleAfter(rest, [this, ch, bdh, merge_key, has_key, flow,
                                  cb = std::move(cb)]() mutable {
             obs::FlowScope fs(flow);
             Channel &c = chan(ch);
+            NpfBreakdown *bd = breakdownPool().get(bdh);
             sim::logf(sim::LogLevel::Debug, eq_.now(),
                       "npf: ch=%u resolved pages=%u major=%u total=%llu ns",
                       ch, bd->pagesMapped, bd->majorFaults,
@@ -265,6 +289,9 @@ NpfController::startResolve(ChannelId ch, mem::VirtAddr iova,
                         m(mbd);
                 }
             }
+            // Last read of *bd was above; retire the slot before the
+            // next queued NPF can start and recycle it.
+            breakdownPool().release(bdh);
             assert(c.inFlight > 0);
             --c.inFlight;
             if (!c.waiting.empty()) {
@@ -277,7 +304,7 @@ NpfController::startResolve(ChannelId ch, mem::VirtAddr iova,
     };
     static_assert(sim::Delegate::fitsInline<decltype(resolve)>,
                   "npf resolution closure must stay inline");
-    eq_.scheduleAfter(bd->trigger, std::move(resolve), "npf.trigger");
+    eq_.scheduleAfter(trigger, std::move(resolve), "npf.trigger");
 }
 
 void

@@ -21,6 +21,16 @@ BackupRingManager::BackupRingManager(sim::EventQueue &eq, EthNic &nic,
     obs_.gauge("pending", [this] { return double(pendingCount_); });
 }
 
+BackupRingManager::SwQueue &
+BackupRingManager::sw(unsigned ring_id)
+{
+    // Ring ids are dense and small; grow on first sight of a new one
+    // (setup-time only, the queues themselves never shrink).
+    if (swQueues_.size() <= ring_id)
+        swQueues_.resize(ring_id + 1);
+    return swQueues_[ring_id];
+}
+
 bool
 BackupRingManager::store(BackupEntry e)
 {
@@ -63,9 +73,10 @@ BackupRingManager::isr()
                   rid, static_cast<unsigned long long>(e.frame.bytes));
         obs::tracer().instant(obs::Track::Driver, "rnpf", "backup.drained",
                               e.obsFlow);
-        swQueues_[rid].push_back(std::move(e));
-        if (!resolverBusy_[rid]) {
-            resolverBusy_[rid] = true;
+        SwQueue &s = sw(rid);
+        s.q.push_back(std::move(e));
+        if (!s.resolverBusy) {
+            s.resolverBusy = true;
             eq_.scheduleAfter(0, [this, rid] { pumpResolver(rid); },
                               "eth.backup.resolver");
         }
@@ -75,9 +86,9 @@ BackupRingManager::isr()
 void
 BackupRingManager::pumpResolver(unsigned ring_id)
 {
-    auto &q = swQueues_[ring_id];
+    auto &q = sw(ring_id).q;
     if (q.empty()) {
-        resolverBusy_[ring_id] = false;
+        sw(ring_id).resolverBusy = false;
         return;
     }
 
@@ -91,6 +102,11 @@ BackupRingManager::pumpResolver(unsigned ring_id)
         ++stats_.waitsForRoom;
         obs::tracer().instant(obs::Track::Driver, "rnpf",
                               "backup.wait_room", e.obsFlow);
+        // Deliberately re-arm with (this, ring_id) only — never a
+        // reference to the entry or its pooled frame. By the time the
+        // hook fires the queue may have been reshuffled, so the
+        // resolver re-reads (and thus revalidates) q.front() from
+        // scratch instead of trusting a captured payload.
         r.tailAdvanceHook = [this, ring_id] {
             RxRing &ring = nic_.ring(ring_id);
             ring.tailAdvanceHook = nullptr;
@@ -148,7 +164,7 @@ BackupRingManager::pumpResolver(unsigned ring_id)
 void
 BackupRingManager::finishEntry(unsigned ring_id)
 {
-    auto &q = swQueues_[ring_id];
+    auto &q = sw(ring_id).q;
     assert(!q.empty());
     BackupEntry e = std::move(q.front());
     q.pop_front();

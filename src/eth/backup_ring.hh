@@ -11,12 +11,12 @@
 #define NPF_ETH_BACKUP_RING_HH
 
 #include <cstdint>
-#include <deque>
-#include <unordered_map>
+#include <vector>
 
 #include "eth/frame.hh"
 #include "obs/metrics.hh"
 #include "sim/event_queue.hh"
+#include "sim/ring_deque.hh"
 #include "sim/time.hh"
 
 namespace npf::eth {
@@ -66,20 +66,27 @@ class BackupRingManager
     const Stats &stats() const { return stats_; }
 
   private:
+    /** Per-IOuser-ring software queue + its resolver's busy flag. */
+    struct SwQueue
+    {
+        sim::RingDeque<BackupEntry> q;
+        bool resolverBusy = false;
+    };
+
     /** Interrupt handler: drain hw ring into per-ring sw queues. */
     void isr();
     void scheduleIsr();
     /** Resolver thread body for one IOuser ring. */
     void pumpResolver(unsigned ring_id);
     void finishEntry(unsigned ring_id);
+    SwQueue &sw(unsigned ring_id);
 
     sim::EventQueue &eq_;
     EthNic &nic_;
     std::size_t capacity_;
     Stats stats_;
-    std::deque<BackupEntry> hwRing_;
-    std::unordered_map<unsigned, std::deque<BackupEntry>> swQueues_;
-    std::unordered_map<unsigned, bool> resolverBusy_;
+    sim::RingDeque<BackupEntry> hwRing_;
+    std::vector<SwQueue> swQueues_; ///< indexed by (dense) ring id
     bool isrPending_ = false;
     std::size_t pendingCount_ = 0;
     obs::Instrumented obs_; ///< last member: deregisters first

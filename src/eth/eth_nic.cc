@@ -84,7 +84,7 @@ EthNic::createTxQueue(core::ChannelId ch)
 
 void
 EthNic::send(unsigned txq, unsigned dst_ring, mem::VirtAddr src,
-             std::size_t len, std::shared_ptr<void> payload)
+             std::size_t len, sim::PoolRef payload)
 {
     TxQueue &t = *txQueues_[txq];
     TxJob job;

@@ -11,7 +11,6 @@
 #define NPF_ETH_ETH_NIC_HH
 
 #include <cstdint>
-#include <deque>
 #include <memory>
 #include <vector>
 
@@ -22,6 +21,7 @@
 #include "obs/metrics.hh"
 #include "sim/event_queue.hh"
 #include "sim/random.hh"
+#include "sim/ring_deque.hh"
 
 namespace npf::eth {
 
@@ -91,10 +91,12 @@ class EthNic
     /**
      * Transmit @p len bytes from @p src (IOuser memory; may fault —
      * a send-side NPF stalls the queue until resolution) toward ring
-     * @p dst_ring of the connected peer NIC.
+     * @p dst_ring of the connected peer NIC. The NIC takes ownership
+     * of the pooled @p payload; it is released exactly once wherever
+     * the frame's journey ends (see eth/frame.hh).
      */
     void send(unsigned txq, unsigned dst_ring, mem::VirtAddr src,
-              std::size_t len, std::shared_ptr<void> payload);
+              std::size_t len, sim::PoolRef payload);
 
     // --- hardware receive path (invoked by the wire) -----------------
 
@@ -124,7 +126,7 @@ class EthNic
     struct TxQueue
     {
         core::ChannelId channel;
-        std::deque<TxJob> q;
+        sim::RingDeque<TxJob> q; ///< grows once, then allocation-free
         bool pumpScheduled = false;
         bool faultPending = false;
     };

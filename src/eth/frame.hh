@@ -1,25 +1,33 @@
 /**
  * @file
  * Ethernet frame abstraction. Payload content is opaque to the NIC
- * (a shared_ptr the protocol layer downcasts), mirroring how the
- * hardware sees only bytes.
+ * (a pooled, type-erased reference the protocol layer downcasts),
+ * mirroring how the hardware sees only bytes.
+ *
+ * Ownership: the frame owns its payload slot. Whoever destroys the
+ * last Frame on a packet's journey — delivery to the rx handler,
+ * a fault-injected drop, a ring overflow — releases the slot back to
+ * the producing pool, exactly once, via sim::PoolRef's RAII. Copying
+ * a Frame (net::Link's duplicate fault action) clones the payload
+ * into a fresh slot, so the duplicate's release is independent.
  */
 
 #ifndef NPF_ETH_FRAME_HH
 #define NPF_ETH_FRAME_HH
 
 #include <cstdint>
-#include <memory>
+
+#include "sim/pool.hh"
 
 namespace npf::eth {
 
 /** One frame on the wire / in a receive ring. */
 struct Frame
 {
-    unsigned dstRing = 0;          ///< steering target (IOchannel)
-    std::size_t bytes = 0;         ///< payload length
-    std::shared_ptr<void> payload; ///< protocol payload (opaque)
-    std::uint64_t seq = 0;         ///< NIC-assigned arrival number
+    unsigned dstRing = 0;      ///< steering target (IOchannel)
+    std::size_t bytes = 0;     ///< payload length
+    sim::PoolRef payload;      ///< protocol payload (opaque, pooled)
+    std::uint64_t seq = 0;     ///< NIC-assigned arrival number
 };
 
 } // namespace npf::eth

@@ -19,7 +19,6 @@
 #define NPF_IB_QUEUE_PAIR_HH
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <optional>
 
@@ -30,6 +29,7 @@
 #include "obs/metrics.hh"
 #include "sim/event_queue.hh"
 #include "sim/random.hh"
+#include "sim/ring_deque.hh"
 
 namespace npf::ib {
 
@@ -239,9 +239,10 @@ class QueuePair
     Stats stats_;
     int attrLane_ = -1; ///< attribution lane (-1 = off)
 
-    // sender
-    std::deque<WorkRequest> sendQueue_; ///< not yet assigned PSNs
-    std::deque<InflightWr> inflight_;   ///< PSN-assigned, unacked
+    // sender: WR records live in flat rings that grow to the window's
+    // high-water mark once and are then recycled allocation-free.
+    sim::RingDeque<WorkRequest> sendQueue_; ///< not yet assigned PSNs
+    sim::RingDeque<InflightWr> inflight_;   ///< PSN-assigned, unacked
     std::uint64_t nextPsn_ = 0;         ///< next PSN to allocate
     std::uint64_t txPsn_ = 0;           ///< next PSN to transmit
     std::uint64_t highestTxPsn_ = 0;    ///< one past highest ever sent
@@ -255,7 +256,7 @@ class QueuePair
     sim::EventId retransmitTimer_ = sim::kInvalidEvent;
 
     // receiver
-    std::deque<WorkRequest> recvQueue_;
+    sim::RingDeque<WorkRequest> recvQueue_;
     std::uint64_t expectedPsn_ = 0;
     bool rnpfPending_ = false; ///< resolution in progress; drop inbound
     obs::FlowId rnpfFlow_ = 0; ///< flow of the in-progress rNPF

@@ -3,15 +3,23 @@
  * IOTLB: the device's translation cache. Because translations are
  * cached, the IOprovider must explicitly invalidate entries when
  * mappings change — the (a)-(d) flow of Figure 2.
+ *
+ * Storage is flat and sized once at construction: an open-addressing
+ * index over a fixed slot array whose entries carry intrusive LRU
+ * links. A miss-heavy workload inserts and evicts on every DMA, so
+ * node-based containers here would heap-churn per packet — the
+ * stack-wide allocation gate (bench/stack_bench.cc) counts on the
+ * steady state being allocation-free.
  */
 
 #ifndef NPF_IOMMU_IOTLB_HH
 #define NPF_IOMMU_IOTLB_HH
 
+#include <algorithm>
+#include <cassert>
 #include <cstdint>
-#include <list>
 #include <optional>
-#include <unordered_map>
+#include <vector>
 
 #include "mem/types.hh"
 
@@ -29,50 +37,69 @@ class IoTlb
         std::uint64_t evictions = 0;
     };
 
-    explicit IoTlb(std::size_t capacity = 256) : capacity_(capacity) {}
+    explicit IoTlb(std::size_t capacity = 256) : capacity_(capacity)
+    {
+        assert(capacity_ > 0);
+        slots_.resize(capacity_);
+        for (std::size_t i = 0; i < capacity_; ++i)
+            slots_[i].next =
+                i + 1 < capacity_ ? std::uint32_t(i + 1) : kNil;
+        freeHead_ = 0;
+        std::size_t buckets = 16;
+        while (buckets < capacity_ * 2)
+            buckets <<= 1;
+        table_.assign(buckets, kNil);
+        mask_ = buckets - 1;
+    }
 
     /** Look up a translation, refreshing its LRU position on a hit. */
     std::optional<mem::Pfn>
     lookup(mem::Vpn vpn)
     {
-        auto it = map_.find(vpn);
-        if (it == map_.end()) {
+        std::size_t b = findBucket(vpn);
+        if (table_[b] == kNil) {
             ++stats_.misses;
             return std::nullopt;
         }
         ++stats_.hits;
-        lru_.splice(lru_.begin(), lru_, it->second.lruIt);
-        return it->second.pfn;
+        touchLru(table_[b]);
+        return slots_[table_[b]].pfn;
     }
 
     /** Insert (or refresh) a translation, evicting LRU if full. */
     void
     insert(mem::Vpn vpn, mem::Pfn pfn)
     {
-        auto it = map_.find(vpn);
-        if (it != map_.end()) {
-            it->second.pfn = pfn;
-            lru_.splice(lru_.begin(), lru_, it->second.lruIt);
+        std::size_t b = findBucket(vpn);
+        if (table_[b] != kNil) {
+            slots_[table_[b]].pfn = pfn;
+            touchLru(table_[b]);
             return;
         }
-        if (map_.size() >= capacity_) {
-            map_.erase(lru_.back());
-            lru_.pop_back();
+        if (size_ >= capacity_) {
+            evictOne();
             ++stats_.evictions;
+            // The backward-shift of the eviction may have moved
+            // entries into the empty bucket we found above.
+            b = findBucket(vpn);
         }
-        lru_.push_front(vpn);
-        map_[vpn] = Entry{pfn, lru_.begin()};
+        std::uint32_t s = freeHead_;
+        freeHead_ = slots_[s].next;
+        slots_[s].vpn = vpn;
+        slots_[s].pfn = pfn;
+        table_[b] = s;
+        pushFrontLru(s);
+        ++size_;
     }
 
     /** Drop one translation (invalidation flow). */
     void
     invalidate(mem::Vpn vpn)
     {
-        auto it = map_.find(vpn);
-        if (it == map_.end())
+        std::size_t b = findBucket(vpn);
+        if (table_[b] == kNil)
             return;
-        lru_.erase(it->second.lruIt);
-        map_.erase(it);
+        removeAt(b);
         ++stats_.invalidations;
     }
 
@@ -80,9 +107,8 @@ class IoTlb
     void
     flush()
     {
-        stats_.invalidations += map_.size();
-        map_.clear();
-        lru_.clear();
+        stats_.invalidations += size_;
+        reset();
     }
 
     /**
@@ -92,35 +118,142 @@ class IoTlb
     std::size_t
     evictLru(std::size_t n)
     {
-        if (n == 0 || n >= map_.size()) {
-            std::size_t dropped = map_.size();
+        if (n == 0 || n >= size_) {
+            std::size_t dropped = size_;
             stats_.evictions += dropped;
-            map_.clear();
-            lru_.clear();
+            reset();
             return dropped;
         }
         for (std::size_t i = 0; i < n; ++i) {
-            map_.erase(lru_.back());
-            lru_.pop_back();
+            evictOne();
             ++stats_.evictions;
         }
         return n;
     }
 
-    std::size_t size() const { return map_.size(); }
+    std::size_t size() const { return size_; }
     std::size_t capacity() const { return capacity_; }
     const Stats &stats() const { return stats_; }
 
   private:
-    struct Entry
+    static constexpr std::uint32_t kNil = 0xffffffffu;
+
+    /** One translation; prev/next are intrusive LRU links. */
+    struct Slot
     {
-        mem::Pfn pfn;
-        std::list<mem::Vpn>::iterator lruIt;
+        mem::Vpn vpn = 0;
+        mem::Pfn pfn = 0;
+        std::uint32_t prev = kNil;
+        std::uint32_t next = kNil;
     };
 
+    std::size_t
+    homeBucket(mem::Vpn vpn) const
+    {
+        return std::size_t((std::uint64_t(vpn) *
+                            0x9e3779b97f4a7c15ull) >>
+                           32) &
+               mask_;
+    }
+
+    /** Bucket holding @p vpn, or the first empty probe slot. */
+    std::size_t
+    findBucket(mem::Vpn vpn) const
+    {
+        std::size_t b = homeBucket(vpn);
+        while (table_[b] != kNil && slots_[table_[b]].vpn != vpn)
+            b = (b + 1) & mask_;
+        return b;
+    }
+
+    /** Unlink table_[b] from hash + LRU and put its slot on the free
+     *  list. Backward-shift deletion keeps probe chains intact. */
+    void
+    removeAt(std::size_t b)
+    {
+        std::uint32_t s = table_[b];
+        unlinkLru(s);
+        slots_[s].next = freeHead_;
+        freeHead_ = s;
+        --size_;
+
+        std::size_t hole = b;
+        std::size_t i = b;
+        for (;;) {
+            i = (i + 1) & mask_;
+            std::uint32_t occ = table_[i];
+            if (occ == kNil)
+                break;
+            std::size_t home = homeBucket(slots_[occ].vpn);
+            if (((i - home) & mask_) >= ((i - hole) & mask_)) {
+                table_[hole] = occ;
+                hole = i;
+            }
+        }
+        table_[hole] = kNil;
+    }
+
+    void
+    evictOne()
+    {
+        assert(tail_ != kNil);
+        removeAt(findBucket(slots_[tail_].vpn));
+    }
+
+    void
+    pushFrontLru(std::uint32_t s)
+    {
+        slots_[s].prev = kNil;
+        slots_[s].next = head_;
+        if (head_ != kNil)
+            slots_[head_].prev = s;
+        head_ = s;
+        if (tail_ == kNil)
+            tail_ = s;
+    }
+
+    void
+    unlinkLru(std::uint32_t s)
+    {
+        if (slots_[s].prev != kNil)
+            slots_[slots_[s].prev].next = slots_[s].next;
+        else
+            head_ = slots_[s].next;
+        if (slots_[s].next != kNil)
+            slots_[slots_[s].next].prev = slots_[s].prev;
+        else
+            tail_ = slots_[s].prev;
+    }
+
+    void
+    touchLru(std::uint32_t s)
+    {
+        if (head_ == s)
+            return;
+        unlinkLru(s);
+        pushFrontLru(s);
+    }
+
+    void
+    reset()
+    {
+        std::fill(table_.begin(), table_.end(), kNil);
+        for (std::size_t i = 0; i < capacity_; ++i)
+            slots_[i].next =
+                i + 1 < capacity_ ? std::uint32_t(i + 1) : kNil;
+        freeHead_ = 0;
+        head_ = tail_ = kNil;
+        size_ = 0;
+    }
+
     std::size_t capacity_;
-    std::list<mem::Vpn> lru_;
-    std::unordered_map<mem::Vpn, Entry> map_;
+    std::size_t mask_ = 0;
+    std::size_t size_ = 0;
+    std::vector<Slot> slots_;          ///< fixed entry storage
+    std::vector<std::uint32_t> table_; ///< open-addressing index
+    std::uint32_t freeHead_ = kNil;
+    std::uint32_t head_ = kNil; ///< MRU
+    std::uint32_t tail_ = kNil; ///< LRU
     Stats stats_;
 };
 

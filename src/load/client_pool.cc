@@ -17,6 +17,11 @@ ClientPool::ClientPool(sim::EventQueue &eq, PoolConfig cfg)
     if (cfg_.sweepInterval == 0 && cfg_.timeout != 0)
         cfg_.sweepInterval = std::max<sim::Time>(cfg_.timeout / 4, 1);
     wheel_.resize(cfg_.calendarSlots);
+    // Both rings have hard occupancy bounds; size them up front so a
+    // rare burst never regrows them inside an alloc-gated measure
+    // window (bench/stack_bench.cc asserts steady-state allocs == 0).
+    idle_.reserve(cfg_.clients);
+    backlog_.reserve(std::size_t(cfg_.backlogFactor) * cfg_.clients);
 
     obs_.init("load.pool");
     obs_.counter("issued", &issued_);
@@ -59,6 +64,8 @@ ClientPool::start()
 {
     assert(!eps_.empty() && "pool needs at least one endpoint");
     started_ = true;
+    for (Endpoint &ep : eps_)
+        ep.inflight.reserve(cfg_.clients); // <= 1 in flight per client
     if (cfg_.workload.arrival.open()) {
         for (std::uint32_t c = 0; c < cfg_.clients; ++c)
             idle_.push_back(c);
@@ -299,13 +306,18 @@ void
 ClientPool::calendarFire()
 {
     wheelEvent_ = sim::kInvalidEvent;
-    std::vector<std::uint32_t> due;
-    due.swap(wheel_[wheelHead_]);
+    // Swap the due slot into a member scratch buffer instead of a
+    // local: a local's storage died with it every fire, so the slot
+    // came back with zero capacity and the next inserts reallocated.
+    // The scratch and the slot buffers now ping-pong and both settle
+    // at the high-water mark — steady-state fires allocate nothing.
+    dueScratch_.clear();
+    dueScratch_.swap(wheel_[wheelHead_]);
     wheelHead_ = (wheelHead_ + 1) % cfg_.calendarSlots;
     wheelTime_ += cfg_.calendarBucket;
-    wheelCount_ -= due.size();
+    wheelCount_ -= dueScratch_.size();
 
-    for (std::uint32_t c : due) {
+    for (std::uint32_t c : dueScratch_) {
         Client &cl = clients_[c];
         if (cl.wakeAt > wheelTime_) {
             // Clamped far-future insert: not due yet, cascade onward.

@@ -34,7 +34,6 @@
 #define NPF_LOAD_CLIENT_POOL_HH
 
 #include <cstdint>
-#include <deque>
 #include <memory>
 #include <vector>
 
@@ -46,6 +45,7 @@
 #include "obs/metrics.hh"
 #include "sim/event_queue.hh"
 #include "sim/random.hh"
+#include "sim/ring_deque.hh"
 #include "sim/series.hh"
 #include "sim/time.hh"
 
@@ -192,7 +192,7 @@ class ClientPool
     struct Endpoint
     {
         Transport *t = nullptr;
-        std::deque<InFlight> inflight;
+        sim::RingDeque<InFlight> inflight; ///< FIFO-matched window
         std::uint32_t nextSerial = 0;
         int attrLane = -1;
     };
@@ -221,11 +221,12 @@ class ClientPool
     unsigned rrNext_ = 0;           ///< open-loop endpoint round-robin
 
     // Open loop: free clients + surplus arrivals (intended times).
-    std::deque<std::uint32_t> idle_;
-    std::deque<sim::Time> backlog_;
+    sim::RingDeque<std::uint32_t> idle_;
+    sim::RingDeque<sim::Time> backlog_;
 
     // Calendar wheel: slots of client indices, one armed event.
     std::vector<std::vector<std::uint32_t>> wheel_;
+    std::vector<std::uint32_t> dueScratch_; ///< calendarFire swap buffer
     std::size_t wheelHead_ = 0;
     sim::Time wheelTime_ = 0;   ///< start time of wheel_[wheelHead_]
     std::size_t wheelCount_ = 0;

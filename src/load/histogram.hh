@@ -75,6 +75,23 @@ class Histogram
             record(x);
     }
 
+    /**
+     * Pre-extend the dense bucket window to cover [@p lo, @p hi] so
+     * record() of any value in that range stays allocation-free —
+     * pair with an alloc-gated measure window. Zero-count: percentile
+     * and mean results are unaffected.
+     */
+    void
+    reserveRange(double lo, double hi)
+    {
+        if (hi < lo)
+            return;
+        if (lo > 0)
+            bump(bucketIndex(lo), 0);
+        if (hi > 0)
+            bump(bucketIndex(hi), 0);
+    }
+
     /** Merge another histogram's samples (same sub-bucket config). */
     void
     merge(const Histogram &o)

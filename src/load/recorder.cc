@@ -20,6 +20,9 @@ Recorder::addClass(const std::string &name)
     perClass_.emplace_back();
     PerClass &pc = perClass_.back();
     pc.name = name;
+    // The slow-sample heap never exceeds slowK entries; size it now
+    // so recordBreakdown() stays allocation-free in steady state.
+    pc.slow.reserve(cfg_.slowK);
     obs_.counter(name + ".completions", &pc.completions);
     obs_.counter(name + ".timeouts", &pc.timeouts);
     obs_.counter(name + ".retries", &pc.retries);

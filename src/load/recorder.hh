@@ -131,6 +131,22 @@ class Recorder
      */
     Histogram &window(ClassId c) { return perClass_[c].window; }
 
+    /**
+     * Pre-extend every class's histogram bucket windows to cover
+     * latencies in [@p lo_us, @p hi_us], so recording inside an
+     * alloc-gated measure window never grows a bucket array. Call
+     * after addClass(), before the measure window opens.
+     */
+    void
+    reserveLatencyRange(double lo_us, double hi_us)
+    {
+        for (PerClass &pc : perClass_) {
+            pc.response.reserveRange(lo_us, hi_us);
+            pc.service.reserveRange(lo_us, hi_us);
+            pc.window.reserveRange(lo_us, hi_us);
+        }
+    }
+
     const RecorderConfig &config() const { return cfg_; }
 
     /**

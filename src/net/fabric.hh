@@ -15,8 +15,23 @@
 
 #include "net/link.hh"
 #include "sim/event_queue.hh"
+#include "sim/pool.hh"
 
 namespace npf::net {
+
+/**
+ * Slab for delivery delegates parked across a fabric's hop chain.
+ * Leaked (never destroyed): closures holding refs into it live in
+ * event queues whose teardown order against any one Fabric is
+ * unknowable.
+ */
+inline sim::Pool<sim::EventQueue::Callback> &
+fabricPendingPool()
+{
+    static auto *pool =
+        new sim::Pool<sim::EventQueue::Callback>("net::Fabric.pending");
+    return *pool;
+}
 
 /** Fabric parameters. */
 struct FabricConfig
@@ -45,11 +60,15 @@ class Fabric
     /**
      * Send @p bytes from @p src to @p dst; @p deliver runs at the
      * destination's arrival time. Loopback (src == dst) bypasses the
-     * wire with just the switch latency. The hop continuations
-     * capture @p deliver by move: an inline-stored delegate is
-     * relocated (never reallocated), so a packet crossing
-     * uplink -> switch -> downlink costs at most one allocation for
-     * the whole journey instead of one std::function per hop.
+     * wire with just the switch latency.
+     *
+     * @p deliver is parked in fabricPendingPool() for the journey and
+     * the hop continuations carry only a sim::PoolRef: capturing the
+     * full delegate inside two wrappers would overflow the
+     * scheduler's inline storage and heap-allocate per packet per
+     * hop. The ref's ownership semantics keep faulted hops correct —
+     * a dropped continuation releases the parked slot, a duplicated
+     * one clones it.
      */
     void
     send(unsigned src, unsigned dst, std::size_t bytes,
@@ -59,15 +78,28 @@ class Fabric
             eq_.scheduleAfter(cfg_.switchLatency, std::move(deliver));
             return;
         }
-        up_[src]->send(bytes, [this, dst, bytes,
-                               deliver = std::move(deliver)]() mutable {
+        sim::PoolRef parked =
+            fabricPendingPool().acquire(std::move(deliver));
+        auto at_switch = [this, dst, bytes,
+                          parked = std::move(parked)]() mutable {
+            auto at_downlink = [this, dst, bytes,
+                                parked =
+                                    std::move(parked)]() mutable {
+                down_[dst]->send(
+                    bytes,
+                    std::move(*parked.as<sim::EventQueue::Callback>()));
+                parked.reset();
+            };
+            static_assert(
+                sim::Delegate::fitsInline<decltype(at_downlink)>,
+                "fabric hop continuation must stay inline (no-alloc)");
             eq_.scheduleAfter(cfg_.switchLatency,
-                              [this, dst, bytes,
-                               deliver = std::move(deliver)]() mutable {
-                                  down_[dst]->send(bytes,
-                                                   std::move(deliver));
-                              });
-        });
+                              std::move(at_downlink));
+        };
+        static_assert(sim::Delegate::fitsInline<decltype(at_switch)>,
+                      "fabric hop continuation must stay inline "
+                      "(no-alloc)");
+        up_[src]->send(bytes, std::move(at_switch));
     }
 
     Link &uplink(unsigned node) { return *up_[node]; }

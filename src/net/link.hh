@@ -62,6 +62,18 @@ class Link
      * Transmit @p bytes of payload; @p deliver runs at arrival.
      * Delivery closures ride the event queue's small-buffer Delegate,
      * so per-packet sends stay allocation-free when the capture fits.
+     *
+     * Payload ownership under fault injection: the closure owns the
+     * (pooled) frame it captured, so each fault action keeps the
+     * release-exactly-once contract by construction —
+     *  - Drop: @p deliver is destroyed unscheduled when send()
+     *    returns, releasing the frame's payload slot then and there;
+     *  - Duplicate: scheduling a *copy* of @p deliver clones the
+     *    payload into a fresh slot (sim::PoolRef copy semantics), so
+     *    the duplicate and the original retire independently;
+     *  - Reorder/Delay: the one owner just arrives later.
+     * tests/frame_lifecycle_test.cc pins all three with pool
+     * live-count assertions.
      * @return the arrival time.
      */
     sim::Time

@@ -220,6 +220,67 @@ class EventQueue
     bool
     step()
     {
+        return stepBounded(kTimeMax) == Bounded::Ran;
+    }
+
+    /** Run all events up to and including time @p until. */
+    void
+    runUntil(Time until)
+    {
+        // Single-scan drain: each iteration validates the heap top
+        // once and either executes it or stops. The old
+        // peekNextTime()+step() pairing validated (and potentially
+        // ghost-popped / advanced) twice per event, which doubled the
+        // wheel work exactly where burst arrivals batch up.
+        while (stepBounded(until) == Bounded::Ran) {
+        }
+        if (now_ < until)
+            now_ = until;
+    }
+
+    /** Run until the queue drains completely. */
+    void
+    run()
+    {
+        while (step()) {
+        }
+    }
+
+    /**
+     * Run until @p predicate becomes true (checked after each event),
+     * the queue drains, or @p deadline passes. On failure the clock is
+     * clamped to @p deadline, exactly like runUntil(), so callers
+     * alternating the two never observe a stalled clock.
+     * @return true if the predicate was satisfied.
+     */
+    bool
+    runUntilCondition(const std::function<bool()> &predicate, Time deadline)
+    {
+        if (predicate())
+            return true;
+        while (stepBounded(deadline) == Bounded::Ran) {
+            if (predicate())
+                return true;
+        }
+        if (predicate())
+            return true;
+        if (now_ < deadline)
+            now_ = deadline;
+        return false;
+    }
+
+  private:
+    /** stepBounded() outcomes. */
+    enum class Bounded { Ran, Beyond, Empty };
+
+    /**
+     * Execute the next event if its time is <= @p limit. The heart of
+     * step()/runUntil()/runUntilCondition(): one top validation per
+     * executed event.
+     */
+    Bounded
+    stepBounded(Time limit)
+    {
         for (;;) {
             while (!curHeap_.empty()) {
                 HeapItem top = curHeap_.front();
@@ -230,6 +291,8 @@ class EventQueue
                 }
                 if (!trustTop(top.when))
                     break; // something earlier may sit in the wheels
+                if (top.when > limit)
+                    return Bounded::Beyond;
                 popHeap();
                 // Move everything out of the slot and recycle it
                 // before invoking: the callback may schedule (and the
@@ -261,58 +324,14 @@ class EventQueue
                 }
                 if (hook_) // re-read: the callback may have cleared it
                     hook_(now_, id, site);
-                return true;
+                return Bounded::Ran;
             }
             if (!advance())
-                return false;
+                return Bounded::Empty;
         }
     }
 
-    /** Run all events up to and including time @p until. */
-    void
-    runUntil(Time until)
-    {
-        Time next;
-        while (peekNextTime(next) && next <= until)
-            step();
-        if (now_ < until)
-            now_ = until;
-    }
-
-    /** Run until the queue drains completely. */
-    void
-    run()
-    {
-        while (step()) {
-        }
-    }
-
-    /**
-     * Run until @p predicate becomes true (checked after each event),
-     * the queue drains, or @p deadline passes. On failure the clock is
-     * clamped to @p deadline, exactly like runUntil(), so callers
-     * alternating the two never observe a stalled clock.
-     * @return true if the predicate was satisfied.
-     */
-    bool
-    runUntilCondition(const std::function<bool()> &predicate, Time deadline)
-    {
-        if (predicate())
-            return true;
-        Time next;
-        while (peekNextTime(next) && next <= deadline) {
-            step();
-            if (predicate())
-                return true;
-        }
-        if (predicate())
-            return true;
-        if (now_ < deadline)
-            now_ = deadline;
-        return false;
-    }
-
-  private:
+  public:
     // --- geometry -------------------------------------------------------
     //
     // Six wheel levels of 256 slots; level L slots are 2^(6+8L) ns

@@ -30,6 +30,10 @@ class Histogram
         sum_ += v;
     }
 
+    /** Pre-size the sample buffer so record() stays allocation-free
+     *  up to @p n samples (alloc-gated measure windows). */
+    void reserve(std::size_t n) { samples_.reserve(n); }
+
     std::size_t count() const { return samples_.size(); }
     bool empty() const { return samples_.empty(); }
 

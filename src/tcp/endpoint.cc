@@ -4,6 +4,13 @@
 
 namespace npf::tcp {
 
+sim::Pool<Segment> &
+segmentPool()
+{
+    static auto *pool = new sim::Pool<Segment>("tcp::segmentPool");
+    return *pool; // leaked intentionally: outlives all frames
+}
+
 Endpoint::Endpoint(sim::EventQueue &eq, eth::EthNic &nic,
                    mem::AddressSpace &as, core::ChannelId ch,
                    eth::RxRingConfig ring_cfg, unsigned peer_ring,
@@ -65,8 +72,8 @@ Endpoint::connection(std::uint32_t conn_id)
 void
 Endpoint::handleFrame(const eth::Frame &f)
 {
-    auto seg = std::static_pointer_cast<const Segment>(f.payload);
-    if (!seg)
+    const Segment *seg = f.payload.as<const Segment>();
+    if (seg == nullptr)
         return;
     // lwIP-style: the stack processes the segment out of the ring
     // buffer and immediately reposts the buffer (same address), so a
@@ -83,10 +90,13 @@ Endpoint::handleFrame(const eth::Frame &f)
 void
 Endpoint::sendSegment(const Segment &seg, mem::VirtAddr src)
 {
-    auto payload = std::make_shared<Segment>(seg);
+    // Slab-allocated segment metadata: the frame's PoolRef releases
+    // the slot wherever the packet's journey ends (delivery, drop,
+    // corruption — see eth/frame.hh), so steady-state traffic runs
+    // without touching the heap.
     mem::VirtAddr dma_src = src != 0 ? src : txScratch_;
     nic_.send(txq_, peerRing_, dma_src, seg.len + kTcpIpHeaderBytes,
-              std::move(payload));
+              segmentPool().acquire(seg));
 }
 
 } // namespace npf::tcp

@@ -16,6 +16,7 @@
 
 #include "eth/eth_nic.hh"
 #include "mem/address_space.hh"
+#include "sim/ring_deque.hh"
 #include "tcp/tcp_connection.hh"
 
 namespace npf::tcp {
@@ -146,7 +147,7 @@ class MessageStream
 
     TcpConnection &sender_;
     MessageHandler handler_;
-    std::deque<Boundary> boundaries_;
+    sim::RingDeque<Boundary> boundaries_;
     std::uint64_t sent_ = 0;
     std::uint64_t delivered_ = 0;
 };

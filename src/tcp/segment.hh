@@ -9,6 +9,8 @@
 
 #include <cstdint>
 
+#include "sim/pool.hh"
+
 namespace npf::tcp {
 
 /** One TCP segment (header-only; payload is byte-counted). */
@@ -25,6 +27,15 @@ struct Segment
 
 /** TCP/IP header bytes added to every segment on the wire. */
 constexpr std::size_t kTcpIpHeaderBytes = 40;
+
+/**
+ * The process-wide segment slab: every in-flight segment's metadata
+ * lives here, travelling inside eth::Frame payload refs. A single
+ * static pool (rather than one per Endpoint) keeps refs valid no
+ * matter which side of a connection tears down first — frames parked
+ * in the peer NIC's rings outlive the endpoint that sent them.
+ */
+sim::Pool<Segment> &segmentPool();
 
 } // namespace npf::tcp
 

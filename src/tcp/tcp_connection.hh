@@ -12,13 +12,13 @@
 #define NPF_TCP_TCP_CONNECTION_HH
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <map>
 
 #include "mem/types.hh"
 #include "obs/metrics.hh"
 #include "sim/event_queue.hh"
+#include "sim/ring_deque.hh"
 #include "sim/time.hh"
 #include "tcp/segment.hh"
 
@@ -154,7 +154,7 @@ class TcpConnection
     std::uint64_t sndNxt_ = 0;  ///< next byte to transmit
     std::uint64_t sndMax_ = 0;  ///< highest byte ever transmitted
     std::size_t unsent_ = 0;    ///< queued, not yet transmitted
-    std::deque<SendRecord> records_;
+    sim::RingDeque<SendRecord> records_;
     std::size_t cwnd_ = 0;      ///< bytes
     std::size_t ssthresh_ = 0;  ///< bytes
     unsigned dupAcks_ = 0;

@@ -245,8 +245,8 @@ TEST(AttributionIntegration, IbKvRcPhasesSumExactlyWithNpfAndRnr)
             eq, fabric, 1, clientNpfc, cch, ccfg, 2 * i + 2);
         qpS->connect(*qpC);
         qpC->connect(*qpS);
-        auto reqs = std::make_shared<std::deque<app::KvRpcRequest>>();
-        auto rsps = std::make_shared<std::deque<app::KvRpcResponse>>();
+        auto reqs = std::make_shared<sim::RingDeque<app::KvRpcRequest>>();
+        auto rsps = std::make_shared<sim::RingDeque<app::KvRpcResponse>>();
         server.addSession(*qpS, reqs, rsps);
         transports.emplace_back(*qpC, clientAs, reqs, rsps, rpc);
         transports.back().connect(pool);

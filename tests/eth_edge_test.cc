@@ -14,6 +14,7 @@
 #include "eth/backup_ring.hh"
 #include "eth/eth_nic.hh"
 #include "mem/memory_manager.hh"
+#include "payload_pool.hh"
 
 using namespace npf;
 using namespace npf::eth;
@@ -45,12 +46,10 @@ struct TwoRingRig
         RxRingConfig cfg;
         cfg.size = 32;
         ringA = nic.createRxRing(chA, cfg, [this](const Frame &f) {
-            gotA.push_back(
-                *std::static_pointer_cast<std::uint64_t>(f.payload));
+            gotA.push_back(test::payloadValue(f));
         });
         ringB = nic.createRxRing(chB, cfg, [this](const Frame &f) {
-            gotB.push_back(
-                *std::static_pointer_cast<std::uint64_t>(f.payload));
+            gotB.push_back(test::payloadValue(f));
             gotBTimes.push_back(eq.now());
         });
         bufsA = asA.allocRegion(32 * 4096);
@@ -71,7 +70,7 @@ struct TwoRingRig
         Frame f;
         f.dstRing = ring;
         f.bytes = 1000;
-        f.payload = std::make_shared<std::uint64_t>(id);
+        f.payload = test::payloadPool().acquire(id);
         EthNic *dst = &nic;
         peer.txLink()->send(f.bytes, [dst, f] { dst->receive(f); });
     }
@@ -135,7 +134,7 @@ TEST(EthBackup, HardwareRingOverflowDropsAndCounts)
         Frame f;
         f.dstRing = ring;
         f.bytes = 500;
-        f.payload = std::make_shared<std::uint64_t>(i);
+        f.payload = test::payloadPool().acquire(i);
         nic.receive(f);
     }
     eq.run();
@@ -160,7 +159,7 @@ TEST(EthBackup, ResolverWaitsForRingRoom)
     cfg.bmSize = 8;
     std::vector<std::uint64_t> got;
     unsigned ring = nic.createRxRing(ch, cfg, [&](const Frame &f) {
-        got.push_back(*std::static_pointer_cast<std::uint64_t>(f.payload));
+        got.push_back(test::payloadValue(f));
     });
     mem::VirtAddr bufs = as.allocRegion(4 * 4096);
     npfc.prefault(ch, bufs, 4 * 4096, true);
@@ -172,7 +171,7 @@ TEST(EthBackup, ResolverWaitsForRingRoom)
         Frame f;
         f.dstRing = ring;
         f.bytes = 500;
-        f.payload = std::make_shared<std::uint64_t>(i);
+        f.payload = test::payloadPool().acquire(i);
         nic.receive(f);
     }
     eq.run();
@@ -215,7 +214,7 @@ TEST(EthNicEdge, InterruptsAreCoalesced)
         Frame f;
         f.dstRing = ring;
         f.bytes = 500;
-        f.payload = std::make_shared<std::uint64_t>(i);
+        f.payload = test::payloadPool().acquire(i);
         nic.receive(f);
     }
     eq.run();
@@ -242,7 +241,7 @@ TEST(EthNicEdge, TxQueueStaysFifoAcrossFaults)
     cfg.size = 16;
     std::vector<std::uint64_t> got;
     unsigned pring = peer.createRxRing(pch, cfg, [&](const Frame &f) {
-        got.push_back(*std::static_pointer_cast<std::uint64_t>(f.payload));
+        got.push_back(test::payloadValue(f));
     });
     mem::VirtAddr pbufs = pas.allocRegion(16 * 4096);
     npfc.prefault(pch, pbufs, 16 * 4096, true);
@@ -258,7 +257,7 @@ TEST(EthNicEdge, TxQueueStaysFifoAcrossFaults)
         mem::VirtAddr src =
             (i % 2 == 0) ? cold + i * 64 * 1024 : warm + i * 1024;
         nic.send(txq, pring, src, 1000,
-                 std::make_shared<std::uint64_t>(i));
+                 test::payloadPool().acquire(i));
     }
     eq.run();
     ASSERT_EQ(got.size(), 8u);

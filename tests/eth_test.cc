@@ -15,6 +15,7 @@
 #include "eth/backup_ring.hh"
 #include "eth/eth_nic.hh"
 #include "mem/memory_manager.hh"
+#include "payload_pool.hh"
 
 using namespace npf;
 using namespace npf::eth;
@@ -47,8 +48,7 @@ struct EthRig
         peer.connectTo(nic, net::LinkConfig{12e9, 1000, 38});
         nic.connectTo(peer, net::LinkConfig{12e9, 1000, 38});
         ring = nic.createRxRing(ch, rcfg, [this](const Frame &f) {
-            delivered.push_back(
-                *std::static_pointer_cast<std::uint64_t>(f.payload));
+            delivered.push_back(test::payloadValue(f));
             repost();
         });
         bufs = as.allocRegion(rcfg.size * bufBytes, "rx");
@@ -75,7 +75,7 @@ struct EthRig
         Frame f;
         f.dstRing = ring;
         f.bytes = bytes;
-        f.payload = std::make_shared<std::uint64_t>(id);
+        f.payload = test::payloadPool().acquire(id);
         EthNic *dst = &nic;
         peer.txLink()->send(bytes, [dst, f] { dst->receive(f); });
     }
@@ -221,8 +221,7 @@ TEST(EthNic, TxColdBufferStallsThenSends)
     std::vector<std::uint64_t> got;
     unsigned pring = rig.peer.createRxRing(
         peer_ch, pcfg, [&](const Frame &f) {
-            got.push_back(*std::static_pointer_cast<std::uint64_t>(
-                f.payload));
+            got.push_back(test::payloadValue(f));
         });
     mem::VirtAddr pbufs = peer_as.allocRegion(8 * 2048);
     rig.npfc.prefault(peer_ch, pbufs, 8 * 2048, true);
@@ -232,7 +231,7 @@ TEST(EthNic, TxColdBufferStallsThenSends)
     mem::VirtAddr cold = rig.as.allocRegion(MiB); // IOMMU-cold
     unsigned txq = rig.nic.createTxQueue(rig.ch);
     rig.nic.send(txq, pring, cold, 1400,
-                 std::make_shared<std::uint64_t>(55));
+                 test::payloadPool().acquire(55));
     rig.eq.run();
     ASSERT_EQ(got.size(), 1u);
     EXPECT_EQ(got[0], 55u);

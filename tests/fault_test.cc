@@ -19,6 +19,7 @@
 #include "mem/memory_manager.hh"
 #include "net/fabric.hh"
 #include "net/link.hh"
+#include "payload_pool.hh"
 #include "tcp/tcp_connection.hh"
 
 using namespace npf;
@@ -345,8 +346,7 @@ struct EthFaultRig
         eth::RxRingConfig rcfg;
         rcfg.size = 32;
         ring = nic.createRxRing(ch, rcfg, [this](const eth::Frame &f) {
-            delivered.push_back(
-                *std::static_pointer_cast<std::uint64_t>(f.payload));
+            delivered.push_back(test::payloadValue(f));
         });
         bufs = as.allocRegion(rcfg.size * 4096, "rx");
         npfc.prefault(ch, bufs, rcfg.size * 4096, true);
@@ -360,7 +360,7 @@ struct EthFaultRig
         eth::Frame f;
         f.dstRing = ring;
         f.bytes = 1000;
-        f.payload = std::make_shared<std::uint64_t>(id);
+        f.payload = test::payloadPool().acquire(id);
         eth::EthNic *dst = &nic;
         peer.txLink()->send(f.bytes, [dst, f] { dst->receive(f); });
     }

@@ -135,6 +135,40 @@ TEST(FlightRing, FlightOnlyFlowsUseFixedTable)
     EXPECT_EQ(tr.flightSize(), 3u);
 }
 
+TEST(FlightRing, FlowTableCollisionEvictsTheOlderFlowExactly)
+{
+    // The 1024-slot flight flow table hashes by (id & 1023) but
+    // stamps each slot with the *full* 64-bit id — the id doubles as
+    // a generation check, so after wraparound an evicted flow's end
+    // is skipped, never misattributed to the slot's newer occupant.
+    TracerGuard guard;
+    obs::FlowTracer &tr = obs::tracer();
+    tr.enable(false);
+    tr.setFlightCapacity(4096);
+    sim::EventQueue eq;
+    tr.setClock(&eq);
+
+    obs::FlowId victim = tr.beginFlow("test", "victim");
+    obs::FlowId last = victim;
+    for (int i = 0; i < 1024; ++i)
+        last = tr.beginFlow("test", "flood");
+    // Ids are sequential, so the 1024th later flow collides exactly.
+    ASSERT_EQ(last & 1023u, victim & 1023u);
+
+    std::size_t before = tr.flightSize();
+    tr.endFlow(victim); // evicted: stale id, no event emitted
+    EXPECT_EQ(tr.flightSize(), before);
+
+    tr.endFlow(last); // the live occupant ends normally
+    EXPECT_EQ(tr.flightSize(), before + 1);
+
+    // The slot is recycled cleanly: a fresh flow can claim and
+    // release it again.
+    obs::FlowId fresh = tr.beginFlow("test", "recycled");
+    tr.endFlow(fresh);
+    EXPECT_EQ(tr.flightSize(), before + 3);
+}
+
 TEST(FlightRing, ClearResetsContentsButKeepsCapacity)
 {
     TracerGuard guard;

@@ -677,8 +677,8 @@ TEST(LoadIntegration, PoolDrivesTheKvRpcServerOverIb)
     ib::QueuePair qpC(rig.eq, rig.fabric, 1, rig.clientNpfc, rig.cch);
     qpS.connect(qpC);
     qpC.connect(qpS);
-    auto reqs = std::make_shared<std::deque<app::KvRpcRequest>>();
-    auto rsps = std::make_shared<std::deque<app::KvRpcResponse>>();
+    auto reqs = std::make_shared<sim::RingDeque<app::KvRpcRequest>>();
+    auto rsps = std::make_shared<sim::RingDeque<app::KvRpcResponse>>();
     server.addSession(qpS, reqs, rsps);
     app::KvRcTransport t(qpC, rig.clientAs, reqs, rsps, {});
     t.connect(pool);

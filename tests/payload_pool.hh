@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Shared pool for the tests' std::uint64_t marker payloads, the
+ * test-side counterpart of tcp::segmentPool(). Frames carry a
+ * sim::PoolRef, so tests stamp each frame with a pooled marker and
+ * read it back on delivery.
+ */
+
+#ifndef NPF_TESTS_PAYLOAD_POOL_HH
+#define NPF_TESTS_PAYLOAD_POOL_HH
+
+#include <cstdint>
+
+#include "eth/frame.hh"
+#include "sim/pool.hh"
+
+namespace npf::test {
+
+/**
+ * Process-lifetime pool (leaked function-local static, same rationale
+ * as tcp::segmentPool()): frames parked in a peer NIC's rings can
+ * outlive the test fixture that sent them, and their PoolRefs must
+ * still find the pool alive when they release.
+ */
+inline sim::Pool<std::uint64_t> &
+payloadPool()
+{
+    static auto *pool =
+        new sim::Pool<std::uint64_t>("test::payloadPool");
+    return *pool;
+}
+
+/** The marker value a test frame carries. */
+inline std::uint64_t
+payloadValue(const eth::Frame &f)
+{
+    return *f.payload.as<const std::uint64_t>();
+}
+
+} // namespace npf::test
+
+#endif // NPF_TESTS_PAYLOAD_POOL_HH

@@ -13,6 +13,7 @@
 #include "ib/queue_pair.hh"
 #include "mem/memory_manager.hh"
 #include "net/fabric.hh"
+#include "payload_pool.hh"
 #include "testbed.hh"
 
 using namespace npf;
@@ -49,8 +50,7 @@ TEST_P(RingGeometry, ColdStartDeliversEverythingInOrder)
     mem::VirtAddr bufs = as.allocRegion(ring_size * 4096);
     unsigned ring = nic.createRxRing(
         ch, cfg, [&](const eth::Frame &f) {
-            got.push_back(
-                *std::static_pointer_cast<std::uint64_t>(f.payload));
+            got.push_back(test::payloadValue(f));
             eth::RxRing &r = nic.ring(0);
             if (r.postableSlots() > 0)
                 nic.postRxBuffer(0, bufs + (r.tail % cfg.size) * 4096,
@@ -66,7 +66,7 @@ TEST_P(RingGeometry, ColdStartDeliversEverythingInOrder)
             eth::Frame f;
             f.dstRing = ring;
             f.bytes = 1000;
-            f.payload = std::make_shared<std::uint64_t>(i);
+            f.payload = test::payloadPool().acquire(i);
             eth::EthNic *dst = &nic;
             peer.txLink()->send(f.bytes, [dst, f] { dst->receive(f); });
         });
