@@ -1,0 +1,330 @@
+/**
+ * @file
+ * Incast over the switched fabric: 7 senders RDMA-write into one
+ * receiver host across a star topology, once with PFC alone and once
+ * with ECN marking plus DCQCN rate control layered on top.
+ *
+ * The claim under test is DCQCN's raison d'être: with PFC as the
+ * only congestion response, the switch's egress queue toward the
+ * victim rides the XOFF threshold and pauses the upstream NIC ports
+ * (head-of-line blocking waiting to happen); with ECN + DCQCN the
+ * end hosts throttle to the marks, the queue stays bounded near the
+ * marking threshold, and PFC never has to fire. Both runs must stay
+ * lossless (zero cap drops).
+ *
+ * Doubles as the fabric's steady-state allocation gate: the second
+ * half of every run — queues warm, pools grown, DCQCN timers live —
+ * must execute with zero global operator new calls (greppable
+ * "fabric_steady_allocs[...]=N PASS|FAIL"; scripts/check.sh tier 8
+ * asserts them). All printed numbers are simulation-derived, so the
+ * output digests bit-identically run to run.
+ */
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <new>
+#include <vector>
+
+#include "core/npf_controller.hh"
+#include "ib/queue_pair.hh"
+#include "mem/memory_manager.hh"
+#include "net/fabric.hh"
+
+// --- allocation counter (stack_bench's gate, minus the tracer) --------
+
+static std::uint64_t g_allocs = 0;
+
+void *
+operator new(std::size_t sz)
+{
+    ++g_allocs;
+    if (void *p = std::malloc(sz != 0 ? sz : 1))
+        return p;
+    throw std::bad_alloc();
+}
+
+void *
+operator new[](std::size_t sz)
+{
+    return ::operator new(sz);
+}
+
+void
+operator delete(void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+using namespace npf;
+
+namespace {
+
+constexpr std::size_t kMiB = 1ull << 20;
+constexpr unsigned kHosts = 8; ///< host 0 is the victim
+
+/**
+ * Periodic probe of the victim downlink's queue depth over the
+ * measured (second) half of a run. queueHwmBytes can't tell the two
+ * modes apart: it is a lifetime maximum, and both runs share the
+ * same synchronized t=0 burst that fills the queue before the first
+ * CNP could possibly arrive. What DCQCN actually promises is the
+ * *steady-state* depth, so that is what gets sampled.
+ */
+struct QueueProbe
+{
+    sim::EventQueue &eq;
+    const net::Egress *port;
+    const unsigned &done;
+    unsigned total;
+    std::uint64_t maxDepth = 0;
+    std::uint64_t sumDepth = 0;
+    std::uint64_t samples = 0;
+
+    void
+    start()
+    {
+        tick();
+    }
+
+    void
+    tick()
+    {
+        std::uint64_t depth = port->queueBytesTotal();
+        if (depth > maxDepth)
+            maxDepth = depth;
+        sumDepth += depth;
+        ++samples;
+        if (done < total)
+            eq.scheduleAfter(50'000, [this] { tick(); });
+    }
+};
+
+struct Result
+{
+    const char *name = "";
+    sim::Time finish = 0;
+    std::uint64_t queueHwm = 0;
+    std::uint64_t steadyQueueMax = 0;
+    std::uint64_t steadyQueueMean = 0;
+    std::uint64_t pauseTx = 0;
+    std::uint64_t resumeTx = 0;
+    std::uint64_t ecnMarked = 0;
+    std::uint64_t cnpsSent = 0;
+    std::uint64_t cnpsReceived = 0;
+    std::uint64_t capDropped = 0;
+    std::uint64_t steadyAllocs = 0;
+    double goodputGbps = 0;
+};
+
+Result
+runIncast(const char *name, const std::string &topo, bool dcqcn,
+          unsigned msgs, std::size_t msg_bytes)
+{
+    sim::EventQueue eq;
+    net::Fabric fabric(eq, kHosts, net::FabricConfig{}, topo);
+
+    ib::QpConfig qcfg;
+    qcfg.dcqcn.enabled = dcqcn;
+
+    // The victim host: one memory image, one controller, one channel
+    // and QP per sender (a real multi-QP NIC).
+    mem::MemoryManager mm0(2048 * kMiB);
+    mem::AddressSpace &as0 = mm0.createAddressSpace("victim");
+    core::NpfController npfc0(eq);
+
+    struct Sender
+    {
+        std::unique_ptr<mem::MemoryManager> mm;
+        mem::AddressSpace *as = nullptr;
+        std::unique_ptr<core::NpfController> npfc;
+        core::ChannelId ch{};
+        std::unique_ptr<ib::QueuePair> qp;  ///< at the sender host
+        core::ChannelId vch{};              ///< victim-side channel
+        std::unique_ptr<ib::QueuePair> vqp; ///< victim-side endpoint
+        mem::VirtAddr src = 0, dst = 0;
+    };
+
+    std::vector<Sender> senders(kHosts - 1);
+    const std::size_t region = msgs * msg_bytes;
+    unsigned done = 0;
+
+    for (unsigned i = 0; i < senders.size(); ++i) {
+        Sender &s = senders[i];
+        unsigned host = i + 1;
+        s.mm = std::make_unique<mem::MemoryManager>(2048 * kMiB);
+        s.as = &s.mm->createAddressSpace("sender");
+        s.npfc = std::make_unique<core::NpfController>(eq);
+        s.ch = s.npfc->attach(*s.as);
+        s.vch = npfc0.attach(as0);
+        s.qp = std::make_unique<ib::QueuePair>(eq, fabric, host,
+                                               *s.npfc, s.ch, qcfg,
+                                               100 + host);
+        s.vqp = std::make_unique<ib::QueuePair>(eq, fabric, 0, npfc0,
+                                                s.vch, qcfg, 200 + host);
+        s.qp->connect(*s.vqp);
+        s.vqp->connect(*s.qp);
+
+        s.src = s.as->allocRegion(region);
+        s.dst = as0.allocRegion(region);
+        s.npfc->prefault(s.ch, s.src, region, true);
+        npfc0.prefault(s.vch, s.dst, region, true);
+
+        s.qp->onCompletion([&done](const ib::Completion &c) {
+            if (!c.isRecv && c.ok)
+                ++done;
+        });
+    }
+
+    for (unsigned m = 0; m < msgs; ++m) {
+        for (Sender &s : senders) {
+            ib::WorkRequest w;
+            w.op = ib::Opcode::RdmaWrite;
+            w.local = s.src + m * msg_bytes;
+            w.remote = s.dst + m * msg_bytes;
+            w.len = msg_bytes;
+            w.wrId = m;
+            s.qp->postSend(w);
+        }
+    }
+
+    const unsigned total = msgs * unsigned(senders.size());
+    // Warm half: pools grown, rings sized, DCQCN machinery engaged.
+    eq.runUntilCondition([&] { return done >= total / 2; },
+                         600 * sim::kSecond);
+    std::uint64_t marker = g_allocs;
+    const net::Egress *victim_down = nullptr;
+    for (net::Egress *p : fabric.switchAt(0).egressPorts())
+        if (p->dest() == 0)
+            victim_down = p;
+    QueueProbe probe{eq, victim_down, done, total};
+    probe.start();
+    eq.runUntilCondition([&] { return done >= total; },
+                         600 * sim::kSecond);
+
+    Result r;
+    r.name = name;
+    r.finish = eq.now();
+    r.steadyAllocs = g_allocs - marker;
+    if (done != total) {
+        std::fprintf(stderr, "FAIL: %s finished %u/%u messages\n", name,
+                     done, total);
+        std::exit(1);
+    }
+
+    net::Switch &sw = fabric.switchAt(0);
+    r.queueHwm = sw.stats().queueHwmBytes;
+    r.steadyQueueMax = probe.maxDepth;
+    r.steadyQueueMean =
+        probe.samples != 0 ? probe.sumDepth / probe.samples : 0;
+    r.pauseTx = sw.stats().pauseTx;
+    r.resumeTx = sw.stats().resumeTx;
+    r.ecnMarked = sw.stats().ecnMarked;
+    for (net::Egress *p : sw.egressPorts())
+        r.capDropped += p->stats().capDropped;
+    for (Sender &s : senders) {
+        r.cnpsSent += s.vqp->stats().cnpsSent;
+        r.cnpsReceived += s.qp->stats().cnpsReceived;
+    }
+    r.goodputGbps = double(total) * double(msg_bytes) * 8.0 /
+                    double(r.finish); // ns -> Gb/s
+    return r;
+}
+
+void
+report(const Result &r)
+{
+    std::printf("  %-10s finish=%llu ns  goodput=%.3f Gb/s  "
+                "queue_hwm=%llu B  steady_queue max=%llu mean=%llu B\n",
+                r.name, static_cast<unsigned long long>(r.finish),
+                r.goodputGbps,
+                static_cast<unsigned long long>(r.queueHwm),
+                static_cast<unsigned long long>(r.steadyQueueMax),
+                static_cast<unsigned long long>(r.steadyQueueMean));
+    std::printf("  %-10s pause_tx=%llu resume_tx=%llu ecn_marked=%llu "
+                "cnps=%llu/%llu cap_dropped=%llu\n",
+                r.name, static_cast<unsigned long long>(r.pauseTx),
+                static_cast<unsigned long long>(r.resumeTx),
+                static_cast<unsigned long long>(r.ecnMarked),
+                static_cast<unsigned long long>(r.cnpsSent),
+                static_cast<unsigned long long>(r.cnpsReceived),
+                static_cast<unsigned long long>(r.capDropped));
+    std::printf("fabric_steady_allocs[%s]=%llu %s\n", r.name,
+                static_cast<unsigned long long>(r.steadyAllocs),
+                r.steadyAllocs == 0 ? "PASS" : "FAIL");
+    std::fflush(stdout);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    unsigned msgs = 16;
+    std::size_t msg_bytes = kMiB;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--smoke") == 0)
+            msgs = 4;
+    }
+
+    // 8 Gb/s links (1 byte/ns), generous lossless headroom: the cap
+    // never binds, so any drop is a PFC/ECN failure, not tuning.
+    const std::string base = "star:hosts=8,bw=8g,prop=500,overhead=0,"
+                             "fwd=100,queue=4m,xoff=96k,xon=48k";
+
+    std::printf("=== fabric_incast: 7 -> 1 over %s ===\n", base.c_str());
+    std::printf("  %u msgs x %zu B per sender\n", msgs, msg_bytes);
+
+    Result pfc = runIncast("pfc_only", base, false, msgs, msg_bytes);
+    report(pfc);
+    Result dcq =
+        runIncast("ecn_dcqcn", base + ",ecn=32k", true, msgs, msg_bytes);
+    report(dcq);
+
+    bool ok = true;
+    auto expect = [&ok](bool cond, const char *what) {
+        if (!cond) {
+            std::printf("FAIL: %s\n", what);
+            ok = false;
+        }
+    };
+    expect(pfc.pauseTx > 0, "pfc_only should hit XOFF and pause");
+    expect(pfc.capDropped == 0, "pfc_only should be lossless");
+    expect(dcq.capDropped == 0, "ecn_dcqcn should be lossless");
+    expect(dcq.ecnMarked > 0, "ecn_dcqcn should mark CE");
+    expect(dcq.cnpsSent > 0 && dcq.cnpsReceived > 0,
+           "ecn_dcqcn should exchange CNPs");
+    // Mean, not max: DCQCN's rate recovery (fast recovery + additive
+    // increase) deliberately probes back toward line rate, so
+    // individual oscillation peaks still brush XOFF; the promise is
+    // that the queue *lives* near the marking threshold instead of
+    // riding the pause threshold.
+    expect(2 * dcq.steadyQueueMean < pfc.steadyQueueMean,
+           "DCQCN should bound the steady-state queue below PFC-only");
+    expect(dcq.pauseTx < pfc.pauseTx,
+           "DCQCN should keep the queue off the XOFF threshold");
+    expect(pfc.steadyAllocs == 0 && dcq.steadyAllocs == 0,
+           "steady-state allocation gate");
+    std::printf("fabric_incast: %s\n", ok ? "PASS" : "FAIL");
+    return ok ? 0 : 1;
+}

@@ -125,11 +125,15 @@ grep -q "flight_steady_allocs=0 PASS" "$smokedir/obs.txt" || {
 }
 
 # Attribution + flight recorder + per-iteration outputs end to end: a
-# tiny swept run must print a phase-attribution table and produce
-# indexed trace/flight files that parse as Chrome trace JSON.
-./build/bench/load_sweep --clients=500 --endpoints=4 --rates=20k,40k \
+# small swept run must print a phase-attribution table and produce
+# indexed trace/flight files that parse as Chrome trace JSON. The
+# windows must span the 200ms TCP minimum RTO: server-ring drops in
+# this config are repaired by the retransmission timer (the paper's
+# cold-ring pathology, and what the attribution table shows), so a
+# shorter measure window closes before anything completes.
+./build/bench/load_sweep --clients=2000 --endpoints=8 --rates=20k,40k \
     "--workload=keys=zipf:n=1k,theta=0.99;get=0.9" \
-    --warmup=100ms --duration=100ms --attr \
+    --warmup=200ms --duration=200ms --attr \
     --trace="$smokedir/trace.json" \
     --flight-recorder=4096 --flight-dump="$smokedir/flight.json" \
     > "$smokedir/obs_sweep.txt" 2>&1
@@ -191,5 +195,56 @@ fi
     exit 1
 }
 echo "BENCH_stack.json regenerated"
+
+echo "== tier 8: fabric smoke + goldens (PFC/ECN/DCQCN, pause storms) =="
+# Self-checking fabric benches: fabric_incast asserts that DCQCN
+# bounds the steady-state switch queue where PFC alone rides XOFF,
+# and that the hot path is allocation-free; fabric_pfc_storm asserts
+# that a receiver-side rNPF becomes a pause storm crossing >= 2
+# switch hops, losslessly. Smoke scale under ASan/UBSan, run twice:
+# must replay bit-identically, then match the pinned goldens.
+mkdir -p "$smokedir/fab1" "$smokedir/fab2"
+for d in fab1 fab2; do
+    ./build-asan/bench/fabric_incast --smoke \
+        > "$smokedir/$d/fabric_incast.txt" 2>&1 || {
+        echo "FAIL: fabric_incast self-check failed:"
+        cat "$smokedir/$d/fabric_incast.txt"
+        exit 1
+    }
+    ./build-asan/bench/fabric_pfc_storm --smoke \
+        --json="$smokedir/$d/BENCH_fabric.json" \
+        > "$smokedir/$d/fabric_storm.txt" 2>&1 || {
+        echo "FAIL: fabric_pfc_storm self-check failed:"
+        cat "$smokedir/$d/fabric_storm.txt"
+        exit 1
+    }
+done
+for f in fabric_incast.txt fabric_storm.txt BENCH_fabric.json; do
+    if ! cmp -s "$smokedir/fab1/$f" "$smokedir/fab2/$f"; then
+        echo "FAIL: fabric smoke is not deterministic: $f"
+        diff "$smokedir/fab1/$f" "$smokedir/fab2/$f" || true
+        exit 1
+    fi
+done
+echo "fabric smoke: bit-identical replay"
+grep "fabric_steady_allocs" "$smokedir/fab1/fabric_incast.txt"
+if (cd "$smokedir/fab1" \
+        && sha256sum -c "$OLDPWD/scripts/golden_digests_fabric.sha256"); then
+    echo "fabric digests: bit-identical to goldens"
+else
+    echo "FAIL: a fabric bench diverged from its golden digest."
+    echo "If the divergence is intentional, regenerate"
+    echo "scripts/golden_digests_fabric.sha256 from the new outputs."
+    exit 1
+fi
+
+# Refresh the committed fabric artifact at full scale.
+./build/bench/fabric_pfc_storm --json=BENCH_fabric.json \
+    > "$smokedir/fabric_storm_full.txt" 2>&1 || {
+    echo "FAIL: full-scale fabric_pfc_storm run failed:"
+    cat "$smokedir/fabric_storm_full.txt"
+    exit 1
+}
+echo "BENCH_fabric.json regenerated"
 
 echo "== all checks passed =="

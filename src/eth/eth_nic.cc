@@ -5,6 +5,7 @@
 
 #include "eth/backup_ring.hh"
 #include "fault/fault.hh"
+#include "net/fabric.hh"
 #include "obs/attribution.hh"
 #include "obs/flow_tracer.hh"
 
@@ -32,6 +33,16 @@ EthNic::connectTo(EthNic &peer, net::LinkConfig link_cfg)
 {
     peer_ = &peer;
     txLink_ = std::make_unique<net::Link>(eq_, link_cfg);
+}
+
+void
+EthNic::connectVia(net::Fabric &fabric, unsigned self,
+                   unsigned peer_node, EthNic &peer)
+{
+    peer_ = &peer;
+    fabric_ = &fabric;
+    fabricSelf_ = self;
+    fabricPeer_ = peer_node;
 }
 
 unsigned
@@ -102,7 +113,8 @@ EthNic::pumpTx(unsigned txq)
     TxQueue &t = *txQueues_[txq];
     if (t.faultPending || t.q.empty())
         return;
-    assert(peer_ != nullptr && txLink_ != nullptr && "NIC not connected");
+    assert(peer_ != nullptr && (txLink_ != nullptr || fabric_ != nullptr) &&
+           "NIC not connected");
 
     TxJob &job = t.q.front();
 
@@ -136,11 +148,18 @@ EthNic::pumpTx(unsigned txq)
     };
     static_assert(sim::Delegate::fitsInline<decltype(deliver)>,
                   "eth frame delivery closure must stay inline");
-    txLink_->send(wire_bytes, std::move(deliver));
+    if (fabric_ != nullptr)
+        fabric_->send(fabricSelf_, fabricPeer_, wire_bytes,
+                      std::move(deliver));
+    else
+        txLink_->send(wire_bytes, std::move(deliver));
 
     if (!t.q.empty() && !t.pumpScheduled) {
         t.pumpScheduled = true;
-        eq_.schedule(txLink_->busyUntil(), [this, txq] {
+        sim::Time next = fabric_ != nullptr
+                             ? fabric_->txEta(fabricSelf_)
+                             : txLink_->busyUntil();
+        eq_.schedule(next, [this, txq] {
             txQueues_[txq]->pumpScheduled = false;
             pumpTx(txq);
         }, "eth.tx_pump");

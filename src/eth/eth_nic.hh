@@ -23,6 +23,10 @@
 #include "sim/random.hh"
 #include "sim/ring_deque.hh"
 
+namespace npf::net {
+class Fabric;
+}
+
 namespace npf::eth {
 
 class BackupRingManager;
@@ -65,6 +69,16 @@ class EthNic
 
     /** Attach the transmit wire toward @p peer (call on both NICs). */
     void connectTo(EthNic &peer, net::LinkConfig link_cfg = {});
+
+    /**
+     * Alternative to connectTo(): transmit through @p fabric as host
+     * @p self toward host @p peer_node, so frames cross real switch
+     * queues (ECN marks, PFC pauses, fabric fault sites) instead of a
+     * private point-to-point wire. Call on both NICs with the roles
+     * swapped. The fabric must outlive the NIC.
+     */
+    void connectVia(net::Fabric &fabric, unsigned self,
+                    unsigned peer_node, EthNic &peer);
 
     // --- receive rings (IOchannels) --------------------------------
 
@@ -145,6 +159,9 @@ class EthNic
 
     EthNic *peer_ = nullptr;
     std::unique_ptr<net::Link> txLink_;
+    net::Fabric *fabric_ = nullptr; ///< connectVia() transport
+    unsigned fabricSelf_ = 0;
+    unsigned fabricPeer_ = 0;
     std::vector<std::unique_ptr<RxRing>> rings_;
     std::vector<core::ChannelId> ringChannel_;
     std::vector<std::unique_ptr<TxQueue>> txQueues_;

@@ -21,6 +21,7 @@ siteName(Site s)
       case Site::Npf:   return "npf";
       case Site::Mem:   return "mem";
       case Site::Iotlb: return "iotlb";
+      case Site::Switch: return "switch";
     }
     return "?";
 }
@@ -38,6 +39,8 @@ actionName(Action a)
       case Action::ForceFault: return "force";
       case Action::Pressure:   return "pressure";
       case Action::Evict:      return "evict";
+      case Action::Pause:      return "pause";
+      case Action::Flap:       return "flap";
     }
     return "?";
 }
@@ -96,6 +99,15 @@ injectionLabel(Site s, Action a)
         if (a == Action::Evict)
             return "fault.iotlb.evict";
         break;
+      case Site::Switch:
+        switch (a) {
+          case Action::Drop:  return "fault.sw.drop";
+          case Action::Stall: return "fault.sw.stall";
+          case Action::Pause: return "fault.sw.pause";
+          case Action::Flap:  return "fault.sw.flap";
+          default: break;
+        }
+        break;
     }
     return "fault.inject";
 }
@@ -124,6 +136,9 @@ actionValidAt(Site s, Action a)
         return a == Action::Pressure;
       case Site::Iotlb:
         return a == Action::Evict;
+      case Site::Switch:
+        return a == Action::Drop || a == Action::Stall ||
+               a == Action::Pause || a == Action::Flap;
     }
     return false;
 }

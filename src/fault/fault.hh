@@ -44,9 +44,11 @@
 
 namespace npf::fault {
 
-/** Injection points. The first five are event sites (polled by the
- *  component on each traversal); Mem and Iotlb are timed sites whose
- *  actions fire on a schedule through registered handlers. */
+/** Injection points. Most are event sites (polled by the component
+ *  on each traversal); Mem and Iotlb are timed sites whose actions
+ *  fire on a schedule through registered handlers. Append-only: the
+ *  enum values seed per-clause RNG streams, so renumbering would
+ *  silently change every existing plan's replay. */
 enum class Site : unsigned {
     Link = 0, ///< net::Link::send() — every packet on a wire
     EthRx,    ///< eth::EthNic::receive() — every inbound frame
@@ -55,8 +57,9 @@ enum class Site : unsigned {
     Npf,      ///< core::NpfController checkDma()/dmaAccess()
     Mem,      ///< timed: memory-pressure spike (handler-delivered)
     Iotlb,    ///< timed: IOTLB eviction storm (handler-delivered)
+    Switch,   ///< net::Switch::receive() — every switched packet
 };
-constexpr unsigned kSiteCount = 7;
+constexpr unsigned kSiteCount = 8;
 
 /** What an injection does at its site. */
 enum class Action : unsigned {
@@ -70,8 +73,10 @@ enum class Action : unsigned {
     ForceFault, ///< npf: next device translation reports a miss
     Pressure,   ///< mem (timed): reclaim `magnitude` pages now
     Evict,      ///< iotlb (timed): evict `magnitude` entries (0 = all)
+    Pause,      ///< switch: forced PFC storm upstream for `delay`
+    Flap,       ///< switch: egress port drops carrier for `delay`
 };
-constexpr unsigned kActionCount = 9;
+constexpr unsigned kActionCount = 11;
 
 const char *siteName(Site s);
 const char *actionName(Action a);

@@ -27,7 +27,8 @@ regModeName(RegMode m)
 Cluster::Cluster(sim::EventQueue &eq, ClusterConfig cfg, RegMode mode)
     : eq_(eq), cfg_(cfg), mode_(mode)
 {
-    fabric_ = std::make_unique<net::Fabric>(eq_, cfg_.ranks, cfg_.fabric);
+    fabric_ = std::make_unique<net::Fabric>(eq_, cfg_.ranks, cfg_.fabric,
+                                            cfg_.topology);
 
     for (unsigned r = 0; r < cfg_.ranks; ++r) {
         hosts_.push_back(

@@ -36,6 +36,10 @@ struct ClusterConfig
         net::LinkConfig{56e9, 300, 32}, ///< 56 Gb/s FDR, IB headers
         200,
     };
+    /** Optional net::Topology spec (net/topology.hh grammar); empty
+     *  keeps the legacy single-switch fabric. The spec's host count
+     *  must equal `ranks`. */
+    std::string topology;
     ib::QpConfig qp;
     /** Bounce-buffer memcpy bandwidth (copy mode, both sides). */
     double copyBwBytesPerSec = 12e9;

@@ -29,6 +29,11 @@ QueuePair::QueuePair(sim::EventQueue &eq, net::Fabric &fabric, unsigned node,
     obs_.counter("recv_npfs", &stats_.recvNpfs);
     obs_.counter("messages_delivered", &stats_.messagesDelivered);
     obs_.counter("bytes_delivered", &stats_.bytesDelivered);
+    obs_.counter("cnps_sent", &stats_.cnpsSent);
+    obs_.counter("cnps_received", &stats_.cnpsReceived);
+    if (cfg_.dcqcn.enabled)
+        dcqcn_.init(cfg_.dcqcn,
+                    fabric_.uplink(node_).config().bandwidthBitsPerSec);
 }
 
 void
@@ -179,17 +184,43 @@ QueuePair::transmitOne()
     auto deliver = [peer, pkt] { peer->handlePacket(pkt); };
     static_assert(sim::Delegate::fitsInline<decltype(deliver)>,
                   "ib data-path delivery closure must stay inline");
-    fabric_.send(node_, peer->node_, pkt.bytes, std::move(deliver));
+    fabric_.send(node_, peer->node_, pkt.bytes, cfg_.priority,
+                 flowLabel(), std::move(deliver));
     ++txPsn_;
 
     armRetransmitTimer();
     if (txPsn_ < nextPsn_ && !txScheduled_) {
         txScheduled_ = true;
-        eq_.schedule(fabric_.uplink(node_).busyUntil(), [this] {
+        eq_.schedule(nextTxTime(pkt.bytes), [this] {
             txScheduled_ = false;
             transmitOne();
         }, "ib.tx");
     }
+}
+
+std::uint32_t
+QueuePair::flowLabel() const
+{
+    // One ECMP flow per QP direction: all of a QP's packets take the
+    // same path (ordering), distinct QPs spread across paths.
+    return (std::uint32_t(node_) << 16) |
+           std::uint32_t(peer_ != nullptr ? peer_->node_ : 0);
+}
+
+sim::Time
+QueuePair::nextTxTime(std::size_t bytes)
+{
+    sim::Time next = fabric_.txEta(node_);
+    if (dcqcn_.limiting()) {
+        // Token clock: each departure books its serialization slot at
+        // the current rate; the gate is the later of that and the
+        // wire. Carries credit debt across packets so bursts average
+        // to the target rate instead of resetting it.
+        rateNextTx_ = std::max(rateNextTx_, eq_.now()) +
+                      dcqcn_.sendGap(bytes);
+        next = std::max(next, rateNextTx_);
+    }
+    return next;
 }
 
 void
@@ -316,8 +347,10 @@ QueuePair::sendControl(Packet pkt)
     auto deliver = [peer, pkt] { peer->handlePacket(pkt); };
     static_assert(sim::Delegate::fitsInline<decltype(deliver)>,
                   "ib control-path delivery closure must stay inline");
+    // Control rides the top class: ACKs, NACKs and CNPs must escape
+    // the very congestion (and PFC pauses) they exist to report.
     fabric_.send(node_, peer->node_, cfg_.controlBytes,
-                 std::move(deliver));
+                 net::kControlPriority, flowLabel(), std::move(deliver));
 }
 
 // --- receiver -----------------------------------------------------------
@@ -325,6 +358,13 @@ QueuePair::sendControl(Packet pkt)
 void
 QueuePair::handlePacket(Packet pkt)
 {
+    // DCQCN notification point. The CE mark lives in the fabric's
+    // per-delivery rx context, which is only valid right now — before
+    // any fault action defers processing — so sample it first.
+    if (cfg_.dcqcn.enabled && fabric_.rx().ecn &&
+        (pkt.type == Packet::Type::Data ||
+         pkt.type == Packet::Type::ReadResponse))
+        maybeSendCnp();
     if (fault::FaultInjector *fi = fault::FaultInjector::active()) {
         if (auto d = fi->decide(fault::Site::IbRx)) {
             switch (d->action) {
@@ -388,6 +428,9 @@ QueuePair::processPacket(Packet pkt)
             }, "ib.read_rnr_resume");
         }
         return;
+      case Packet::Type::Cnp:
+        dcqcnOnCnp();
+        return;
       case Packet::Type::ReadResponse:
         handleReadResponse(pkt);
         return;
@@ -396,6 +439,52 @@ QueuePair::processPacket(Packet pkt)
         handleData(pkt);
         return;
     }
+}
+
+void
+QueuePair::maybeSendCnp()
+{
+    if (eq_.now() < cnpNextAllowed_)
+        return; // one CNP per interval, however many marks arrive
+    cnpNextAllowed_ = eq_.now() + cfg_.dcqcn.cnpMinInterval;
+    ++stats_.cnpsSent;
+    obs::tracer().instant(obs::Track::Transport, "dcqcn", "cnp.sent");
+    Packet cnp;
+    cnp.type = Packet::Type::Cnp;
+    sendControl(cnp);
+}
+
+void
+QueuePair::dcqcnOnCnp()
+{
+    ++stats_.cnpsReceived;
+    if (!cfg_.dcqcn.enabled)
+        return;
+    dcqcn_.onCnp();
+    obs::tracer().instant(obs::Track::Transport, "dcqcn", "cnp.recv");
+    armDcqcnTimers();
+}
+
+void
+QueuePair::armDcqcnTimers()
+{
+    // Both timers run only while the limiter is active and disarm
+    // themselves once it fully recovers, so an idle QP schedules
+    // nothing and run-to-empty simulations terminate.
+    if (alphaTimer_ == sim::kInvalidEvent)
+        alphaTimer_ = eq_.scheduleAfter(cfg_.dcqcn.alphaTimer, [this] {
+            alphaTimer_ = sim::kInvalidEvent;
+            if (dcqcn_.decayAlpha())
+                armDcqcnTimers();
+        }, "ib.dcqcn_alpha");
+    if (rateTimer_ == sim::kInvalidEvent)
+        rateTimer_ = eq_.scheduleAfter(cfg_.dcqcn.rateTimer, [this] {
+            rateTimer_ = sim::kInvalidEvent;
+            bool still = dcqcn_.increase();
+            pumpSend();
+            if (still)
+                armDcqcnTimers();
+        }, "ib.dcqcn_rate");
 }
 
 void
@@ -472,6 +561,8 @@ QueuePair::handleData(const Packet &pkt)
         ++stats_.recvNpfs;
         ++stats_.dataPacketsDropped;
         rnpfPending_ = true;
+        if (cfg_.pauseOnRnpf)
+            fabric_.setHostRxPause(node_, true);
         obs::attributor().blockBegin(attrLane_, obs::Phase::NpfDriver);
         ++stats_.rnrNacksSent;
         Packet nack;
@@ -484,6 +575,8 @@ QueuePair::handleData(const Packet &pkt)
         eq_.scheduleAfter(lat, [this] {
             obs::attributor().blockEnd(attrLane_, obs::Phase::NpfDriver);
             rnpfPending_ = false;
+            if (cfg_.pauseOnRnpf)
+                fabric_.setHostRxPause(node_, false);
         }, "ib.synthetic_rnpf");
         return;
     }
@@ -526,6 +619,8 @@ QueuePair::raiseRnpf(mem::VirtAddr addr, std::size_t len, std::uint64_t psn)
 {
     ++stats_.recvNpfs;
     rnpfPending_ = true;
+    if (cfg_.pauseOnRnpf)
+        fabric_.setHostRxPause(node_, true);
     obs::attributor().blockBegin(attrLane_, obs::Phase::NpfDriver);
     // One flow per RNR suspension: NACK -> fault resolution -> resume.
     rnpfFlow_ = obs::tracer().beginFlow("rnr", "rnr");
@@ -557,6 +652,8 @@ QueuePair::raiseRnpf(mem::VirtAddr addr, std::size_t len, std::uint64_t psn)
                        obs::attributor().blockEnd(attrLane_,
                                                   obs::Phase::NpfDriver);
                        rnpfPending_ = false;
+                       if (cfg_.pauseOnRnpf)
+                           fabric_.setHostRxPause(node_, false);
                    });
 }
 
@@ -636,13 +733,13 @@ QueuePair::pumpReadResponse()
 
     ++stats_.dataPacketsSent;
     QueuePair *peer = peer_;
-    fabric_.send(node_, peer->node_, bytes,
+    fabric_.send(node_, peer->node_, bytes, cfg_.priority, flowLabel(),
                  [peer, pkt] { peer->handlePacket(pkt); });
     ++readResp_.nextPsn;
 
     if (!readRespScheduled_) {
         readRespScheduled_ = true;
-        eq_.schedule(fabric_.uplink(node_).busyUntil(), [this] {
+        eq_.schedule(nextTxTime(bytes), [this] {
             readRespScheduled_ = false;
             pumpReadResponse();
         }, "ib.read_pump");

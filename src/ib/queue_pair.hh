@@ -24,6 +24,7 @@
 
 #include "core/npf_controller.hh"
 #include "ib/verbs.hh"
+#include "net/dcqcn.hh"
 #include "net/fabric.hh"
 #include "obs/flow_tracer.hh"
 #include "obs/metrics.hh"
@@ -56,6 +57,24 @@ struct QpConfig
      * for a rewind after resolution. Off by default (standard RC).
      */
     bool readRnrExtension = false;
+
+    /** Traffic class for data packets (topology-mode fabrics only;
+     *  control packets always ride net::kControlPriority so NACKs
+     *  and CNPs escape the congestion they report). */
+    unsigned priority = 0;
+
+    /**
+     * While an rNPF resolves, assert PFC toward this host
+     * (Fabric::setHostRxPause) in addition to the RNR NACK: the NIC
+     * backpressures the last-hop switch instead of silently dropping
+     * the retry traffic. This is the coupling the paper warns about —
+     * an NPF stall becomes a fabric pause storm. Topology mode only.
+     */
+    bool pauseOnRnpf = false;
+
+    /** DCQCN-style end-host rate limiting, driven by CNPs that the
+     *  destination QP emits when packets arrive CE-marked. */
+    net::DcqcnConfig dcqcn;
 };
 
 /**
@@ -85,6 +104,8 @@ class QueuePair
         std::uint64_t recvNpfs = 0;   ///< rNPFs (incl. synthetic)
         std::uint64_t messagesDelivered = 0;
         std::uint64_t bytesDelivered = 0;
+        std::uint64_t cnpsSent = 0;     ///< ECN marks notified back
+        std::uint64_t cnpsReceived = 0; ///< rate-limiter activations
     };
 
     QueuePair(sim::EventQueue &eq, net::Fabric &fabric, unsigned node,
@@ -144,6 +165,7 @@ class QueuePair
             RnrNack,      ///< receiver-not-ready, carries resume PSN
             NakSeq,       ///< rewind request (read-response recovery)
             ReadRnr,      ///< extension: suspend the read responder
+            Cnp,          ///< congestion notification (DCQCN)
         };
 
         Type type = Type::Data;
@@ -223,6 +245,17 @@ class QueuePair
     bool dmaWriteTarget(mem::VirtAddr addr, std::size_t len);
     void maybeAck(bool force);
 
+    // --- DCQCN -------------------------------------------------------
+    std::uint32_t flowLabel() const;
+    /** Notification point: the destination saw a CE mark. */
+    void maybeSendCnp();
+    /** Reaction point: a CNP arrived from the destination. */
+    void dcqcnOnCnp();
+    void armDcqcnTimers();
+    /** Pacing gate: wire availability, plus the DCQCN rate limiter
+     *  when it is active. */
+    sim::Time nextTxTime(std::size_t bytes);
+
     // --- read responder stream ----------------------------------------
     void pumpReadResponse();
     void startRead(const Packet &req);
@@ -268,6 +301,13 @@ class QueuePair
     ReadInitiatorState readInit_;
     std::uint64_t nextReadId_ = 1;
     bool readRespScheduled_ = false;
+
+    // DCQCN (inert unless cfg_.dcqcn.enabled and CNPs arrive)
+    net::DcqcnRate dcqcn_;
+    sim::Time cnpNextAllowed_ = 0; ///< CNP pacing (notification side)
+    sim::Time rateNextTx_ = 0;     ///< rate-limiter token clock
+    sim::EventId alphaTimer_ = sim::kInvalidEvent;
+    sim::EventId rateTimer_ = sim::kInvalidEvent;
     obs::Instrumented obs_; ///< last member: deregisters first
 };
 

@@ -1,0 +1,282 @@
+#include "net/fabric.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+
+#include "fault/fault.hh"
+
+namespace npf::net {
+
+Fabric::Fabric(sim::EventQueue &eq, unsigned nodes, FabricConfig cfg)
+    : eq_(eq), cfg_(cfg)
+{
+    for (unsigned i = 0; i < nodes; ++i) {
+        up_.push_back(std::make_unique<Link>(eq_, cfg_.link));
+        down_.push_back(std::make_unique<Link>(eq_, cfg_.link));
+    }
+    initObs();
+}
+
+Fabric::Fabric(sim::EventQueue &eq, unsigned nodes, FabricConfig cfg,
+               const std::string &topology_spec)
+    : eq_(eq), cfg_(cfg)
+{
+    if (topology_spec.empty()) {
+        for (unsigned i = 0; i < nodes; ++i) {
+            up_.push_back(std::make_unique<Link>(eq_, cfg_.link));
+            down_.push_back(std::make_unique<Link>(eq_, cfg_.link));
+        }
+    } else {
+        std::string err;
+        auto topo = Topology::parse(topology_spec, &err);
+        if (!topo) {
+            std::fprintf(stderr, "Fabric: %s\n", err.c_str());
+            std::abort();
+        }
+        if (topo->hosts != nodes) {
+            std::fprintf(stderr,
+                         "Fabric: spec has %u hosts, caller wants %u\n",
+                         topo->hosts, nodes);
+            std::abort();
+        }
+        buildTopology(*topo);
+    }
+    initObs();
+}
+
+Fabric::Fabric(sim::EventQueue &eq, const Topology &topo) : eq_(eq)
+{
+    std::string err;
+    if (!topo.validate(&err)) {
+        std::fprintf(stderr, "Fabric: %s\n", err.c_str());
+        std::abort();
+    }
+    buildTopology(topo);
+    initObs();
+}
+
+Fabric::~Fabric() = default;
+
+void
+Fabric::initObs()
+{
+    obs_.init("net.fabric");
+    obs_.counter("loopback_packets", &stats_.loopbackPackets);
+    obs_.counter("loopback_bytes", &stats_.loopbackBytes);
+    obs_.counter("loopback_inj_dropped", &stats_.loopbackInjDropped);
+    obs_.counter("loopback_inj_duplicated",
+                 &stats_.loopbackInjDuplicated);
+    obs_.counter("loopback_inj_delayed", &stats_.loopbackInjDelayed);
+    obs_.counter("host_pauses", &stats_.hostPauses);
+}
+
+void
+Fabric::buildTopology(const Topology &topo)
+{
+    topo_ = std::make_unique<Topology>(topo);
+    const Topology &t = *topo_;
+
+    switches_.reserve(t.switches);
+    for (unsigned s = 0; s < t.switches; ++s)
+        switches_.push_back(std::make_unique<Switch>(
+            eq_, *this, t.hosts + s, t.switchCfg));
+    hostUp_.assign(t.hosts, nullptr);
+    hostDown_.assign(t.hosts, nullptr);
+    hostPauseDepth_.assign(t.hosts, 0);
+
+    // One egress port per directed edge end.
+    std::map<std::pair<unsigned, unsigned>, Egress *> port_of;
+    auto make_port = [&](unsigned from, unsigned to,
+                         const LinkConfig &lc) {
+        Switch *owner =
+            t.isHost(from) ? nullptr : switches_[from - t.hosts].get();
+        ports_.push_back(std::make_unique<Egress>(
+            eq_, *this, to, lc, topo_->switchCfg, owner));
+        Egress *p = ports_.back().get();
+        if (owner != nullptr)
+            owner->addEgress(p);
+        else
+            hostUp_[from] = p;
+        if (t.isHost(to))
+            hostDown_[to] = p;
+        else
+            switches_[to - t.hosts]->addUpstream(p);
+        port_of[{from, to}] = p;
+    };
+    for (const Topology::Edge &e : t.edges) {
+        make_port(e.a, e.b, e.link);
+        make_port(e.b, e.a, e.link);
+    }
+
+    auto r = t.routes();
+    for (unsigned s = 0; s < t.switches; ++s) {
+        unsigned v = t.hosts + s;
+        std::vector<std::vector<Egress *>> table(t.hosts);
+        for (unsigned d = 0; d < t.hosts; ++d)
+            for (unsigned nb : r[v][d])
+                table[d].push_back(port_of.at({v, nb}));
+        switches_[s]->setRoutes(std::move(table));
+    }
+}
+
+Link &
+Fabric::downlink(unsigned node)
+{
+    return topo_ ? hostDown_[node]->link() : *down_[node];
+}
+
+void
+Fabric::send(unsigned src, unsigned dst, std::size_t bytes,
+             unsigned priority, std::uint32_t flow,
+             sim::EventQueue::Callback deliver)
+{
+    if (src == dst) {
+        sendLoopback(src, bytes, std::move(deliver));
+        return;
+    }
+    if (topo_)
+        sendTopo(src, dst, bytes, priority, flow, std::move(deliver));
+    else
+        sendLegacy(src, dst, bytes, std::move(deliver));
+}
+
+void
+Fabric::sendLoopback(unsigned node, std::size_t bytes,
+                     sim::EventQueue::Callback deliver)
+{
+    (void)node;
+    ++stats_.loopbackPackets;
+    stats_.loopbackBytes += bytes;
+    sim::Time latency =
+        topo_ ? topo_->switchCfg.forwardLatency : cfg_.switchLatency;
+    sim::Time extra = 0;
+    if (fault::FaultInjector *fi = fault::FaultInjector::active()) {
+        if (auto d = fi->decide(fault::Site::Link)) {
+            switch (d->action) {
+              case fault::Action::Drop:
+                // Never delivered; the closure (and any payload it
+                // owns) dies when send() returns.
+                ++stats_.loopbackInjDropped;
+                return;
+              case fault::Action::Duplicate:
+                // The copy clones any pooled payload (PoolRef copy
+                // semantics); both retire independently.
+                ++stats_.loopbackInjDuplicated;
+                eq_.scheduleAfter(latency, deliver, "net.fabric.loop");
+                break;
+              case fault::Action::Reorder:
+              case fault::Action::Delay:
+                ++stats_.loopbackInjDelayed;
+                extra = d->delay;
+                break;
+              default:
+                break;
+            }
+        }
+    }
+    eq_.scheduleAfter(latency + extra, std::move(deliver),
+                      "net.fabric.loop");
+}
+
+void
+Fabric::sendLegacy(unsigned src, unsigned dst, std::size_t bytes,
+                   sim::EventQueue::Callback deliver)
+{
+    // @p deliver is parked in fabricPendingPool() for the journey and
+    // the hop continuations carry only a sim::PoolRef: capturing the
+    // full delegate inside two wrappers would overflow the
+    // scheduler's inline storage and heap-allocate per packet per
+    // hop. The ref's ownership semantics keep faulted hops correct —
+    // a dropped continuation releases the parked slot, a duplicated
+    // one clones it.
+    sim::PoolRef parked = fabricPendingPool().acquire(std::move(deliver));
+    auto at_switch = [this, dst, bytes,
+                      parked = std::move(parked)]() mutable {
+        auto at_downlink = [this, dst, bytes,
+                            parked = std::move(parked)]() mutable {
+            down_[dst]->send(
+                bytes,
+                std::move(*parked.as<sim::EventQueue::Callback>()));
+            parked.reset();
+        };
+        static_assert(
+            sim::Delegate::fitsInline<decltype(at_downlink)>,
+            "fabric hop continuation must stay inline (no-alloc)");
+        eq_.scheduleAfter(cfg_.switchLatency, std::move(at_downlink));
+    };
+    static_assert(sim::Delegate::fitsInline<decltype(at_switch)>,
+                  "fabric hop continuation must stay inline "
+                  "(no-alloc)");
+    up_[src]->send(bytes, std::move(at_switch));
+}
+
+void
+Fabric::sendTopo(unsigned src, unsigned dst, std::size_t bytes,
+                 unsigned priority, std::uint32_t flow,
+                 sim::EventQueue::Callback deliver)
+{
+    sim::PoolRef ref = fabricPacketPool().acquire();
+    FabricPacket *pkt = ref.as<FabricPacket>();
+    pkt->src = src;
+    pkt->dst = dst;
+    pkt->bytes = static_cast<std::uint32_t>(bytes);
+    pkt->flow = flow;
+    pkt->priority = static_cast<std::uint8_t>(priority);
+    pkt->ecn = false;
+    pkt->readyAt = 0;
+    pkt->deliver = std::move(deliver);
+    hostUp_[src]->enqueue(std::move(ref));
+}
+
+void
+Fabric::arrive(unsigned vertex, sim::PoolRef pkt)
+{
+    if (topo_->isHost(vertex))
+        deliverToHost(std::move(pkt));
+    else
+        switches_[vertex - topo_->hosts]->receive(std::move(pkt));
+}
+
+void
+Fabric::deliverToHost(sim::PoolRef pkt)
+{
+    FabricPacket *p = pkt.as<FabricPacket>();
+    rx_.ecn = p->ecn;
+    rx_.priority = p->priority;
+    sim::EventQueue::Callback deliver = std::move(p->deliver);
+    // Release the descriptor before running the callback: delivery
+    // handlers commonly send() in turn, and the freed slot lets that
+    // send reuse it instead of growing the slab.
+    pkt.reset();
+    deliver();
+    rx_ = RxContext{};
+}
+
+void
+Fabric::setHostRxPause(unsigned node, bool on)
+{
+    if (!topo_)
+        return;
+    unsigned &depth = hostPauseDepth_[node];
+    if (on) {
+        if (depth++ != 0)
+            return;
+        ++stats_.hostPauses;
+    } else {
+        if (depth == 0 || --depth != 0)
+            return;
+    }
+    // The NIC's pause frame crosses the host's wire backward; only
+    // the data class is paused, so control traffic (NACKs, ACKs,
+    // CNPs) keeps flowing and the loop cannot deadlock on its own
+    // recovery messages.
+    Egress *down = hostDown_[node];
+    auto apply = [down, on] { down->setPaused(0, on); };
+    static_assert(sim::Delegate::fitsInline<decltype(apply)>,
+                  "pfc frame closure must stay inline (no-alloc)");
+    eq_.scheduleAfter(hostUp_[node]->link().config().propagation,
+                      std::move(apply), "net.pfc.host");
+}
+
+} // namespace npf::net

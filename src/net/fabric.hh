@@ -1,9 +1,22 @@
 /**
  * @file
- * Switched fabric: N nodes star-wired through one switch (the
- * paper's InfiniBand testbed is 8 servers on a SwitchX-2). Each node
- * has a dedicated uplink and downlink, so congestion appears at the
- * receiver's downlink — the place incast shows up.
+ * Switched fabric, in two modes behind one API.
+ *
+ * Legacy mode (the default constructor): N nodes star-wired through
+ * one transparent switch — dedicated uplink/downlink per node, a
+ * fixed cut-through latency, unbounded implicit queueing on the
+ * links themselves. This is the paper's testbed (8 servers on a
+ * SwitchX-2) and the path every existing call site rides; its event
+ * sequence is pinned bit-identical by scripts/golden_digests.sha256.
+ *
+ * Topology mode (construct with a net::Topology): real multi-switch
+ * fabrics — per-port bounded egress queues, ECMP next-hop selection,
+ * ECN marking and per-priority PFC pause/resume (net/switch.hh),
+ * with host uplinks modeled as queueing NIC ports that PFC can
+ * pause. Destination-side metadata (CE mark, class) is published
+ * through rx() for the duration of the delivery callback, which is
+ * how ib::QueuePair's DCQCN notification point sees marks without
+ * the fabric knowing transport framing.
  */
 
 #ifndef NPF_NET_FABRIC_HH
@@ -11,9 +24,13 @@
 
 #include <cstddef>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "net/link.hh"
+#include "net/switch.hh"
+#include "net/topology.hh"
+#include "obs/metrics.hh"
 #include "sim/event_queue.hh"
 #include "sim/pool.hh"
 
@@ -33,7 +50,7 @@ fabricPendingPool()
     return *pool;
 }
 
-/** Fabric parameters. */
+/** Legacy-mode fabric parameters. */
 struct FabricConfig
 {
     LinkConfig link;                         ///< per-port link
@@ -41,76 +58,173 @@ struct FabricConfig
 };
 
 /**
- * Output-queued single-switch fabric.
+ * The fabric facade (see file comment for the two modes).
  */
 class Fabric
 {
   public:
-    Fabric(sim::EventQueue &eq, unsigned nodes, FabricConfig cfg = {})
-        : eq_(eq), cfg_(cfg)
+    struct Stats
     {
-        for (unsigned i = 0; i < nodes; ++i) {
-            up_.push_back(std::make_unique<Link>(eq_, cfg_.link));
-            down_.push_back(std::make_unique<Link>(eq_, cfg_.link));
-        }
-    }
+        std::uint64_t loopbackPackets = 0;
+        std::uint64_t loopbackBytes = 0;
+        std::uint64_t loopbackInjDropped = 0;
+        std::uint64_t loopbackInjDuplicated = 0;
+        std::uint64_t loopbackInjDelayed = 0;
+        std::uint64_t hostPauses = 0; ///< rNPF-driven host rx pauses
+    };
 
-    unsigned nodes() const { return static_cast<unsigned>(up_.size()); }
+    /** Destination-side packet metadata, valid only while the
+     *  delivery callback runs (single-threaded simulation). Always
+     *  default (no CE) in legacy mode and for loopback. */
+    struct RxContext
+    {
+        bool ecn = false;
+        unsigned priority = 0;
+    };
+
+    /** Legacy single-switch mode. */
+    Fabric(sim::EventQueue &eq, unsigned nodes, FabricConfig cfg = {});
+
+    /**
+     * Legacy mode when @p topology_spec is empty, otherwise topology
+     * mode parsed from it (net/topology.hh grammar; the spec's host
+     * count must equal @p nodes). Malformed specs abort with a
+     * diagnostic — a config error, not a runtime condition.
+     */
+    Fabric(sim::EventQueue &eq, unsigned nodes, FabricConfig cfg,
+           const std::string &topology_spec);
+
+    /** Topology mode over an already-built (validated) topology. */
+    Fabric(sim::EventQueue &eq, const Topology &topo);
+
+    ~Fabric();
+
+    Fabric(const Fabric &) = delete;
+    Fabric &operator=(const Fabric &) = delete;
+
+    unsigned
+    nodes() const
+    {
+        return topo_ ? topo_->hosts : static_cast<unsigned>(up_.size());
+    }
 
     /**
      * Send @p bytes from @p src to @p dst; @p deliver runs at the
-     * destination's arrival time. Loopback (src == dst) bypasses the
-     * wire with just the switch latency.
+     * destination's arrival time. Class-0 traffic with a flow label
+     * derived from the endpoints — transports that care pass their
+     * own (the overload below).
      *
-     * @p deliver is parked in fabricPendingPool() for the journey and
-     * the hop continuations carry only a sim::PoolRef: capturing the
-     * full delegate inside two wrappers would overflow the
-     * scheduler's inline storage and heap-allocate per packet per
-     * hop. The ref's ownership semantics keep faulted hops correct —
-     * a dropped continuation releases the parked slot, a duplicated
-     * one clones it.
+     * Loopback (src == dst) turns around below the first switch hop:
+     * it costs the forwarding latency but never a wire. It still
+     * polls fault::Site::Link and is accounted in stats(), so fault
+     * plans and metrics see loopback traffic like any other
+     * (previously it bypassed both).
      */
     void
     send(unsigned src, unsigned dst, std::size_t bytes,
          sim::EventQueue::Callback deliver)
     {
-        if (src == dst) {
-            eq_.scheduleAfter(cfg_.switchLatency, std::move(deliver));
-            return;
-        }
-        sim::PoolRef parked =
-            fabricPendingPool().acquire(std::move(deliver));
-        auto at_switch = [this, dst, bytes,
-                          parked = std::move(parked)]() mutable {
-            auto at_downlink = [this, dst, bytes,
-                                parked =
-                                    std::move(parked)]() mutable {
-                down_[dst]->send(
-                    bytes,
-                    std::move(*parked.as<sim::EventQueue::Callback>()));
-                parked.reset();
-            };
-            static_assert(
-                sim::Delegate::fitsInline<decltype(at_downlink)>,
-                "fabric hop continuation must stay inline (no-alloc)");
-            eq_.scheduleAfter(cfg_.switchLatency,
-                              std::move(at_downlink));
-        };
-        static_assert(sim::Delegate::fitsInline<decltype(at_switch)>,
-                      "fabric hop continuation must stay inline "
-                      "(no-alloc)");
-        up_[src]->send(bytes, std::move(at_switch));
+        send(src, dst, bytes, 0,
+             (std::uint32_t(src) << 16) | std::uint32_t(dst),
+             std::move(deliver));
     }
 
-    Link &uplink(unsigned node) { return *up_[node]; }
-    Link &downlink(unsigned node) { return *down_[node]; }
+    /** As above with an explicit traffic class and ECMP flow label. */
+    void send(unsigned src, unsigned dst, std::size_t bytes,
+              unsigned priority, std::uint32_t flow,
+              sim::EventQueue::Callback deliver);
+
+    /** The node's transmit wire: legacy uplink, or the host NIC
+     *  port's wire in topology mode. busyUntil() remains the
+     *  transport pacing signal in both. */
+    Link &
+    uplink(unsigned node)
+    {
+        return topo_ ? hostUp_[node]->link() : *up_[node];
+    }
+
+    /** The node's receive wire (last hop toward the host). */
+    Link &downlink(unsigned node);
+
+    /**
+     * When a packet sent from @p node right now would start
+     * serializing — the transport pacing signal. Legacy mode: the
+     * uplink's busyUntil(), which already carries the whole backlog
+     * (legacy links occupy the wire at send() time). Topology mode:
+     * the host NIC port's queue-aware ETA (Egress::txEta()), because
+     * there the queue sits in front of the wire and busyUntil() alone
+     * would let a transport dump its entire window into the port in
+     * one tick.
+     */
+    sim::Time
+    txEta(unsigned node)
+    {
+        return topo_ ? hostUp_[node]->txEta() : up_[node]->busyUntil();
+    }
+
+    /** Legacy-mode parameters (topology mode: see topology()). */
     const FabricConfig &config() const { return cfg_; }
 
+    bool topologyMode() const { return topo_ != nullptr; }
+    const Topology *topology() const { return topo_.get(); }
+
+    unsigned switchCount() const
+    {
+        return static_cast<unsigned>(switches_.size());
+    }
+    Switch &switchAt(unsigned i) { return *switches_[i]; }
+
+    /** The host's NIC egress port (topology mode only). */
+    Egress &hostPort(unsigned node) { return *hostUp_[node]; }
+
+    const RxContext &rx() const { return rx_; }
+    const Stats &stats() const { return stats_; }
+
+    /**
+     * Host receive-side backpressure (topology mode; no-op legacy):
+     * while on, the last-hop switch pauses class-0 delivery toward
+     * @p node — the NIC asserting PFC while an rNPF drains its
+     * receive capacity. Reference-counted so overlapping QPs on one
+     * host compose; control-class traffic keeps flowing (NACKs and
+     * CNPs must escape the congestion they report).
+     */
+    void setHostRxPause(unsigned node, bool on);
+
   private:
+    friend class Egress;
+    friend class Switch;
+
+    void initObs();
+    void buildTopology(const Topology &topo);
+    void sendTopo(unsigned src, unsigned dst, std::size_t bytes,
+                  unsigned priority, std::uint32_t flow,
+                  sim::EventQueue::Callback deliver);
+    void sendLegacy(unsigned src, unsigned dst, std::size_t bytes,
+                    sim::EventQueue::Callback deliver);
+    void sendLoopback(unsigned node, std::size_t bytes,
+                      sim::EventQueue::Callback deliver);
+    /** A packet finished a wire hop at @p vertex; takes ownership. */
+    void arrive(unsigned vertex, sim::PoolRef pkt);
+    void deliverToHost(sim::PoolRef pkt);
+
     sim::EventQueue &eq_;
     FabricConfig cfg_;
+
+    // legacy mode
     std::vector<std::unique_ptr<Link>> up_;
     std::vector<std::unique_ptr<Link>> down_;
+
+    // topology mode
+    std::unique_ptr<Topology> topo_;
+    std::vector<std::unique_ptr<Egress>> ports_;
+    std::vector<std::unique_ptr<Switch>> switches_;
+    std::vector<Egress *> hostUp_;   ///< per host: its NIC port
+    std::vector<Egress *> hostDown_; ///< per host: last-hop switch port
+    std::vector<unsigned> hostPauseDepth_;
+
+    RxContext rx_;
+    Stats stats_;
+    obs::Instrumented obs_; ///< last member: deregisters first
 };
 
 } // namespace npf::net

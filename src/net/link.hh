@@ -45,6 +45,10 @@ class Link
         std::uint64_t injDropped = 0;    ///< fault-injected drops
         std::uint64_t injDuplicated = 0; ///< fault-injected dups
         std::uint64_t injDelayed = 0;    ///< fault-injected delay/reorder
+        /** Wire bytes that had to wait behind earlier traffic (the
+         *  link's implicit queue, since payloads queue on the wire
+         *  itself rather than in a buffer). */
+        std::uint64_t queuedBytes = 0;
     };
 
     Link(sim::EventQueue &eq, LinkConfig cfg = {}) : eq_(eq), cfg_(cfg)
@@ -56,6 +60,14 @@ class Link
         obs_.counter("inj_dropped", &stats_.injDropped);
         obs_.counter("inj_duplicated", &stats_.injDuplicated);
         obs_.counter("inj_delayed", &stats_.injDelayed);
+        obs_.counter("queued_bytes", &stats_.queuedBytes);
+        // Backlog as time: how far busyUntil_ runs ahead of now, i.e.
+        // the serialization delay a packet sent this instant would
+        // see before reaching the wire.
+        obs_.gauge("backlog_ns", [this] {
+            sim::Time now = eq_.now();
+            return busyUntil_ > now ? double(busyUntil_ - now) : 0.0;
+        });
     }
 
     /**
@@ -134,6 +146,8 @@ class Link
         std::size_t wire_bytes = bytes + cfg_.perPacketOverheadBytes;
         sim::Time tx_time = transmissionTime(wire_bytes);
         sim::Time start = std::max(eq_.now(), busyUntil_);
+        if (start > eq_.now())
+            stats_.queuedBytes += wire_bytes;
         busyUntil_ = start + tx_time;
 
         ++stats_.packets;

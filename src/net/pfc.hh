@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Lossless-Ethernet flow-control parameters: per-priority PFC
+ * (802.1Qbb pause/resume with XOFF/XON thresholds) and ECN marking
+ * (RFC 3168 CE above a queue threshold), applied per switch egress
+ * queue. Modeled after the PFC + RCM OMNeT++ RoCEv2 work (PAPERS.md),
+ * with one simplification documented in docs/NETWORK.md: thresholds
+ * watch the *egress* queue of an output-queued switch rather than
+ * per-ingress counters.
+ */
+
+#ifndef NPF_NET_PFC_HH
+#define NPF_NET_PFC_HH
+
+#include <cstddef>
+
+#include "sim/time.hh"
+
+namespace npf::net {
+
+/**
+ * Traffic classes carried end to end. Class 0 is bulk data; the top
+ * class is reserved for transport control (ACKs, NACKs, CNPs) so
+ * congestion notifications escape the queues they describe — the
+ * same reason DCQCN deployments put CNPs in their own priority.
+ */
+constexpr unsigned kPriorities = 2;
+constexpr unsigned kControlPriority = kPriorities - 1;
+
+/** ECN marking at a switch egress queue. */
+struct EcnConfig
+{
+    bool enabled = false;
+    /** Mark CE on packets enqueued while the queue holds at least
+     *  this many bytes (deterministic threshold, not RED). */
+    std::size_t markBytes = 64 * 1024;
+};
+
+/** Per-priority PFC on a switch egress queue. */
+struct PfcConfig
+{
+    bool enabled = false;
+    /** Queue depth at which the switch pauses all upstream ports. */
+    std::size_t xoffBytes = 128 * 1024;
+    /** Queue depth at which it resumes them (must be < xoffBytes). */
+    std::size_t xonBytes = 64 * 1024;
+};
+
+/** One switch's forwarding and queuing parameters. */
+struct SwitchConfig
+{
+    /** Cut-through forwarding latency, arrival to egress-eligible. */
+    sim::Time forwardLatency = 200;
+    /**
+     * Hard cap per (egress port, priority) queue, in payload bytes;
+     * arrivals beyond it are dropped (counted). 0 = unbounded. With
+     * PFC enabled and xoffBytes comfortably below the cap, the cap
+     * is headroom for in-flight traffic and never fires.
+     */
+    std::size_t queueCapBytes = 512 * 1024;
+    EcnConfig ecn;
+    PfcConfig pfc;
+};
+
+} // namespace npf::net
+
+#endif // NPF_NET_PFC_HH

@@ -1,0 +1,401 @@
+#include "net/topology.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <queue>
+
+namespace npf::net {
+
+namespace {
+
+std::string
+trim(const std::string &s)
+{
+    std::size_t b = 0, e = s.size();
+    while (b < e && std::isspace(static_cast<unsigned char>(s[b])))
+        ++b;
+    while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])))
+        --e;
+    return s.substr(b, e - b);
+}
+
+std::vector<std::string>
+split(const std::string &s, char sep)
+{
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    for (std::size_t i = 0; i <= s.size(); ++i) {
+        if (i == s.size() || s[i] == sep) {
+            out.push_back(s.substr(start, i - start));
+            start = i + 1;
+        }
+    }
+    return out;
+}
+
+bool
+fail(std::string *error, const std::string &msg)
+{
+    if (error != nullptr)
+        *error = "topology: " + msg;
+    return false;
+}
+
+/** "40g" = 40e9 bits/sec (decimal, like NIC marketing). */
+bool
+parseRate(const std::string &v, double &out)
+{
+    if (v.empty())
+        return false;
+    const char *begin = v.c_str();
+    char *end = nullptr;
+    double x = std::strtod(begin, &end);
+    if (end == begin || x <= 0.0)
+        return false;
+    std::string unit(end);
+    if (unit == "k")
+        x *= 1e3;
+    else if (unit == "m")
+        x *= 1e6;
+    else if (unit == "g")
+        x *= 1e9;
+    else if (!unit.empty())
+        return false;
+    out = x;
+    return true;
+}
+
+/** "256k" = 256 KiB, "4m" = 4 MiB (binary, like buffer sizes). */
+bool
+parseBytes(const std::string &v, std::size_t &out)
+{
+    if (v.empty())
+        return false;
+    const char *begin = v.c_str();
+    char *end = nullptr;
+    double x = std::strtod(begin, &end);
+    if (end == begin || x < 0.0)
+        return false;
+    std::string unit(end);
+    if (unit == "k")
+        x *= 1024.0;
+    else if (unit == "m")
+        x *= 1024.0 * 1024.0;
+    else if (!unit.empty())
+        return false;
+    out = static_cast<std::size_t>(x);
+    return true;
+}
+
+/** "200" (ns), "30us", "1.5ms", "2s" — the fault-plan time grammar. */
+bool
+parseTimeValue(const std::string &v, sim::Time &out)
+{
+    if (v.empty())
+        return false;
+    const char *begin = v.c_str();
+    char *end = nullptr;
+    double x = std::strtod(begin, &end);
+    if (end == begin || x < 0.0)
+        return false;
+    std::string unit(end);
+    double scale;
+    if (unit.empty() || unit == "ns")
+        scale = 1.0;
+    else if (unit == "us")
+        scale = double(sim::kMicrosecond);
+    else if (unit == "ms")
+        scale = double(sim::kMillisecond);
+    else if (unit == "s")
+        scale = double(sim::kSecond);
+    else
+        return false;
+    out = static_cast<sim::Time>(x * scale);
+    return true;
+}
+
+bool
+parseUnsigned(const std::string &v, unsigned &out)
+{
+    if (v.empty())
+        return false;
+    char *end = nullptr;
+    unsigned long x = std::strtoul(v.c_str(), &end, 10);
+    if (end != v.c_str() + v.size())
+        return false;
+    out = static_cast<unsigned>(x);
+    return true;
+}
+
+/** "h3" / "s1" vertex names of the edges grammar. */
+bool
+parseVertex(const std::string &v, bool &isHost, unsigned &idx)
+{
+    if (v.size() < 2 || (v[0] != 'h' && v[0] != 's'))
+        return false;
+    isHost = v[0] == 'h';
+    return parseUnsigned(v.substr(1), idx);
+}
+
+} // namespace
+
+Topology
+Topology::star(unsigned hosts, LinkConfig link, SwitchConfig sw)
+{
+    Topology t;
+    t.hosts = hosts;
+    t.switches = 1;
+    t.defaultLink = link;
+    t.switchCfg = sw;
+    for (unsigned h = 0; h < hosts; ++h)
+        t.edges.push_back({h, hosts, link});
+    return t;
+}
+
+Topology
+Topology::leafSpine(unsigned hosts, unsigned leaves, unsigned spines,
+                    double oversubscription, LinkConfig link,
+                    SwitchConfig sw)
+{
+    Topology t;
+    t.hosts = hosts;
+    t.switches = leaves + spines;
+    t.defaultLink = link;
+    t.switchCfg = sw;
+    // Hosts in contiguous blocks per leaf; stragglers on the last.
+    unsigned per_leaf = (hosts + leaves - 1) / leaves;
+    for (unsigned h = 0; h < hosts; ++h) {
+        unsigned leaf = std::min(h / per_leaf, leaves - 1);
+        t.edges.push_back({h, hosts + leaf, link});
+    }
+    LinkConfig up = link;
+    up.bandwidthBitsPerSec =
+        link.bandwidthBitsPerSec *
+        (double(per_leaf) / double(spines)) / oversubscription;
+    for (unsigned l = 0; l < leaves; ++l)
+        for (unsigned s = 0; s < spines; ++s)
+            t.edges.push_back({hosts + l, hosts + leaves + s, up});
+    return t;
+}
+
+std::optional<Topology>
+Topology::parse(const std::string &text, std::string *error)
+{
+    std::string spec = trim(text);
+    std::size_t colon = spec.find(':');
+    std::string kind = trim(spec.substr(0, colon));
+
+    unsigned hosts = 0, leaves = 2, spines = 2;
+    double ovs = 1.0;
+    LinkConfig link;
+    SwitchConfig sw;
+    std::string links_val;
+
+    if (colon != std::string::npos) {
+        for (const std::string &kv_text :
+             split(spec.substr(colon + 1), ',')) {
+            std::string kv = trim(kv_text);
+            if (kv.empty())
+                continue;
+            std::size_t eq = kv.find('=');
+            if (eq == std::string::npos) {
+                fail(error, "param '" + kv + "': want key=value");
+                return std::nullopt;
+            }
+            std::string key = trim(kv.substr(0, eq));
+            std::string val = trim(kv.substr(eq + 1));
+            bool ok = true;
+            if (key == "hosts")
+                ok = parseUnsigned(val, hosts);
+            else if (key == "leaves")
+                ok = parseUnsigned(val, leaves);
+            else if (key == "spines")
+                ok = parseUnsigned(val, spines);
+            else if (key == "ovs") {
+                char *end = nullptr;
+                ovs = std::strtod(val.c_str(), &end);
+                ok = end == val.c_str() + val.size() && ovs >= 1.0;
+            } else if (key == "links")
+                links_val = val;
+            else if (key == "bw")
+                ok = parseRate(val, link.bandwidthBitsPerSec);
+            else if (key == "prop")
+                ok = parseTimeValue(val, link.propagation);
+            else if (key == "overhead")
+                ok = parseBytes(val, link.perPacketOverheadBytes);
+            else if (key == "fwd")
+                ok = parseTimeValue(val, sw.forwardLatency);
+            else if (key == "queue")
+                ok = parseBytes(val, sw.queueCapBytes);
+            else if (key == "ecn") {
+                ok = parseBytes(val, sw.ecn.markBytes);
+                sw.ecn.enabled = sw.ecn.markBytes > 0;
+            } else if (key == "xoff") {
+                ok = parseBytes(val, sw.pfc.xoffBytes);
+                sw.pfc.enabled = sw.pfc.xoffBytes > 0;
+            } else if (key == "xon")
+                ok = parseBytes(val, sw.pfc.xonBytes);
+            else {
+                fail(error, "unknown key '" + key + "'");
+                return std::nullopt;
+            }
+            if (!ok) {
+                fail(error, key + " '" + val + "': bad value");
+                return std::nullopt;
+            }
+        }
+    }
+    if (sw.pfc.enabled && sw.pfc.xonBytes >= sw.pfc.xoffBytes)
+        sw.pfc.xonBytes = sw.pfc.xoffBytes / 2;
+
+    Topology t;
+    if (kind == "star") {
+        if (hosts == 0) {
+            fail(error, "star needs hosts=N");
+            return std::nullopt;
+        }
+        t = star(hosts, link, sw);
+    } else if (kind == "leafspine") {
+        if (hosts == 0 || leaves == 0 || spines == 0) {
+            fail(error, "leafspine needs hosts=, leaves=, spines=");
+            return std::nullopt;
+        }
+        t = leafSpine(hosts, leaves, spines, ovs, link, sw);
+    } else if (kind == "edges") {
+        if (links_val.empty()) {
+            fail(error, "edges needs links=a-b+c-d+...");
+            return std::nullopt;
+        }
+        unsigned max_host = 0, max_switch = 0;
+        struct RawEdge { bool ah, bh; unsigned a, b; };
+        std::vector<RawEdge> raw;
+        for (const std::string &e_text : split(links_val, '+')) {
+            std::string e = trim(e_text);
+            std::size_t dash = e.find('-');
+            bool ah = false, bh = false;
+            unsigned a = 0, b = 0;
+            if (dash == std::string::npos ||
+                !parseVertex(trim(e.substr(0, dash)), ah, a) ||
+                !parseVertex(trim(e.substr(dash + 1)), bh, b)) {
+                fail(error, "edge '" + e + "': want hN-sM or sN-sM");
+                return std::nullopt;
+            }
+            raw.push_back({ah, bh, a, b});
+            if (ah)
+                max_host = std::max(max_host, a + 1);
+            else
+                max_switch = std::max(max_switch, a + 1);
+            if (bh)
+                max_host = std::max(max_host, b + 1);
+            else
+                max_switch = std::max(max_switch, b + 1);
+        }
+        t.hosts = max_host;
+        t.switches = max_switch;
+        t.defaultLink = link;
+        t.switchCfg = sw;
+        for (const RawEdge &e : raw)
+            t.edges.push_back({e.ah ? e.a : t.hosts + e.a,
+                               e.bh ? e.b : t.hosts + e.b, link});
+    } else {
+        fail(error, "unknown kind '" + kind + "'");
+        return std::nullopt;
+    }
+
+    t.spec = spec;
+    if (!t.validate(error))
+        return std::nullopt;
+    return t;
+}
+
+bool
+Topology::validate(std::string *error) const
+{
+    if (hosts == 0 || switches == 0)
+        return fail(error, "need at least one host and one switch");
+    std::vector<unsigned> host_degree(hosts, 0);
+    std::vector<std::vector<unsigned>> adj(vertices());
+    for (const Edge &e : edges) {
+        if (e.a >= vertices() || e.b >= vertices() || e.a == e.b)
+            return fail(error, "edge endpoint out of range");
+        if (isHost(e.a) && isHost(e.b))
+            return fail(error, "host-to-host edge (no switch between)");
+        if (isHost(e.a))
+            ++host_degree[e.a];
+        if (isHost(e.b))
+            ++host_degree[e.b];
+        adj[e.a].push_back(e.b);
+        adj[e.b].push_back(e.a);
+    }
+    for (unsigned h = 0; h < hosts; ++h)
+        if (host_degree[h] != 1)
+            return fail(error, "host h" + std::to_string(h) +
+                                   " needs exactly one attachment, has " +
+                                   std::to_string(host_degree[h]));
+    std::vector<bool> seen(vertices(), false);
+    std::queue<unsigned> bfs;
+    bfs.push(0);
+    seen[0] = true;
+    unsigned reached = 1;
+    while (!bfs.empty()) {
+        unsigned v = bfs.front();
+        bfs.pop();
+        for (unsigned n : adj[v])
+            if (!seen[n]) {
+                seen[n] = true;
+                ++reached;
+                bfs.push(n);
+            }
+    }
+    if (reached != vertices())
+        return fail(error, "graph is not connected");
+    if (switchCfg.pfc.enabled &&
+        switchCfg.pfc.xonBytes >= switchCfg.pfc.xoffBytes)
+        return fail(error, "PFC xon must be below xoff");
+    return true;
+}
+
+std::vector<std::vector<std::vector<unsigned>>>
+Topology::routes() const
+{
+    unsigned n = vertices();
+    std::vector<std::vector<unsigned>> adj(n);
+    for (const Edge &e : edges) {
+        adj[e.a].push_back(e.b);
+        adj[e.b].push_back(e.a);
+    }
+    // Ascending neighbor order keeps ECMP candidate lists (and with
+    // them flow hashing) deterministic across runs.
+    for (auto &a : adj)
+        std::sort(a.begin(), a.end());
+
+    constexpr unsigned kInf = 0xffffffffu;
+    std::vector<std::vector<std::vector<unsigned>>> routes(
+        n, std::vector<std::vector<unsigned>>(hosts));
+    for (unsigned d = 0; d < hosts; ++d) {
+        std::vector<unsigned> dist(n, kInf);
+        std::queue<unsigned> bfs;
+        dist[d] = 0;
+        bfs.push(d);
+        while (!bfs.empty()) {
+            unsigned v = bfs.front();
+            bfs.pop();
+            for (unsigned nb : adj[v])
+                if (dist[nb] == kInf) {
+                    dist[nb] = dist[v] + 1;
+                    bfs.push(nb);
+                }
+        }
+        for (unsigned v = 0; v < n; ++v) {
+            if (v == d || dist[v] == kInf)
+                continue;
+            for (unsigned nb : adj[v])
+                if (dist[nb] + 1 == dist[v])
+                    routes[v][d].push_back(nb);
+        }
+    }
+    return routes;
+}
+
+} // namespace npf::net

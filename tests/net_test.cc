@@ -1,16 +1,41 @@
 /**
  * @file
  * Unit tests for the link and fabric models: serialization delay,
- * FIFO ordering, propagation, and switch forwarding.
+ * FIFO ordering, propagation, switch forwarding, the wire-level
+ * fault matrix, and loopback accounting.
  */
 
 #include <gtest/gtest.h>
 
+#include "fault/fault.hh"
 #include "net/fabric.hh"
 #include "net/link.hh"
 
 using namespace npf;
 using namespace npf::net;
+
+namespace {
+
+fault::FaultPlan
+mustParse(const std::string &spec)
+{
+    std::string err;
+    auto p = fault::FaultPlan::parse(spec, &err);
+    EXPECT_TRUE(p.has_value()) << err;
+    return *p;
+}
+
+LinkConfig
+plainLink()
+{
+    LinkConfig cfg;
+    cfg.bandwidthBitsPerSec = 8e9; // 1 byte/ns
+    cfg.propagation = 0;
+    cfg.perPacketOverheadBytes = 0;
+    return cfg;
+}
+
+} // namespace
 
 TEST(Link, SerializationDelayMatchesBandwidth)
 {
@@ -74,6 +99,73 @@ TEST(Link, OverheadBytesCounted)
     EXPECT_EQ(link.stats().wireBytes, 100u);
 }
 
+// --- the wire-level fault matrix vs FIFO serialization ----------------
+// The link's contract under faults: the wire itself stays FIFO (every
+// packet occupies its serialization slot in send order) while arrival
+// semantics bend per action. These pin the exact arithmetic.
+
+TEST(Link, FaultDropStillHoldsTheWire)
+{
+    sim::EventQueue eq;
+    Link link(eq, plainLink());
+    fault::FaultInjector inj(eq, mustParse("link:drop:nth=1"), 1);
+    bool first = false;
+    sim::Time second = 0;
+    link.send(1000, [&] { first = true; });
+    link.send(1000, [&] { second = eq.now(); });
+    eq.run();
+    EXPECT_FALSE(first); // dropped on the wire
+    // The dropped packet still serialized in [0, 1000): the survivor
+    // queued behind it exactly as if the drop had arrived.
+    EXPECT_EQ(second, 2000u);
+    EXPECT_EQ(link.stats().injDropped, 1u);
+    EXPECT_EQ(link.stats().packets, 2u);
+}
+
+TEST(Link, FaultDuplicateArrivesBeforeOriginal)
+{
+    sim::EventQueue eq;
+    Link link(eq, plainLink());
+    fault::FaultInjector inj(eq, mustParse("link:dup:nth=1"), 1);
+    std::vector<sim::Time> arrivals;
+    link.send(1000, [&] { arrivals.push_back(eq.now()); });
+    eq.run();
+    ASSERT_EQ(arrivals.size(), 2u);
+    // The copy claims the first wire slot, the original follows it.
+    EXPECT_EQ(arrivals[0], 1000u);
+    EXPECT_EQ(arrivals[1], 2000u);
+    EXPECT_EQ(link.stats().injDuplicated, 1u);
+}
+
+TEST(Link, FaultDelayLetsLaterPacketsOvertake)
+{
+    sim::EventQueue eq;
+    Link link(eq, plainLink());
+    fault::FaultInjector inj(eq,
+                             mustParse("link:delay:nth=1,delay=5000"), 1);
+    std::vector<std::pair<int, sim::Time>> arrivals;
+    link.send(1000, [&] { arrivals.push_back({0, eq.now()}); });
+    link.send(1000, [&] { arrivals.push_back({1, eq.now()}); });
+    eq.run();
+    ASSERT_EQ(arrivals.size(), 2u);
+    // The delayed packet held its wire slot [0, 1000) but arrives at
+    // 6000; the packet behind it clocks out at 2000 and overtakes.
+    EXPECT_EQ(arrivals[0], (std::pair<int, sim::Time>{1, 2000}));
+    EXPECT_EQ(arrivals[1], (std::pair<int, sim::Time>{0, 6000}));
+    EXPECT_EQ(link.stats().injDelayed, 1u);
+}
+
+TEST(Link, QueuedBytesCountsOnlyWaitingTraffic)
+{
+    sim::EventQueue eq;
+    Link link(eq, plainLink());
+    link.send(1000, [] {});
+    link.send(500, [] {});
+    eq.run();
+    // The first packet hit an idle wire; only the second waited.
+    EXPECT_EQ(link.stats().queuedBytes, 500u);
+}
+
 TEST(Fabric, DeliversBetweenNodes)
 {
     sim::EventQueue eq;
@@ -110,4 +202,50 @@ TEST(Fabric, IncastSerializesAtDownlink)
     EXPECT_EQ(arrivals[0], 2000u);
     EXPECT_EQ(arrivals[1], 3000u);
     EXPECT_EQ(arrivals[2], 4000u);
+}
+
+// --- loopback (src == dst) --------------------------------------------
+// Loopback used to bypass both the Link fault site and all stats; it
+// now turns around below the first hop with consistent accounting.
+
+TEST(Fabric, LoopbackCostsSwitchLatencyAndIsCounted)
+{
+    sim::EventQueue eq;
+    FabricConfig cfg;
+    cfg.switchLatency = 50;
+    Fabric fabric(eq, 2, cfg);
+    sim::Time arrival = 0;
+    fabric.send(1, 1, 4096, [&] { arrival = eq.now(); });
+    eq.run();
+    EXPECT_EQ(arrival, 50u);
+    EXPECT_EQ(fabric.stats().loopbackPackets, 1u);
+    EXPECT_EQ(fabric.stats().loopbackBytes, 4096u);
+    // Never touches a wire.
+    EXPECT_EQ(fabric.uplink(1).stats().packets, 0u);
+    EXPECT_EQ(fabric.downlink(1).stats().packets, 0u);
+}
+
+TEST(Fabric, LoopbackPollsLinkFaultSite)
+{
+    sim::EventQueue eq;
+    Fabric fabric(eq, 2);
+    fault::FaultInjector inj(eq, mustParse("link:drop:nth=1"), 1);
+    bool delivered = false;
+    fabric.send(0, 0, 100, [&] { delivered = true; });
+    eq.run();
+    EXPECT_FALSE(delivered);
+    EXPECT_EQ(fabric.stats().loopbackInjDropped, 1u);
+    EXPECT_EQ(inj.injected(fault::Site::Link), 1u);
+}
+
+TEST(Fabric, LoopbackDuplicateDeliversTwice)
+{
+    sim::EventQueue eq;
+    Fabric fabric(eq, 2);
+    fault::FaultInjector inj(eq, mustParse("link:dup:nth=1"), 1);
+    int deliveries = 0;
+    fabric.send(0, 0, 100, [&] { ++deliveries; });
+    eq.run();
+    EXPECT_EQ(deliveries, 2);
+    EXPECT_EQ(fabric.stats().loopbackInjDuplicated, 1u);
 }
