@@ -11,11 +11,19 @@
  *    ring degrades gracefully and only with fault cost.
  *  - InfiniBand (56 Gb/s): RNR-NACK-based recovery as a fraction of
  *    the optimum.
+ *
+ * A third section extends the what-if beyond the paper: if the NIC
+ * had no NPF support at all, which registration discipline would you
+ * pick? Four-way shoot-out (copy / pin-down-cache / ODP-NPF /
+ * NP-RDMA-style per-IO mapping — docs/REGISTRATION.md) across the
+ * HPC collective, storage, and KV RPC workloads.
  */
 
 #include <cmath>
 
 #include "bench/common.hh"
+#include "bench/reg_common.hh"
+#include "hpc/imb.hh"
 #include "ib/queue_pair.hh"
 #include "net/fabric.hh"
 
@@ -164,5 +172,32 @@ main(int argc, char **argv)
     row("%s", "paper shape: immediate RNR notification recovers much "
               "better than dropping, approaching 100% as the "
               "frequency falls");
+
+    header("What-if extension: registration discipline shoot-out "
+           "(beyond the paper; docs/REGISTRATION.md)");
+    row("%10s %14s %16s %12s", "discipline", "hpc-beff[MB/s]",
+        "storage[MB/s]", "kv[ops]");
+    sim::Time warm = 100 * sim::kMillisecond;
+    sim::Time meas = 400 * sim::kMillisecond;
+    for (hpc::RegMode mode :
+         {hpc::RegMode::Copy, hpc::RegMode::PinDownCache,
+          hpc::RegMode::Npf, hpc::RegMode::NpRdma}) {
+        double beff;
+        {
+            sim::EventQueue eq;
+            auto obs = openObsSession(withIter(obs_args, g_iter++), eq);
+            hpc::ClusterConfig cfg;
+            cfg.ranks = 4;
+            beff = hpc::runBeff(eq, cfg, mode, 2).beffMBps;
+        }
+        RegRunResult st = regStorageRun(mode, 1, warm, meas);
+        RegRunResult kv = regKvRun(mode, 1, warm, meas);
+        row("%10s %14.0f %16.1f %12llu", hpc::regModeName(mode), beff,
+            st.mbps, (unsigned long long)kv.ops);
+    }
+    row("%s", "shape: npf wins everywhere it has hardware support; "
+              "np-rdma trades throughput for commodity NICs (per-IO "
+              "map/unmap + IOTLB churn); pin pays cold-start "
+              "registration; copy pays per-byte");
     return 0;
 }

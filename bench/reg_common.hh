@@ -1,0 +1,221 @@
+/**
+ * @file
+ * Shared harnesses for the registration-discipline shoot-out
+ * (docs/REGISTRATION.md): the §6.1 storage workload and the KV RPC
+ * workload, each runnable under any hpc::RegMode. Used by
+ * fig10_whatif (the what-if extension section) and reg_shootout
+ * (the tier-9 smoke + alloc gate), so both benches agree on what
+ * each discipline means per workload:
+ *
+ *   copy            storage: the classic pinned tgt (its comm-pool
+ *                   architecture already copies via pinned chunks);
+ *                   KV: values copied into a pinned scratch buffer.
+ *   pin-down-cache  per-IO beforeDma through core::PinDownCache.
+ *   npf             nothing registered; NPFs resolve at DMA time.
+ *   np-rdma         per-IO map/unmap through core::NpRdmaMapping.
+ */
+
+#ifndef NPF_BENCH_REG_COMMON_HH
+#define NPF_BENCH_REG_COMMON_HH
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "app/kv_rpc.hh"
+#include "app/storage.hh"
+#include "bench/common.hh"
+#include "hpc/cluster.hh"
+#include "load/client_pool.hh"
+#include "load/recorder.hh"
+#include "net/fabric.hh"
+
+namespace npf::bench {
+
+/** The shoot-out's strategy for @p mode, or nullptr (copy / npf). */
+inline std::unique_ptr<core::PinningStrategy>
+makeRegStrategy(hpc::RegMode mode, core::NpfController &npfc,
+                core::ChannelId ch)
+{
+    switch (mode) {
+      case hpc::RegMode::PinDownCache:
+        return std::make_unique<core::PinDownCache>(npfc, ch,
+                                                    /*capacity=*/0);
+      case hpc::RegMode::NpRdma:
+        return std::make_unique<core::NpRdmaMapping>(npfc, ch);
+      default:
+        return nullptr;
+    }
+}
+
+/** What one workload run produced under one discipline. */
+struct RegRunResult
+{
+    double mbps = 0.0;      ///< storage: read bandwidth
+    std::uint64_t ops = 0;  ///< kv: completed requests
+    std::uint64_t npfs = 0; ///< server-side NIC page faults
+    std::uint64_t tlbInvalidations = 0;
+    std::uint64_t tlbRefreshes = 0;
+    /// Discipline work: np-rdma maps, or pin-down-cache misses.
+    std::uint64_t regOps = 0;
+};
+
+inline void
+fillRegStats(RegRunResult &r, hpc::RegMode mode,
+             core::NpfController &npfc, core::ChannelId ch,
+             core::PinningStrategy *reg)
+{
+    r.npfs = npfc.stats().npfs;
+    const auto &tlb = npfc.iommu(ch).tlb().stats();
+    r.tlbInvalidations = tlb.invalidations;
+    r.tlbRefreshes = tlb.refreshes;
+    if (mode == hpc::RegMode::NpRdma)
+        r.regOps = static_cast<core::NpRdmaMapping *>(reg)->stats().maps;
+    else if (mode == hpc::RegMode::PinDownCache)
+        r.regOps = static_cast<core::PinDownCache *>(reg)->misses();
+}
+
+/**
+ * The §6.1 storage workload under one discipline: iSER target + one
+ * fio initiator (random 64 KB reads, queue depth 8) over 56 Gb/s IB.
+ */
+inline RegRunResult
+regStorageRun(hpc::RegMode mode, std::uint64_t seed, sim::Time warm,
+              sim::Time meas)
+{
+    sim::EventQueue eq;
+    net::Fabric fabric(eq, 2,
+                       net::FabricConfig{net::LinkConfig{56e9, 300, 32},
+                                         200});
+    mem::MemoryManager tgtMm(2ull << 30), fioMm(1ull << 30);
+    mem::AddressSpace &tgtAs = tgtMm.createAddressSpace("tgt");
+    mem::AddressSpace &fioAs = fioMm.createAddressSpace("fio");
+    core::NpfController tgtNpfc(eq), fioNpfc(eq);
+    core::ChannelId tch = tgtNpfc.attach(tgtAs);
+    core::ChannelId fch = fioNpfc.attach(fioAs);
+    ib::QpConfig qcfg;
+    ib::QueuePair qpT(eq, fabric, 0, tgtNpfc, tch, qcfg, 21);
+    ib::QueuePair qpF(eq, fabric, 1, fioNpfc, fch, qcfg, 22);
+    qpT.connect(qpF);
+    qpF.connect(qpT);
+
+    app::StorageConfig scfg;
+    scfg.lunBytes = 256ull << 20; // bench-sized LUN
+    scfg.pinned = mode == hpc::RegMode::Copy; // the pinned/copy tgt
+    app::StorageTarget tgt(eq, tgtAs, scfg);
+    if (!tgt.ok())
+        return {};
+    auto reg = makeRegStrategy(mode, tgtNpfc, tch);
+    auto queue = std::make_shared<std::deque<app::IoRequest>>();
+    tgt.addSession(qpT, queue, reg.get());
+    app::FioClient fio(eq, qpF, fioAs, queue, 64 * 1024,
+                       /*queue_depth=*/8, scfg.lunBytes, 0x5eed + seed);
+    fio.start();
+
+    eq.runUntil(eq.now() + warm);
+    fio.resetCounters();
+    sim::Time start = eq.now();
+    eq.runUntil(start + meas);
+
+    RegRunResult r;
+    r.mbps = double(fio.bytesRead()) / sim::toSeconds(meas) / 1e6;
+    r.ops = fio.completed();
+    fillRegStats(r, mode, tgtNpfc, tch, reg.get());
+    return r; // teardown mid-flight, like fig08's bed
+}
+
+/** Measure-window markers (the alloc gate brackets with these). */
+struct RegRunHooks
+{
+    std::function<void()> onMeasureStart;
+    std::function<void()> onMeasureEnd;
+};
+
+/**
+ * Open-loop KV RPC over IB RC under one discipline: Poisson GETs
+ * against a zero-copy KvRcServer whose GET responses DMA the item
+ * memory itself. Copy mode short-circuits the zero-copy path: values
+ * are copied into the pinned scratch region instead.
+ */
+inline RegRunResult
+regKvRun(hpc::RegMode mode, std::uint64_t seed, sim::Time warm,
+         sim::Time meas, double rate_per_sec = 120e3,
+         const RegRunHooks &hooks = {})
+{
+    constexpr std::size_t kMiBB = 1ull << 20;
+    sim::EventQueue eq;
+    net::Fabric fabric(eq, 2,
+                       net::FabricConfig{net::LinkConfig{56e9, 300, 32},
+                                         200});
+    mem::MemoryManager serverMm(2ull << 30), clientMm(2ull << 30);
+    mem::AddressSpace &serverAs = serverMm.createAddressSpace("kv");
+    mem::AddressSpace &clientAs = clientMm.createAddressSpace("load");
+    core::NpfController serverNpfc(eq), clientNpfc(eq);
+    core::ChannelId sch = serverNpfc.attach(serverAs);
+    core::ChannelId cch = clientNpfc.attach(clientAs);
+
+    app::HostModel host;
+    host.addInstance();
+    app::KvStore kv(serverAs, 64 * kMiBB, 1024);
+    app::KvRpcConfig rpc;
+    rpc.copyValues = mode == hpc::RegMode::Copy;
+    app::KvRcServer server(eq, kv, host, serverAs, rpc);
+    auto reg = makeRegStrategy(mode, serverNpfc, sch);
+    server.setRegistration(reg.get());
+    constexpr std::uint64_t kKeys = 2000;
+    for (std::uint64_t k = 0; k < kKeys; ++k)
+        kv.set(k);
+
+    load::PoolConfig pc;
+    pc.clients = 256;
+    pc.seed = seed;
+    pc.workload.arrival.kind = load::ArrivalSpec::Kind::Poisson;
+    pc.workload.arrival.ratePerSec = rate_per_sec;
+    pc.workload.keys.kind = load::KeySpec::Kind::Uniform;
+    pc.workload.keys.keys = kKeys;
+    pc.workload.getRatio = 0.9;
+
+    std::vector<std::unique_ptr<ib::QueuePair>> qps;
+    std::vector<std::unique_ptr<app::KvRcTransport>> transports;
+    load::Recorder rec(load::RecorderConfig{warm, meas});
+    load::ClientPool pool(eq, pc);
+    pool.setRecorder(rec);
+    rec.reserveLatencyRange(0.1, 1e7);
+    for (unsigned i = 0; i < 4; ++i) {
+        auto qpS = std::make_unique<ib::QueuePair>(eq, fabric, 0,
+                                                   serverNpfc, sch);
+        auto qpC = std::make_unique<ib::QueuePair>(eq, fabric, 1,
+                                                   clientNpfc, cch);
+        qpS->connect(*qpC);
+        qpC->connect(*qpS);
+        auto reqs = std::make_shared<sim::RingDeque<app::KvRpcRequest>>();
+        auto rsps =
+            std::make_shared<sim::RingDeque<app::KvRpcResponse>>();
+        server.addSession(*qpS, reqs, rsps);
+        transports.push_back(std::make_unique<app::KvRcTransport>(
+            *qpC, clientAs, reqs, rsps, rpc));
+        transports.back()->connect(pool);
+        qps.push_back(std::move(qpS));
+        qps.push_back(std::move(qpC));
+    }
+    pool.start();
+
+    eq.runUntil(warm);
+    if (hooks.onMeasureStart)
+        hooks.onMeasureStart();
+    std::uint64_t ops0 = pool.completions();
+    eq.runUntil(warm + meas);
+    if (hooks.onMeasureEnd)
+        hooks.onMeasureEnd();
+
+    RegRunResult r;
+    r.ops = pool.completions() - ops0;
+    fillRegStats(r, mode, serverNpfc, sch, reg.get());
+    pool.stop();
+    return r;
+}
+
+} // namespace npf::bench
+
+#endif // NPF_BENCH_REG_COMMON_HH

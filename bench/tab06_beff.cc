@@ -3,7 +3,9 @@
  * Reproduces Table 6: the effective bandwidth benchmark (beff) on 8
  * nodes. Paper row: pinning 16410+-45, NPF 16440+-10, copying
  * 8020+-20 MB/s — RDMA beats copying about 2x, and NPF delivers the
- * RDMA number without pinning.
+ * RDMA number without pinning. A fourth row extends the design space
+ * with NP-RDMA-style on-demand IOVA mapping (docs/REGISTRATION.md):
+ * no pinning on a commodity NIC, paid for in per-IO map/unmap work.
  */
 
 #include "bench/common.hh"
@@ -23,7 +25,7 @@ main(int argc, char **argv)
     double pin_val = 0;
     unsigned iter = 0;
     for (RegMode mode : {RegMode::PinDownCache, RegMode::Npf,
-                         RegMode::Copy}) {
+                         RegMode::Copy, RegMode::NpRdma}) {
         sim::EventQueue eq;
         auto obs = openObsSession(withIter(obs_args, iter++), eq);
         BeffResult res = runBeff(eq, cfg, mode, 3);

@@ -247,4 +247,53 @@ fi
 }
 echo "BENCH_fabric.json regenerated"
 
+echo "== tier 9: registration shoot-out (reg_shootout) =="
+# Four-discipline shoot-out (docs/REGISTRATION.md): two seeds must
+# replay bit-identically under ASan/UBSan, the three pre-existing
+# disciplines (copy / pin-down-cache / npf) must match the pinned
+# goldens, and the NP-RDMA per-IO map/unmap hot path must run its
+# measure window with exactly zero heap allocations. The alloc gate
+# runs on the plain build: ASan interposes operator new, so the
+# counting overrides never see the traffic there.
+mkdir -p "$smokedir/reg"
+for seed in 1 2; do
+    ./build-asan/bench/reg_shootout --smoke --seed="$seed" \
+        > "$smokedir/reg/seed$seed.a.txt" 2>&1
+    ./build-asan/bench/reg_shootout --smoke --seed="$seed" \
+        > "$smokedir/reg/seed$seed.b.txt" 2>&1
+    if ! cmp -s "$smokedir/reg/seed$seed.a.txt" \
+                "$smokedir/reg/seed$seed.b.txt"; then
+        echo "FAIL: reg_shootout seed $seed is not deterministic:"
+        diff "$smokedir/reg/seed$seed.a.txt" \
+             "$smokedir/reg/seed$seed.b.txt" || true
+        exit 1
+    fi
+    echo "reg seed $seed: bit-identical replay"
+done
+if cmp -s "$smokedir/reg/seed1.a.txt" "$smokedir/reg/seed2.a.txt"; then
+    echo "FAIL: reg seeds 1 and 2 produced identical runs"
+    exit 1
+fi
+for mode in copy pin npf; do
+    ./build-asan/bench/reg_shootout --smoke --seed=1 --mode="$mode" \
+        > "$smokedir/reg/reg_$mode.txt" 2>&1
+done
+if (cd "$smokedir/reg" \
+        && sha256sum -c "$OLDPWD/scripts/golden_digests_reg.sha256"); then
+    echo "reg digests: pre-existing disciplines bit-identical to goldens"
+else
+    echo "FAIL: a pre-existing registration discipline diverged from"
+    echo "its golden digest. NP-RDMA must not perturb copy/pin/npf; if"
+    echo "the divergence is intentional, regenerate"
+    echo "scripts/golden_digests_reg.sha256 from the new outputs."
+    exit 1
+fi
+if ! ./build/bench/reg_shootout --seed=1 --mode=np-rdma --alloc-gate \
+        > "$smokedir/reg/gate.txt" 2>&1; then
+    echo "FAIL: NP-RDMA per-IO path allocated in steady state:"
+    cat "$smokedir/reg/gate.txt"
+    exit 1
+fi
+grep "reg_steady_allocs" "$smokedir/reg/gate.txt"
+
 echo "== all checks passed =="

@@ -11,10 +11,13 @@ KvRcServer::KvRcServer(sim::EventQueue &eq, KvStore &store,
                        KvRpcConfig cfg)
     : eq_(eq), store_(store), host_(host), as_(as), cfg_(cfg)
 {
-    std::size_t bytes = std::max<std::size_t>(cfg_.missReplyBytes, 64);
-    scratch_ = as_.allocRegion(bytes, "kvrpc-scratch");
-    as_.touch(scratch_, bytes, true);
-    as_.pinRange(scratch_, bytes);
+    scratchBytes_ = std::max<std::size_t>(cfg_.missReplyBytes, 64);
+    if (cfg_.copyValues)
+        scratchBytes_ =
+            std::max(scratchBytes_, cfg_.valueBytes + 48);
+    scratch_ = as_.allocRegion(scratchBytes_, "kvrpc-scratch");
+    as_.touch(scratch_, scratchBytes_, true);
+    as_.pinRange(scratch_, scratchBytes_);
 }
 
 void
@@ -33,8 +36,7 @@ KvRcServer::addSession(ib::QueuePair &qp, KvRpcRequestQueue requests,
     as_.touch(s->recvRegion, bytes, true);
     as_.pinRange(s->recvRegion, bytes);
     qp.controller().prefault(qp.channel(), s->recvRegion, bytes, true);
-    qp.controller().prefault(qp.channel(), scratch_,
-                             std::max<std::size_t>(cfg_.missReplyBytes, 64),
+    qp.controller().prefault(qp.channel(), scratch_, scratchBytes_,
                              false);
 
     // Attribution lanes: one lane per session shared by both QP
@@ -52,8 +54,21 @@ KvRcServer::addSession(ib::QueuePair &qp, KvRpcRequestQueue requests,
 
     Session *raw = s.get();
     qp.onCompletion([this, raw](const ib::Completion &c) {
-        if (c.isRecv)
+        if (c.isRecv) {
             handleRequest(*raw);
+            return;
+        }
+        if (raw->inflight.empty())
+            return;
+        // Send completed: the DMA read is over, so a per-IO
+        // registration discipline unmaps the value extent now.
+        PendingDma d = raw->inflight.front();
+        raw->inflight.pop_front();
+        if (reg_ != nullptr && d.len != 0) {
+            sim::Time t = reg_->afterDma(d.addr, d.len);
+            busyUntil_ = std::max(eq_.now(), busyUntil_) + t;
+            obs::attributor().charge(attrLane_, obs::Phase::Server, t);
+        }
     });
     for (unsigned i = 0; i < cfg_.recvSlots; ++i)
         postRecv(*raw);
@@ -85,6 +100,17 @@ KvRcServer::handleRequest(Session &s)
                             : store_.getRef(req.key);
     sim::Time cpu = host_.scaled(cfg_.baseOpCpu) + kr.memCost;
 
+    // The copy discipline stages the value into the pinned scratch
+    // region; otherwise the response DMA-reads item memory directly,
+    // and a per-IO discipline maps that extent before the post.
+    bool hit_payload = !req.isSet && kr.hit;
+    bool value_send = hit_payload && !cfg_.copyValues;
+    if (hit_payload && cfg_.copyValues)
+        cpu += sim::fromSeconds(double(cfg_.valueBytes + 48) /
+                                cfg_.copyBwBytesPerSec);
+    if (reg_ != nullptr && value_send)
+        cpu += reg_->beforeDma(kr.valueAddr, cfg_.valueBytes + 48);
+
     sim::Time start = std::max(eq_.now(), busyUntil_);
     sim::Time done = start + cpu;
     busyUntil_ = done;
@@ -94,15 +120,19 @@ KvRcServer::handleRequest(Session &s)
     // server work that delayed it, not just its own service time.
     obs::attributor().charge(attrLane_, obs::Phase::Server, cpu);
 
-    bool value = !req.isSet && kr.hit;
     Session *raw = &s;
-    eq_.schedule(done, [this, raw, req, kr, value] {
+    eq_.schedule(done, [this, raw, req, kr, hit_payload, value_send] {
         raw->responses->push_back(KvRpcResponse{req.serial,
                                                 !req.isSet && kr.hit});
         ib::WorkRequest wr;
         wr.op = ib::Opcode::Send;
-        wr.local = value ? kr.valueAddr : scratch_;
-        wr.len = value ? cfg_.valueBytes + 48 : cfg_.missReplyBytes;
+        wr.local = value_send ? kr.valueAddr : scratch_;
+        wr.len =
+            hit_payload ? cfg_.valueBytes + 48 : cfg_.missReplyBytes;
+        if (reg_ != nullptr)
+            raw->inflight.push_back(PendingDma{
+                value_send ? kr.valueAddr : mem::VirtAddr(0),
+                value_send ? cfg_.valueBytes + 48 : std::size_t(0)});
         raw->qp->postSend(wr);
     });
 }

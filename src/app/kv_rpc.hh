@@ -26,6 +26,7 @@
 
 #include "app/host_model.hh"
 #include "app/kv_store.hh"
+#include "core/pinning.hh"
 #include "ib/queue_pair.hh"
 #include "load/client_pool.hh"
 #include "sim/ring_deque.hh"
@@ -42,6 +43,12 @@ struct KvRpcConfig
     std::size_t requestBytes = 64;
     std::size_t missReplyBytes = 64;
     unsigned recvSlots = 64; ///< pre-posted receive WQEs per session
+    /** Copy GET values into the pinned scratch region instead of
+     *  zero-copy DMA from the item memory (the "copy" registration
+     *  discipline — docs/REGISTRATION.md). */
+    bool copyValues = false;
+    /** memcpy bandwidth for copyValues. */
+    double copyBwBytesPerSec = 12e9;
 };
 
 /** Out-of-band request descriptor (client -> server). */
@@ -81,9 +88,24 @@ class KvRcServer
     void addSession(ib::QueuePair &qp, KvRpcRequestQueue requests,
                     KvRpcResponseQueue responses);
 
+    /**
+     * Use @p reg for the zero-copy value memory: GET-hit responses
+     * bracket their DMA-source with beforeDma()/afterDma() (per-IO
+     * registration, NP-RDMA style). nullptr (default) keeps the
+     * NPF/ODP behavior: post directly, fault on access.
+     */
+    void setRegistration(core::PinningStrategy *reg) { reg_ = reg; }
+
     std::uint64_t opsServed() const { return ops_; }
 
   private:
+    /** One posted Send's DMA extent; len 0 = scratch (pinned). */
+    struct PendingDma
+    {
+        mem::VirtAddr addr = 0;
+        std::size_t len = 0;
+    };
+
     struct Session
     {
         ib::QueuePair *qp = nullptr;
@@ -91,6 +113,8 @@ class KvRcServer
         KvRpcResponseQueue responses;
         mem::VirtAddr recvRegion = 0;
         unsigned nextRecv = 0;
+        /// Sends in flight, wire order (RC completes in order).
+        sim::RingDeque<PendingDma> inflight;
     };
 
     void postRecv(Session &s);
@@ -101,7 +125,9 @@ class KvRcServer
     HostModel &host_;
     mem::AddressSpace &as_;
     KvRpcConfig cfg_;
+    core::PinningStrategy *reg_ = nullptr; ///< optional, not owned
     mem::VirtAddr scratch_ = 0; ///< miss/ack reply source (warm)
+    std::size_t scratchBytes_ = 0;
     sim::Time busyUntil_ = 0;
     std::uint64_t ops_ = 0;
     int attrLane_ = -1; ///< server-core lane (shared by all sessions)

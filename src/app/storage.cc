@@ -35,11 +35,13 @@ StorageTarget::StorageTarget(sim::EventQueue &eq, mem::AddressSpace &as,
 
 void
 StorageTarget::addSession(
-    ib::QueuePair &qp, std::shared_ptr<std::deque<IoRequest>> request_queue)
+    ib::QueuePair &qp, std::shared_ptr<std::deque<IoRequest>> request_queue,
+    core::PinningStrategy *reg)
 {
     auto s = std::make_unique<Session>();
     s->qp = &qp;
     s->requests = std::move(request_queue);
+    s->reg = reg;
     std::size_t per_session = cfg_.chunkBytes * cfg_.chunksPerSession;
     std::size_t idx = sessions_.size();
     assert((idx + 1) * per_session <= kPoolBytes &&
@@ -48,6 +50,13 @@ StorageTarget::addSession(
 
     // Post receive WQEs for inbound requests.
     s->recvRegion = as_.allocRegion(kMsgBytes * 64, "req-bufs");
+    if (reg != nullptr) {
+        // Per-IO registration modes map the control ring up front
+        // (the NIC must never fault — there is no NPF/RNR path).
+        as_.touch(s->recvRegion, kMsgBytes * 64, true);
+        qp.controller().prefault(qp.channel(), s->recvRegion,
+                                 kMsgBytes * 64, true);
+    }
     for (unsigned i = 0; i < 64; ++i) {
         ib::WorkRequest r;
         r.local = s->recvRegion + (i % 64) * kMsgBytes;
@@ -58,8 +67,19 @@ StorageTarget::addSession(
 
     Session *sp = s.get();
     qp.onCompletion([this, sp](const ib::Completion &c) {
-        if (c.isRecv && c.ok)
-            handleRequest(*sp);
+        if (c.isRecv) {
+            if (c.ok)
+                handleRequest(*sp);
+            return;
+        }
+        if (sp->reg == nullptr || sp->inflight.empty())
+            return;
+        // Send completed: a per-IO discipline unmaps the extent now.
+        PendingDma d = sp->inflight.front();
+        sp->inflight.pop_front();
+        if (d.len != 0)
+            busyUntil_ = std::max(eq_.now(), busyUntil_) +
+                         sp->reg->afterDma(d.addr, d.len);
     });
     sessions_.push_back(std::move(s));
 }
@@ -85,6 +105,13 @@ StorageTarget::handleRequest(Session &s)
     mem::AccessResult tr = as_.touch(chunk, req.len, /*write=*/true);
     cost += tr.cost;
 
+    // Per-IO registration: map the data chunk and the response-header
+    // extent before posting (NP-RDMA style dynamic DMA mapping).
+    if (s.reg != nullptr) {
+        cost += s.reg->beforeDma(chunk, req.len);
+        cost += s.reg->beforeDma(s.chunkRegion, kMsgBytes);
+    }
+
     sim::Time start = std::max(eq_.now(), busyUntil_);
     sim::Time done = start + cost;
     busyUntil_ = done;
@@ -99,6 +126,10 @@ StorageTarget::handleRequest(Session &s)
         w.remote = req.initiatorBuf;
         w.len = req.len;
         w.wrId = req.id;
+        if (s.reg != nullptr) {
+            s.inflight.push_back(PendingDma{chunk, req.len});
+            s.inflight.push_back(PendingDma{s.chunkRegion, kMsgBytes});
+        }
         s.qp->postSend(w);
 
         ib::WorkRequest rsp;

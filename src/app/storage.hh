@@ -15,11 +15,13 @@
 #include <vector>
 
 #include "app/disk.hh"
+#include "core/pinning.hh"
 #include "ib/queue_pair.hh"
 #include "load/recorder.hh"
 #include "mem/memory_manager.hh"
 #include "mem/page_cache.hh"
 #include "sim/random.hh"
+#include "sim/ring_deque.hh"
 
 namespace npf::app {
 
@@ -64,10 +66,14 @@ class StorageTarget
     /**
      * Register one session. @p qp is the target-side queue pair
      * (already connected); @p request_queue is the out-of-band
-     * request descriptor channel shared with the initiator.
+     * request descriptor channel shared with the initiator. If
+     * @p reg is non-null the session brackets every outbound DMA
+     * (data chunk + response header) with beforeDma()/afterDma() —
+     * the per-IO registration disciplines (docs/REGISTRATION.md).
      */
     void addSession(ib::QueuePair &qp,
-                    std::shared_ptr<std::deque<IoRequest>> request_queue);
+                    std::shared_ptr<std::deque<IoRequest>> request_queue,
+                    core::PinningStrategy *reg = nullptr);
 
     std::uint64_t iosServed() const { return ios_; }
     Disk &disk() { return disk_; }
@@ -77,6 +83,13 @@ class StorageTarget
     std::size_t residentBytes() const { return as_.residentBytes(); }
 
   private:
+    /** One posted Send's DMA extent (per-IO registration modes). */
+    struct PendingDma
+    {
+        mem::VirtAddr addr = 0;
+        std::size_t len = 0;
+    };
+
     struct Session
     {
         ib::QueuePair *qp;
@@ -85,6 +98,9 @@ class StorageTarget
         mem::VirtAddr recvRegion = 0;
         unsigned nextChunk = 0;
         std::uint64_t nextRecvId = 1;
+        core::PinningStrategy *reg = nullptr; ///< optional, not owned
+        /// Sends in flight, wire order (RC completes in order).
+        sim::RingDeque<PendingDma> inflight;
     };
 
     void handleRequest(Session &s);

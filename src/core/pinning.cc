@@ -106,10 +106,14 @@ PinDownCache::beforeDma(mem::VirtAddr addr, std::size_t len)
     sim::Time cost = 0;
 
     // Re-registering the same base with a different length: retire
-    // the old region first so its LRU entry cannot dangle.
+    // the old region first so its LRU entry cannot dangle. This is a
+    // replacement, not a capacity eviction — count it separately so
+    // eviction stats keep meaning "the budget pushed something out".
     auto same = regions_.find(addr);
-    if (same != regions_.end())
+    if (same != regions_.end()) {
+        ++reregistrations_;
         cost += evictRegion(same);
+    }
 
     // Bytes this extent would newly pin. Pages shared with cached
     // siblings are refcounted, not double-counted, so only pages not
@@ -136,8 +140,10 @@ PinDownCache::beforeDma(mem::VirtAddr addr, std::size_t len)
     mem::AccessResult res = as.pinRange(addr, len);
     if (!res.ok) {
         // Under memory pressure keep evicting; if nothing is left to
-        // evict, report failure.
+        // evict, report failure. Each failed attempt still burned CPU
+        // faulting pages in before it hit the wall — charge it.
         while (!res.ok && !regions_.empty()) {
+            cost += res.cost;
             cost += evictOne();
             res = as.pinRange(addr, len);
         }
@@ -169,6 +175,7 @@ PinDownCache::evictOne()
     mem::VirtAddr victim = lru_.back();
     auto it = regions_.find(victim);
     assert(it != regions_.end());
+    ++evictions_;
     return evictRegion(it);
 }
 
@@ -178,7 +185,6 @@ PinDownCache::evictRegion(std::map<mem::VirtAddr, Region>::iterator it)
     Region r = it->second;
     lru_.erase(r.lruIt);
     regions_.erase(it);
-    ++evictions_;
 
     // The address space pins are per-region (pinRange refcounts at
     // the PTE), so the symmetric unpin is always safe.
@@ -210,6 +216,270 @@ PinDownCache::evictRegion(std::map<mem::VirtAddr, Region>::iterator it)
             pageRefs_.erase(pr);
             assert(pinnedBytes_ >= mem::kPageSize);
             pinnedBytes_ -= mem::kPageSize;
+            if (run_pages == 0)
+                run_start = v;
+            ++run_pages;
+        } else {
+            flush_run();
+        }
+    }
+    flush_run();
+    return cost;
+}
+
+// --- NpRdmaMapping ----------------------------------------------------
+
+NpRdmaMapping::NpRdmaMapping(NpfController &npfc, ChannelId ch,
+                             std::size_t table_entries, MapCosts costs)
+    : npfc_(npfc), ch_(ch), costs_(costs),
+      capacity_(table_entries == 0 ? 1 : table_entries)
+{
+    slots_.resize(capacity_);
+    for (std::size_t i = 0; i < capacity_; ++i)
+        slots_[i].next = i + 1 < capacity_ ? std::uint32_t(i + 1) : kNil;
+    freeHead_ = 0;
+    std::size_t buckets = 16;
+    while (buckets < capacity_ * 2)
+        buckets <<= 1;
+    table_.assign(buckets, kNil);
+    mask_ = buckets - 1;
+
+    obs_.init("core.nprdma");
+    obs_.counter("maps", &stats_.maps);
+    obs_.counter("unmaps", &stats_.unmaps);
+    obs_.counter("reuses", &stats_.reuses);
+    obs_.counter("overflows", &stats_.overflows);
+    obs_.counter("pages_mapped", &stats_.pagesMapped);
+    obs_.counter("pages_unmapped", &stats_.pagesUnmapped);
+}
+
+std::size_t
+NpRdmaMapping::homeBucket(mem::VirtAddr base) const
+{
+    return std::size_t((std::uint64_t(base) * 0x9e3779b97f4a7c15ull) >>
+                       32) &
+           mask_;
+}
+
+std::size_t
+NpRdmaMapping::findBucket(mem::VirtAddr base) const
+{
+    std::size_t b = homeBucket(base);
+    while (table_[b] != kNil && slots_[table_[b]].base != base)
+        b = (b + 1) & mask_;
+    return b;
+}
+
+void
+NpRdmaMapping::removeAt(std::size_t b)
+{
+    std::uint32_t s = table_[b];
+    unlinkLru(s);
+    slots_[s].next = freeHead_;
+    freeHead_ = s;
+    --size_;
+
+    // Backward-shift deletion, as in iommu::IoTlb::removeAt.
+    std::size_t hole = b;
+    std::size_t i = b;
+    for (;;) {
+        i = (i + 1) & mask_;
+        std::uint32_t occ = table_[i];
+        if (occ == kNil)
+            break;
+        std::size_t home = homeBucket(slots_[occ].base);
+        if (((i - home) & mask_) >= ((i - hole) & mask_)) {
+            table_[hole] = occ;
+            hole = i;
+        }
+    }
+    table_[hole] = kNil;
+}
+
+void
+NpRdmaMapping::pushFrontLru(std::uint32_t s)
+{
+    slots_[s].prev = kNil;
+    slots_[s].next = head_;
+    if (head_ != kNil)
+        slots_[head_].prev = s;
+    head_ = s;
+    if (tail_ == kNil)
+        tail_ = s;
+}
+
+void
+NpRdmaMapping::unlinkLru(std::uint32_t s)
+{
+    if (slots_[s].prev != kNil)
+        slots_[slots_[s].prev].next = slots_[s].next;
+    else
+        head_ = slots_[s].next;
+    if (slots_[s].next != kNil)
+        slots_[slots_[s].next].prev = slots_[s].prev;
+    else
+        tail_ = slots_[s].prev;
+}
+
+void
+NpRdmaMapping::touchLru(std::uint32_t s)
+{
+    if (head_ == s)
+        return;
+    unlinkLru(s);
+    pushFrontLru(s);
+}
+
+bool
+NpRdmaMapping::coveredElsewhere(mem::Vpn vpn) const
+{
+    // Live extents only (the LRU chain IS the live set); the table is
+    // bounded, so this scan is allocation-free and short.
+    for (std::uint32_t s = head_; s != kNil; s = slots_[s].next) {
+        const Entry &e = slots_[s];
+        if (e.len != 0 && vpn >= mem::pageOf(e.base) &&
+            vpn <= mem::pageOf(e.base + e.len - 1))
+            return true;
+    }
+    return false;
+}
+
+void
+NpRdmaMapping::warmTlb(mem::VirtAddr addr, std::size_t len)
+{
+    // The map doorbell carries the new translations, so the device
+    // cache is pre-loaded (no cold miss on first DMA). Pages an
+    // in-flight sibling already cached take the insert() refresh
+    // path — the re-map traffic IoTlb::Stats::refreshes counts.
+    iommu::IoMmu &mmu = npfc_.iommu(ch_);
+    mem::Vpn first = mem::pageOf(addr);
+    mem::Vpn last = mem::pageOf(addr + len - 1);
+    for (mem::Vpn v = first; v <= last; ++v) {
+        if (auto pfn = mmu.pageTable().lookup(v))
+            mmu.tlb().insert(v, *pfn);
+    }
+}
+
+sim::Time
+NpRdmaMapping::beforeDma(mem::VirtAddr addr, std::size_t len)
+{
+    sim::Time cost = costs_.tableLookup;
+    if (len == 0)
+        return cost;
+
+    std::size_t b = findBucket(addr);
+    if (table_[b] != kNil) {
+        std::uint32_t s = table_[b];
+        Entry &e = slots_[s];
+        if (addr + len <= e.base + e.len) {
+            // In-flight reuse: the extent is already mapped; just
+            // take a reference on the table entry.
+            ++e.refs;
+            ++stats_.reuses;
+            touchLru(s);
+            return cost;
+        }
+        // Same base, longer extent: map the missing tail and grow
+        // the entry so the widest in-flight IO stays covered.
+        mem::VirtAddr tail = e.base + e.len;
+        std::size_t tail_len = (addr + len) - tail;
+        mem::AccessResult pf = npfc_.prefault(ch_, tail, tail_len, true);
+        if (!pf.ok) {
+            ok_ = false;
+            return cost + pf.cost;
+        }
+        std::size_t pages = mem::pagesCovering(tail, tail_len);
+        warmTlb(tail, tail_len);
+        e.len = len;
+        ++e.refs;
+        ++stats_.maps;
+        stats_.pagesMapped += pages;
+        touchLru(s);
+        return cost + pf.cost + costs_.mapBase +
+               pages * costs_.mapPerPage;
+    }
+
+    // Fresh mapping. The table bounds how many in-flight extents the
+    // driver tracks; past the bound the IO still maps, but untracked
+    // (afterDma unmaps it by address).
+    bool tracked = size_ < capacity_;
+    if (!tracked)
+        ++stats_.overflows;
+
+    // No pinning: fault the pages in CPU-side and install the IOMMU
+    // PTEs. The memory stays reclaimable the whole time.
+    mem::AccessResult pf = npfc_.prefault(ch_, addr, len, /*write=*/true);
+    if (!pf.ok) {
+        ok_ = false;
+        return cost + pf.cost;
+    }
+    std::size_t pages = mem::pagesCovering(addr, len);
+    warmTlb(addr, len);
+    ++stats_.maps;
+    stats_.pagesMapped += pages;
+    cost += pf.cost + costs_.mapBase + pages * costs_.mapPerPage;
+
+    if (tracked) {
+        std::uint32_t s = freeHead_;
+        freeHead_ = slots_[s].next;
+        slots_[s].base = addr;
+        slots_[s].len = len;
+        slots_[s].refs = 1;
+        table_[b] = s;
+        pushFrontLru(s);
+        ++size_;
+    }
+    return cost;
+}
+
+sim::Time
+NpRdmaMapping::afterDma(mem::VirtAddr addr, std::size_t len)
+{
+    sim::Time cost = costs_.tableLookup;
+    if (len == 0)
+        return cost;
+
+    std::size_t b = findBucket(addr);
+    if (table_[b] != kNil) {
+        std::uint32_t s = table_[b];
+        Entry &e = slots_[s];
+        assert(e.refs > 0);
+        if (--e.refs > 0)
+            return cost; // siblings still share the mapping
+        mem::VirtAddr base = e.base;
+        std::size_t elen = e.len;
+        removeAt(b);
+        return cost + unmapExtent(base, elen);
+    }
+    // Untracked IO (table overflowed at map time).
+    return cost + unmapExtent(addr, len);
+}
+
+sim::Time
+NpRdmaMapping::unmapExtent(mem::VirtAddr base, std::size_t len)
+{
+    std::size_t pages = mem::pagesCovering(base, len);
+    sim::Time cost = costs_.unmapBase + pages * costs_.unmapPerPage;
+    ++stats_.unmaps;
+
+    // Per-IO unmap with per-page IOTLB invalidation — the price of
+    // not pinning on a commodity NIC. Pages another in-flight extent
+    // still covers keep their mapping (its DMA must not fault).
+    mem::Vpn run_start = 0;
+    std::size_t run_pages = 0;
+    auto flush_run = [&] {
+        if (run_pages == 0)
+            return;
+        InvalidationBreakdown inv = npfc_.invalidateRange(
+            ch_, mem::addrOf(run_start), run_pages * mem::kPageSize);
+        cost += inv.total();
+        stats_.pagesUnmapped += run_pages;
+        run_pages = 0;
+    };
+    mem::Vpn first = mem::pageOf(base);
+    mem::Vpn last = mem::pageOf(base + len - 1);
+    for (mem::Vpn v = first; v <= last; ++v) {
+        if (!coveredElsewhere(v)) {
             if (run_pages == 0)
                 run_start = v;
             ++run_pages;

@@ -1,10 +1,13 @@
 /**
  * @file
- * The four memory-registration disciplines the paper compares
- * (Table 3): static pinning, fine-grained pinning, a coarse-grained
- * pin-down cache, and NPF ("none"). Applications and the HPC
- * middleware call beforeDma()/afterDma() around each transfer and
- * are charged whatever the discipline costs.
+ * The five memory-registration disciplines: the four the paper
+ * compares (Table 3) — static pinning, fine-grained pinning, a
+ * coarse-grained pin-down cache, and NPF ("none") — plus the
+ * NP-RDMA-style on-demand IOVA mapping discipline (dynamic DMA
+ * mapping with a driver-side translation table; see
+ * docs/REGISTRATION.md). Applications and the HPC middleware call
+ * beforeDma()/afterDma() around each transfer and are charged
+ * whatever the discipline costs.
  */
 
 #ifndef NPF_CORE_PINNING_HH
@@ -15,9 +18,11 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "core/npf_controller.hh"
 #include "mem/address_space.hh"
+#include "obs/metrics.hh"
 #include "sim/time.hh"
 
 namespace npf::core {
@@ -41,6 +46,29 @@ struct PinCosts
     sim::Time regMrBase = sim::fromMicroseconds(120);
     /** Pin-down cache hit lookup cost. */
     sim::Time cacheLookup = 200;
+};
+
+/**
+ * Cost knobs for NP-RDMA-style on-demand IOVA mapping (dynamic DMA
+ * mapping through the kernel DMA API, amortized by a driver-side
+ * translation table). Per-IO map/unmap replaces pin/unpin: there is
+ * no get_user_pages refcounting and no ibv_reg_mr, just IOVA
+ * allocation plus IOMMU PTE installs, so the per-page costs sit well
+ * below PinCosts' pin path.
+ */
+struct MapCosts
+{
+    /** dma_map_sg-style driver entry (IOVA allocation included). */
+    sim::Time mapBase = sim::fromMicroseconds(0.6);
+    /** Per-page IOMMU PTE install on the map path. */
+    sim::Time mapPerPage = 400;
+    /** dma_unmap fixed cost. */
+    sim::Time unmapBase = sim::fromMicroseconds(0.5);
+    /** Per-page PTE clear (the IOTLB invalidate is charged through
+     *  the NpfController's Fig. 3(b) invalidation model). */
+    sim::Time unmapPerPage = 300;
+    /** Driver translation-table probe (both map and unmap side). */
+    sim::Time tableLookup = 150;
 };
 
 /**
@@ -144,7 +172,10 @@ class PinDownCache : public PinningStrategy
 
     std::uint64_t hits() const { return hits_; }
     std::uint64_t misses() const { return misses_; }
+    /** Capacity / memory-pressure evictions only. */
     std::uint64_t evictions() const { return evictions_; }
+    /** Same-base re-registrations (old region retired in place). */
+    std::uint64_t reregistrations() const { return reregistrations_; }
 
   private:
     struct Region
@@ -169,6 +200,7 @@ class PinDownCache : public PinningStrategy
     std::uint64_t hits_ = 0;
     std::uint64_t misses_ = 0;
     std::uint64_t evictions_ = 0;
+    std::uint64_t reregistrations_ = 0;
 };
 
 /**
@@ -184,6 +216,101 @@ class NpfPinning : public PinningStrategy
     sim::Time setup(mem::VirtAddr, std::size_t) override { return 0; }
     sim::Time beforeDma(mem::VirtAddr, std::size_t) override { return 0; }
     sim::Time afterDma(mem::VirtAddr, std::size_t) override { return 0; }
+};
+
+/**
+ * NP-RDMA-style on-demand IOVA mapping: RDMA without pinning on a
+ * commodity (non-NPF) NIC. Every transfer dynamically maps its buffer
+ * through the DMA API (beforeDma) and unmaps it at completion
+ * (afterDma); the driver keeps a bounded translation table of
+ * in-flight extents so concurrent IOs over the same buffer share one
+ * mapping. Pages are faulted in CPU-side and their translations are
+ * pushed into the device IOTLB with the map doorbell, so the NIC
+ * never takes an NPF and there is no RNR-NACK path — but nothing is
+ * pinned either, and every unmap invalidates its pages in the IOTLB,
+ * so miss-heavy workloads thrash the device cache (visible in
+ * IoTlb::Stats: invalidations and refreshes track the re-map
+ * traffic).
+ *
+ * The table follows the IoTlb flat-cache idiom (docs/MEMORY.md): an
+ * open-addressing index over fixed slots with intrusive LRU links,
+ * sized once at construction — the per-IO path performs no heap
+ * allocation in steady state (scripts/check.sh tier 9 gates this).
+ */
+class NpRdmaMapping : public PinningStrategy
+{
+  public:
+    struct Stats
+    {
+        std::uint64_t maps = 0;      ///< dynamic map operations
+        std::uint64_t unmaps = 0;    ///< dynamic unmap operations
+        std::uint64_t reuses = 0;    ///< table hits (shared mapping)
+        std::uint64_t overflows = 0; ///< table full of live extents
+        std::uint64_t pagesMapped = 0;
+        std::uint64_t pagesUnmapped = 0;
+    };
+
+    /**
+     * @param table_entries bound on concurrently tracked extents;
+     *   the driver-side translation table is sized once, here.
+     */
+    NpRdmaMapping(NpfController &npfc, ChannelId ch,
+                  std::size_t table_entries = 256, MapCosts costs = {});
+
+    const char *name() const override { return "np-rdma"; }
+    sim::Time setup(mem::VirtAddr, std::size_t) override { return 0; }
+    sim::Time beforeDma(mem::VirtAddr addr, std::size_t len) override;
+    sim::Time afterDma(mem::VirtAddr addr, std::size_t len) override;
+
+    const Stats &stats() const { return stats_; }
+    std::size_t tableSize() const { return size_; }
+    std::size_t tableCapacity() const { return capacity_; }
+
+  private:
+    static constexpr std::uint32_t kNil = 0xffffffffu;
+
+    /** One in-flight mapped extent; prev/next are intrusive LRU
+     *  links (front = most recently mapped/reused). */
+    struct Entry
+    {
+        mem::VirtAddr base = 0;
+        std::size_t len = 0;
+        std::uint32_t refs = 0; ///< concurrent IOs sharing the mapping
+        std::uint32_t prev = kNil;
+        std::uint32_t next = kNil;
+    };
+
+    std::size_t homeBucket(mem::VirtAddr base) const;
+    std::size_t findBucket(mem::VirtAddr base) const;
+    void removeAt(std::size_t b);
+    void pushFrontLru(std::uint32_t s);
+    void unlinkLru(std::uint32_t s);
+    void touchLru(std::uint32_t s);
+
+    /** True if a live (in-flight) extent covers @p vpn. */
+    bool coveredElsewhere(mem::Vpn vpn) const;
+
+    /** Unmap [base, base+len): clear PTEs + IOTLB entries for pages
+     *  no other live extent still covers. @return latency charged. */
+    sim::Time unmapExtent(mem::VirtAddr base, std::size_t len);
+
+    /** Push the just-installed translations into the device IOTLB
+     *  (the map doorbell carries them, NP-RDMA style). */
+    void warmTlb(mem::VirtAddr addr, std::size_t len);
+
+    NpfController &npfc_;
+    ChannelId ch_;
+    MapCosts costs_;
+    std::size_t capacity_;
+    std::size_t mask_ = 0;
+    std::size_t size_ = 0;
+    std::vector<Entry> slots_;         ///< fixed entry storage
+    std::vector<std::uint32_t> table_; ///< open-addressing index
+    std::uint32_t freeHead_ = kNil;
+    std::uint32_t head_ = kNil; ///< LRU front
+    std::uint32_t tail_ = kNil; ///< LRU back
+    Stats stats_;
+    obs::Instrumented obs_; ///< last member: deregisters first
 };
 
 } // namespace npf::core

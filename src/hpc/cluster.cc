@@ -20,6 +20,8 @@ regModeName(RegMode m)
         return "pin";
       case RegMode::Npf:
         return "npf";
+      case RegMode::NpRdma:
+        return "np-rdma";
     }
     return "?";
 }
@@ -53,6 +55,10 @@ Cluster::Cluster(sim::EventQueue &eq, ClusterConfig cfg, RegMode mode)
             pinStrategy_.push_back(std::make_unique<core::PinDownCache>(
                 *npfcs_[r], channels_[r], cfg_.pinDownCacheBytes,
                 cfg_.pinCosts));
+        } else if (mode_ == RegMode::NpRdma) {
+            pinStrategy_.push_back(std::make_unique<core::NpRdmaMapping>(
+                *npfcs_[r], channels_[r], cfg_.npRdmaTableEntries,
+                cfg_.mapCosts));
         } else {
             pinStrategy_.push_back(nullptr);
         }
@@ -110,16 +116,30 @@ Cluster::isend(unsigned src, unsigned dst, mem::VirtAddr buf,
 {
     assert(src != dst);
     std::uint64_t id = nextWrId_++;
-    pending_[src][dst].sends[id] = std::move(done);
 
     bool eager = len <= cfg_.eagerThreshold;
+    if (!eager && mode_ == RegMode::NpRdma) {
+        // Per-IO unmap: charged between DMA completion and delivery.
+        done = [this, src, buf, len, inner = std::move(done)] {
+            sim::Time t = pinStrategy_[src]->afterDma(buf, len);
+            if (t == 0 || !inner) {
+                if (inner)
+                    inner();
+            } else {
+                eq_.scheduleAfter(t, inner);
+            }
+        };
+    }
+    pending_[src][dst].sends[id] = std::move(done);
+
     mem::VirtAddr dma_src = buf;
     sim::Time pre = 0;
 
     if (eager || mode_ == RegMode::Copy) {
         pre = copyCost(len);
         dma_src = bounceSend_[src];
-    } else if (mode_ == RegMode::PinDownCache) {
+    } else if (mode_ == RegMode::PinDownCache ||
+               mode_ == RegMode::NpRdma) {
         pre = pinStrategy_[src]->beforeDma(buf, len);
     }
     // Npf: post directly; NPFs (if any) happen inside the NIC.
@@ -153,7 +173,8 @@ Cluster::irecv(unsigned dst, unsigned src, mem::VirtAddr buf,
     if (eager || mode_ == RegMode::Copy) {
         dma_dst = bounceRecv_[dst];
         copy_out = true;
-    } else if (mode_ == RegMode::PinDownCache) {
+    } else if (mode_ == RegMode::PinDownCache ||
+               mode_ == RegMode::NpRdma) {
         pre = pinStrategy_[dst]->beforeDma(buf, len);
     }
 
@@ -162,6 +183,17 @@ Cluster::irecv(unsigned dst, unsigned src, mem::VirtAddr buf,
         // Deliver after the CPU copies out of the bounce buffer.
         wrapped = [this, len, inner = std::move(wrapped)] {
             eq_.scheduleAfter(copyCost(len), inner);
+        };
+    } else if (mode_ == RegMode::NpRdma) {
+        // Per-IO unmap: charged between DMA completion and delivery.
+        wrapped = [this, dst, buf, len, inner = std::move(wrapped)] {
+            sim::Time t = pinStrategy_[dst]->afterDma(buf, len);
+            if (t == 0 || !inner) {
+                if (inner)
+                    inner();
+            } else {
+                eq_.scheduleAfter(t, inner);
+            }
         };
     }
     pending_[dst][src].recvs[id] = std::move(wrapped);
@@ -191,12 +223,18 @@ Cluster::totalRnpfs() const
 std::uint64_t
 Cluster::totalRegMisses() const
 {
+    // The cast is mode-dispatched: pinStrategy_ holds whatever the
+    // ctor built for mode_, and only these two modes build one.
     std::uint64_t n = 0;
     for (const auto &p : pinStrategy_) {
-        if (p) {
-            auto *pdc = static_cast<core::PinDownCache *>(p.get());
-            n += pdc->misses();
-        }
+        if (!p)
+            continue;
+        if (mode_ == RegMode::PinDownCache)
+            n += static_cast<core::PinDownCache *>(p.get())->misses();
+        else if (mode_ == RegMode::NpRdma)
+            n += static_cast<core::NpRdmaMapping *>(p.get())
+                     ->stats()
+                     .maps;
     }
     return n;
 }

@@ -2,8 +2,9 @@
  * @file
  * An MPI-like communication substrate over the simulated InfiniBand
  * fabric: N single-process ranks, a full mesh of RC queue pairs, and
- * the three §6.2 registration disciplines — copying through bounce
- * buffers, a pin-down cache, and NPF/ODP.
+ * four registration disciplines — copying through bounce buffers, a
+ * pin-down cache, NPF/ODP (the three of §6.2), and NP-RDMA-style
+ * on-demand IOVA mapping (docs/REGISTRATION.md).
  */
 
 #ifndef NPF_HPC_CLUSTER_HH
@@ -23,7 +24,7 @@
 namespace npf::hpc {
 
 /** Which registration discipline the middleware uses (Fig. 9). */
-enum class RegMode { Copy, PinDownCache, Npf };
+enum class RegMode { Copy, PinDownCache, Npf, NpRdma };
 
 const char *regModeName(RegMode m);
 
@@ -51,6 +52,9 @@ struct ClusterConfig
     /** Pin-down cache budget per rank; 0 = unlimited. */
     std::size_t pinDownCacheBytes = 0;
     core::PinCosts pinCosts;
+    /** NP-RDMA driver translation-table entries per rank. */
+    std::size_t npRdmaTableEntries = 256;
+    core::MapCosts mapCosts;
 };
 
 /**
@@ -71,6 +75,12 @@ class Cluster
     sim::EventQueue &eventQueue() { return eq_; }
     mem::AddressSpace &space(unsigned rank) { return *spaces_[rank]; }
     core::NpfController &npfc(unsigned rank) { return *npfcs_[rank]; }
+    core::ChannelId channel(unsigned rank) const { return channels_[rank]; }
+    /** The rank's registration strategy, or nullptr (copy / npf). */
+    core::PinningStrategy *strategy(unsigned rank)
+    {
+        return pinStrategy_[rank].get();
+    }
     const ClusterConfig &config() const { return cfg_; }
 
     /** Allocate a buffer in @p rank's address space (CPU-touched, so

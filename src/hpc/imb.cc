@@ -80,7 +80,20 @@ permutationExchange(Cluster &c, BufferPool &pool,
                     unsigned iter, std::function<void()> done)
 {
     unsigned n = c.ranks();
-    auto pending = std::make_shared<int>(0);
+    // Count the exchange first: an identity permutation (possible from
+    // the random-pattern shuffle on small clusters) completes
+    // immediately, and `done` must still be callable on that path — so
+    // don't move it into `fin` until we know fin will run.
+    unsigned exchanges = 0;
+    for (unsigned r = 0; r < n; ++r) {
+        if (sendto[r] != r)
+            exchanges += 2;
+    }
+    if (exchanges == 0) {
+        done();
+        return;
+    }
+    auto pending = std::make_shared<int>(int(exchanges));
     auto fin = [pending, done = std::move(done)] {
         if (--*pending == 0)
             done();
@@ -88,14 +101,6 @@ permutationExchange(Cluster &c, BufferPool &pool,
     std::vector<unsigned> recvfrom(n);
     for (unsigned r = 0; r < n; ++r)
         recvfrom[sendto[r]] = r;
-    for (unsigned r = 0; r < n; ++r) {
-        if (sendto[r] != r)
-            *pending += 2;
-    }
-    if (*pending == 0) {
-        done();
-        return;
-    }
     for (unsigned r = 0; r < n; ++r) {
         if (sendto[r] == r)
             continue;
@@ -138,7 +143,16 @@ runBeff(sim::EventQueue &eq, const ClusterConfig &cfg, RegMode mode,
             std::vector<unsigned> p(n);
             std::iota(p.begin(), p.end(), 0);
             std::shuffle(p.begin(), p.end(), rng.engine());
-            patterns.push_back(std::move(p));
+            // A pattern that moves no bytes is not a bandwidth
+            // sample: on small clusters the shuffle can come back
+            // (partially) as the identity, and a no-op point would
+            // divide by zero elapsed time. Only keep it if someone
+            // actually communicates.
+            bool moves = false;
+            for (unsigned r = 0; r < n; ++r)
+                moves = moves || p[r] != r;
+            if (moves)
+                patterns.push_back(std::move(p));
         }
 
         double bw_accum = 0.0;

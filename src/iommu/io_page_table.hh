@@ -17,8 +17,12 @@
 namespace npf::iommu {
 
 /**
- * Sparse IOVA -> PFN mapping for one IOchannel. Entries absent from
- * the map are invalid PTEs; a device access to one raises an NPF.
+ * Sparse IOVA -> PFN mapping for one IOchannel. A PTE is invalid when
+ * it is absent from the map *or* holds mem::kNoFrame: unmap() writes
+ * the tombstone instead of erasing, exactly like the real DRAM table
+ * where the PTE slot persists and only its valid bit flips. The
+ * tombstone also keeps a map/unmap/remap cycle (the per-IO NP-RDMA
+ * discipline's steady state) from churning hash-node allocations.
  */
 class IoPageTable
 {
@@ -28,7 +32,7 @@ class IoPageTable
     lookup(mem::Vpn vpn) const
     {
         auto it = table_.find(vpn);
-        if (it == table_.end())
+        if (it == table_.end() || it->second == mem::kNoFrame)
             return std::nullopt;
         return it->second;
     }
@@ -37,7 +41,10 @@ class IoPageTable
     void
     map(mem::Vpn vpn, mem::Pfn pfn)
     {
-        table_[vpn] = pfn;
+        auto it = table_.try_emplace(vpn, mem::kNoFrame).first;
+        if (it->second == mem::kNoFrame)
+            ++live_;
+        it->second = pfn;
     }
 
     /**
@@ -48,17 +55,33 @@ class IoPageTable
     bool
     unmap(mem::Vpn vpn)
     {
-        return table_.erase(vpn) > 0;
+        auto it = table_.find(vpn);
+        if (it == table_.end() || it->second == mem::kNoFrame)
+            return false;
+        it->second = mem::kNoFrame;
+        --live_;
+        return true;
     }
 
-    bool isMapped(mem::Vpn vpn) const { return table_.count(vpn) > 0; }
+    bool
+    isMapped(mem::Vpn vpn) const
+    {
+        auto it = table_.find(vpn);
+        return it != table_.end() && it->second != mem::kNoFrame;
+    }
 
-    std::size_t mappedPages() const { return table_.size(); }
+    std::size_t mappedPages() const { return live_; }
 
-    void clear() { table_.clear(); }
+    void
+    clear()
+    {
+        table_.clear();
+        live_ = 0;
+    }
 
   private:
     std::unordered_map<mem::Vpn, mem::Pfn> table_;
+    std::size_t live_ = 0;
 };
 
 } // namespace npf::iommu

@@ -57,6 +57,7 @@ class IoMmu
         obs_.counter("tlb_misses", &tlb_.stats().misses);
         obs_.counter("tlb_invalidations", &tlb_.stats().invalidations);
         obs_.counter("tlb_evictions", &tlb_.stats().evictions);
+        obs_.counter("tlb_refreshes", &tlb_.stats().refreshes);
     }
 
     /** Translate one IOVA page. */

@@ -35,6 +35,9 @@ class IoTlb
         std::uint64_t misses = 0;
         std::uint64_t invalidations = 0;
         std::uint64_t evictions = 0;
+        /// insert() on an already-cached vpn: re-map traffic that
+        /// replaces the payload in place instead of adding an entry.
+        std::uint64_t refreshes = 0;
     };
 
     explicit IoTlb(std::size_t capacity = 256) : capacity_(capacity)
@@ -74,6 +77,7 @@ class IoTlb
         if (table_[b] != kNil) {
             slots_[table_[b]].pfn = pfn;
             touchLru(table_[b]);
+            ++stats_.refreshes;
             return;
         }
         if (size_ >= capacity_) {

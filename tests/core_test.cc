@@ -310,6 +310,8 @@ TEST(Pinning, PinDownCacheEvictsLruUnderBudget)
     cache.beforeDma(a, MiB); // refresh a
     cache.beforeDma(c, MiB); // must evict b
     EXPECT_EQ(cache.evictions(), 1u);
+    EXPECT_EQ(cache.reregistrations(), 0u)
+        << "capacity evictions are not re-registrations";
     EXPECT_LE(cache.pinnedBytes(), 2 * MiB);
     // b needs re-registration; a still hits.
     std::uint64_t misses = cache.misses();
@@ -377,7 +379,10 @@ TEST(Pinning, PinDownCacheSameBaseReRegistrationReplaces)
     mem::VirtAddr buf = rig.as.allocRegion(16 * kPage);
     cache.beforeDma(buf, 4 * kPage);
     cache.beforeDma(buf, 8 * kPage); // longer: a miss, replaces
-    EXPECT_EQ(cache.evictions(), 1u);
+    // A replacement is not a capacity eviction: tab06's eviction
+    // column must keep meaning "the budget pushed something out".
+    EXPECT_EQ(cache.evictions(), 0u);
+    EXPECT_EQ(cache.reregistrations(), 1u);
     EXPECT_EQ(cache.pinnedBytes(), 8 * kPage);
     std::uint64_t misses = cache.misses();
     cache.beforeDma(buf, 8 * kPage);
@@ -392,4 +397,187 @@ TEST(Pinning, NpfModeIsFree)
     EXPECT_EQ(npf.beforeDma(0, MiB), 0u);
     EXPECT_EQ(npf.afterDma(0, MiB), 0u);
     EXPECT_TRUE(npf.ok());
+}
+
+TEST(Pinning, PinDownCacheChargesFailedPinAttemptsUnderPressure)
+{
+    // Regression: the memory-pressure retry loop discarded the cost
+    // of each *failed* pinRange attempt — CPU that really faulted
+    // pages in before hitting the wall — so only the final successful
+    // attempt was charged. Reconstruct the exact expected charge on a
+    // twin rig (identical deterministic state) and demand equality.
+    constexpr std::size_t kPage = mem::kPageSize;
+    const std::size_t kA = 8 * MiB;
+    const std::size_t kB = 12 * MiB;
+    PinCosts pc;
+
+    Rig rig(16 * MiB);
+    PinDownCache cache(rig.npfc, rig.ch, /*capacity=*/0);
+    mem::VirtAddr a = rig.as.allocRegion(kA);
+    mem::VirtAddr b = rig.as.allocRegion(kB);
+    cache.beforeDma(a, kA);
+    sim::Time total = cache.beforeDma(b, kB);
+    ASSERT_TRUE(cache.ok());
+
+    // Twin rig: replay the same operations by hand.
+    Rig twin(16 * MiB);
+    PinDownCache warm(twin.npfc, twin.ch, /*capacity=*/0);
+    mem::VirtAddr ta = twin.as.allocRegion(kA);
+    mem::VirtAddr tb = twin.as.allocRegion(kB);
+    ASSERT_EQ(ta, a);
+    ASSERT_EQ(tb, b);
+    warm.beforeDma(ta, kA);
+
+    // The miss path: first pin attempt fails (A holds half the
+    // machine pinned), having already faulted in every free page.
+    sim::Time expected = 0;
+    mem::AccessResult f1 = twin.as.pinRange(tb, kB);
+    ASSERT_FALSE(f1.ok);
+    ASSERT_GT(f1.cost, 0u) << "the failed attempt did real work";
+    expected += f1.cost; // <-- the charge the bug dropped
+
+    // evictOne(): unpin A, invalidate its (sibling-free) extent.
+    twin.as.unpinRange(ta, kA);
+    expected += pc.unpinBase + (kA / kPage) * pc.unpinPerPage;
+    expected += twin.npfc.invalidateRange(twin.ch, ta, kA).total();
+
+    // The retry succeeds, then the normal register path runs.
+    mem::AccessResult r2 = twin.as.pinRange(tb, kB);
+    ASSERT_TRUE(r2.ok);
+    expected += r2.cost;
+    mem::AccessResult pf = twin.npfc.prefault(twin.ch, tb, kB, true);
+    expected += pf.cost;
+    expected += pc.pinBase +
+                (kB / kPage) * (pc.pinPerPage + pc.iommuMapPerPage);
+    expected += pc.regMrBase;
+
+    EXPECT_EQ(total, expected);
+    EXPECT_EQ(cache.evictions(), 1u);
+}
+
+TEST(Pinning, NpRdmaMapsBeforeAndUnmapsAfterEachIo)
+{
+    Rig rig;
+    NpRdmaMapping map(rig.npfc, rig.ch);
+    mem::VirtAddr buf = rig.as.allocRegion(MiB);
+
+    EXPECT_EQ(map.setup(buf, MiB), 0u) << "no registration step";
+    sim::Time before = map.beforeDma(buf, 64 * 1024);
+    EXPECT_GT(before, 0u);
+    EXPECT_TRUE(rig.npfc.checkDma(rig.ch, buf, 64 * 1024).ok)
+        << "mapped for DMA without any NIC fault";
+    EXPECT_EQ(map.pinnedBytes(), 0u) << "nothing is ever pinned";
+    EXPECT_EQ(rig.as.pinnedPages(), 0u);
+
+    sim::Time after = map.afterDma(buf, 64 * 1024);
+    EXPECT_GT(after, 0u);
+    EXPECT_FALSE(rig.npfc.checkDma(rig.ch, buf, 64 * 1024).ok)
+        << "per-IO unmap tears the mapping down at completion";
+    EXPECT_EQ(map.stats().maps, 1u);
+    EXPECT_EQ(map.stats().unmaps, 1u);
+    EXPECT_EQ(map.stats().pagesMapped, 16u);
+    EXPECT_EQ(map.stats().pagesUnmapped, 16u);
+    EXPECT_EQ(map.tableSize(), 0u);
+}
+
+TEST(Pinning, NpRdmaConcurrentIosShareOneMapping)
+{
+    Rig rig;
+    constexpr std::size_t kPage = mem::kPageSize;
+    NpRdmaMapping map(rig.npfc, rig.ch);
+    mem::VirtAddr buf = rig.as.allocRegion(MiB);
+
+    sim::Time first = map.beforeDma(buf, 16 * kPage);
+    sim::Time second = map.beforeDma(buf, 8 * kPage);
+    EXPECT_GT(first, second) << "second IO reuses the live mapping";
+    EXPECT_EQ(map.stats().maps, 1u);
+    EXPECT_EQ(map.stats().reuses, 1u);
+    EXPECT_EQ(map.tableSize(), 1u);
+
+    // First completion only drops a reference; the sibling's DMA
+    // must keep working.
+    map.afterDma(buf, 8 * kPage);
+    EXPECT_EQ(map.stats().unmaps, 0u);
+    EXPECT_TRUE(rig.npfc.checkDma(rig.ch, buf, 16 * kPage).ok);
+
+    map.afterDma(buf, 16 * kPage);
+    EXPECT_EQ(map.stats().unmaps, 1u);
+    EXPECT_FALSE(rig.npfc.checkDma(rig.ch, buf, kPage).ok);
+}
+
+TEST(Pinning, NpRdmaUnmapSparesPagesAnotherInFlightIoCovers)
+{
+    Rig rig;
+    constexpr std::size_t kPage = mem::kPageSize;
+    NpRdmaMapping map(rig.npfc, rig.ch);
+    mem::VirtAddr buf = rig.as.allocRegion(MiB);
+
+    map.beforeDma(buf, 16 * kPage);             // A: pages [0, 16)
+    map.beforeDma(buf + 8 * kPage, 16 * kPage); // B: pages [8, 24)
+    EXPECT_EQ(map.tableSize(), 2u);
+
+    map.afterDma(buf, 16 * kPage); // A completes
+    EXPECT_TRUE(
+        rig.npfc.checkDma(rig.ch, buf + 8 * kPage, 16 * kPage).ok)
+        << "B's DMA must not fault: its pages stay mapped";
+    EXPECT_FALSE(rig.npfc.checkDma(rig.ch, buf, 8 * kPage).ok)
+        << "A's private pages [0, 8) are unmapped";
+    map.afterDma(buf + 8 * kPage, 16 * kPage);
+    EXPECT_FALSE(
+        rig.npfc.checkDma(rig.ch, buf + 8 * kPage, 16 * kPage).ok);
+}
+
+TEST(Pinning, NpRdmaTableOverflowStillMapsUntracked)
+{
+    Rig rig;
+    constexpr std::size_t kPage = mem::kPageSize;
+    NpRdmaMapping map(rig.npfc, rig.ch, /*table_entries=*/2);
+    mem::VirtAddr buf = rig.as.allocRegion(MiB);
+    mem::VirtAddr a = buf;
+    mem::VirtAddr b = buf + 64 * kPage;
+    mem::VirtAddr c = buf + 128 * kPage;
+
+    map.beforeDma(a, 4 * kPage);
+    map.beforeDma(b, 4 * kPage);
+    map.beforeDma(c, 4 * kPage); // table full: untracked
+    EXPECT_EQ(map.stats().overflows, 1u);
+    EXPECT_EQ(map.tableSize(), 2u);
+    EXPECT_TRUE(rig.npfc.checkDma(rig.ch, c, 4 * kPage).ok)
+        << "overflow degrades tracking, not correctness";
+
+    map.afterDma(c, 4 * kPage); // unmapped by address, not by table
+    EXPECT_FALSE(rig.npfc.checkDma(rig.ch, c, 4 * kPage).ok);
+    map.afterDma(b, 4 * kPage);
+    map.afterDma(a, 4 * kPage);
+    EXPECT_EQ(map.stats().unmaps, 3u);
+    EXPECT_EQ(map.tableSize(), 0u);
+}
+
+TEST(Pinning, NpRdmaThrashesIoTlbAndWarmsRefreshes)
+{
+    Rig rig;
+    constexpr std::size_t kPage = mem::kPageSize;
+    NpRdmaMapping map(rig.npfc, rig.ch);
+    mem::VirtAddr buf = rig.as.allocRegion(MiB);
+    const auto &tlb = rig.npfc.iommu(rig.ch).tlb().stats();
+
+    // Per-IO unmap invalidates every page in the device cache: a
+    // miss-heavy loop thrashes the IOTLB where a pin-down cache
+    // would leave it warm.
+    std::uint64_t inv0 = tlb.invalidations;
+    for (int i = 0; i < 10; ++i) {
+        map.beforeDma(buf, 16 * kPage);
+        map.afterDma(buf, 16 * kPage);
+    }
+    EXPECT_EQ(tlb.invalidations - inv0, 10u * 16u);
+
+    // Overlapping in-flight extents: the second map's doorbell
+    // re-pushes translations the first already cached — the re-map
+    // traffic IoTlb::Stats::refreshes was added to expose.
+    std::uint64_t ref0 = tlb.refreshes;
+    map.beforeDma(buf, 16 * kPage);             // pages [0, 16) warm
+    map.beforeDma(buf + 8 * kPage, 16 * kPage); // re-pushes [8, 16)
+    EXPECT_EQ(tlb.refreshes - ref0, 8u);
+    map.afterDma(buf, 16 * kPage);
+    map.afterDma(buf + 8 * kPage, 16 * kPage);
 }
