@@ -14,7 +14,16 @@
  *   load_sweep [--transport=eth|ib] [--clients=N] [--endpoints=N]
  *              [--rates=R1,R2,...] [--workload=SPEC] [--seed=N]
  *              [--timeout=D] [--retries=N] [--slo=D]
- *              [--warmup=D] [--duration=D] [obs/fault flags]
+ *              [--warmup=D] [--duration=D]
+ *              [--topology=SPEC] [--ovs=F1,F2,...] [obs/fault flags]
+ *
+ * With --topology (ib only; net/topology.hh grammar) the flat
+ * two-node fabric is replaced by a real switched topology: the KV
+ * server lives on host 0 and the client endpoints incast from hosts
+ * 1..H-1 through the fabric, so an overcommitted server shows up as
+ * queueing in the leaf/spine rather than a magic wire. --ovs sweeps
+ * the leaf-spine oversubscription factor (rewriting the spec's ovs=
+ * key) and reports the SLO damage per ratio.
  *
  * The workload spec (docs/WORKLOADS.md) sets the key-popularity
  * model and request mix; its arrival part is overridden by each
@@ -23,6 +32,7 @@
  * stalls and surfaces the damage as timeouts and retries.
  */
 
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -32,6 +42,7 @@
 #include "load/client_pool.hh"
 #include "load/recorder.hh"
 #include "net/fabric.hh"
+#include "net/topology.hh"
 
 using namespace npf;
 using namespace npf::app;
@@ -56,6 +67,8 @@ struct SweepArgs
      *  startup transient out of the measure window by default. */
     sim::Time warmup = sim::kSecond;
     sim::Time duration = 500 * sim::kMillisecond;
+    std::string topology;      ///< empty = legacy two-node fabric
+    std::vector<double> ovs;   ///< oversubscription sweep (leafspine)
 };
 
 SweepArgs
@@ -102,7 +115,27 @@ parseSweepArgs(int argc, char **argv, const ObsArgs &obs)
         } else if (std::strncmp(arg, "--slo=", 6) == 0) {
             if (!load::parseDuration(arg + 6, &a.slo))
                 fail();
+        } else if (std::strncmp(arg, "--topology=", 11) == 0) {
+            a.topology = arg + 11;
+        } else if (std::strncmp(arg, "--ovs=", 6) == 0) {
+            std::stringstream ss(arg + 6);
+            std::string item;
+            while (std::getline(ss, item, ',')) {
+                double f = std::strtod(item.c_str(), nullptr);
+                if (f <= 0)
+                    fail();
+                a.ovs.push_back(f);
+            }
         }
+    }
+    if (!a.topology.empty() && a.transport != "ib") {
+        std::fprintf(stderr, "--topology requires --transport=ib\n");
+        std::exit(2);
+    }
+    if (!a.ovs.empty() &&
+        a.topology.compare(0, 9, "leafspine") != 0) {
+        std::fprintf(stderr, "--ovs requires a leafspine --topology\n");
+        std::exit(2);
     }
     if (a.rates.empty())
         a.rates = {100e3, 150e3, 186e3, 220e3};
@@ -223,19 +256,62 @@ runEth(const SweepArgs &a, const ObsArgs &obs_args, double rate)
     return runPool(bed.eq, pool, rec, a, rate);
 }
 
+/** Rewrite (or add) the `ovs=` key of a leafspine topology spec. */
+std::string
+withOvsFactor(const std::string &spec, double f)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "ovs=%g", f);
+    std::string::size_type pos = spec.find("ovs=");
+    if (pos == std::string::npos)
+        return spec + "," + buf;
+    std::string::size_type end = spec.find(',', pos);
+    std::string out = spec.substr(0, pos) + buf;
+    if (end != std::string::npos)
+        out += spec.substr(end);
+    return out;
+}
+
 RateResult
-runIb(const SweepArgs &a, const ObsArgs &obs_args, double rate)
+runIb(const SweepArgs &a, const ObsArgs &obs_args, double rate,
+      const std::string &topo_spec)
 {
     sim::EventQueue eq;
-    net::Fabric fabric(eq, 2,
-                       net::FabricConfig{net::LinkConfig{56e9, 300, 32},
-                                         200});
+    // Incast shape: server on host 0, clients spread over the rest.
+    unsigned clientHosts = 1;
+    std::unique_ptr<net::Fabric> fabricPtr;
+    if (topo_spec.empty()) {
+        fabricPtr = std::make_unique<net::Fabric>(
+            eq, 2,
+            net::FabricConfig{net::LinkConfig{56e9, 300, 32}, 200});
+    } else {
+        std::string err;
+        auto topo = net::Topology::parse(topo_spec, &err);
+        if (!topo) {
+            std::fprintf(stderr, "bad --topology: %s\n", err.c_str());
+            std::exit(2);
+        }
+        if (topo->hosts < 2) {
+            std::fprintf(stderr, "--topology needs >= 2 hosts\n");
+            std::exit(2);
+        }
+        clientHosts = topo->hosts - 1;
+        fabricPtr = std::make_unique<net::Fabric>(eq, *topo);
+    }
+    net::Fabric &fabric = *fabricPtr;
     mem::MemoryManager serverMm(2 * kGiB), clientMm(2 * kGiB);
     mem::AddressSpace &serverAs = serverMm.createAddressSpace("kv");
     mem::AddressSpace &clientAs = clientMm.createAddressSpace("load");
-    core::NpfController serverNpfc(eq), clientNpfc(eq);
+    core::NpfController serverNpfc(eq);
     core::ChannelId sch = serverNpfc.attach(serverAs);
-    core::ChannelId cch = clientNpfc.attach(clientAs);
+    // One NIC (controller) per client host; they share the load
+    // generator's address space.
+    std::vector<std::unique_ptr<core::NpfController>> clientNpfcs;
+    std::vector<core::ChannelId> cchs;
+    for (unsigned h = 0; h < clientHosts; ++h) {
+        clientNpfcs.push_back(std::make_unique<core::NpfController>(eq));
+        cchs.push_back(clientNpfcs.back()->attach(clientAs));
+    }
     auto injector = installFaultPlan(obs_args, eq);
     auto obs = openObsSession(obs_args, eq);
 
@@ -254,10 +330,12 @@ runIb(const SweepArgs &a, const ObsArgs &obs_args, double rate)
     load::ClientPool pool(eq, pc);
     pool.setRecorder(rec);
     for (unsigned i = 0; i < a.endpoints; ++i) {
+        unsigned h = i % clientHosts;
         auto qpS = std::make_unique<ib::QueuePair>(eq, fabric, 0,
                                                    serverNpfc, sch);
-        auto qpC = std::make_unique<ib::QueuePair>(eq, fabric, 1,
-                                                   clientNpfc, cch);
+        auto qpC = std::make_unique<ib::QueuePair>(eq, fabric, 1 + h,
+                                                   *clientNpfcs[h],
+                                                   cchs[h]);
         qpS->connect(*qpC);
         qpC->connect(*qpS);
         auto reqs = std::make_shared<sim::RingDeque<KvRpcRequest>>();
@@ -284,27 +362,48 @@ main(int argc, char **argv)
         "workload=\"%s\"",
         a.transport.c_str(), (unsigned long long)a.clients, a.endpoints,
         (unsigned long long)a.seed, a.workload.c_str());
-    row("%10s %10s %9s %9s %10s %9s %8s %8s %8s %6s", "offered/s",
-        "achieved/s", "p50[us]", "p99[us]", "p99.9[us]", "srv-p99",
-        "timeout", "retry", "shed", "slo!");
+    if (!a.topology.empty())
+        row("topology=\"%s\" (server=host0, clients incast from the "
+            "rest)",
+            a.topology.c_str());
+
+    // One pass per oversubscription factor (one pass total without
+    // --ovs), so the tail-vs-ratio damage reads top to bottom.
+    std::vector<double> ovs_sweep = a.ovs;
+    if (ovs_sweep.empty())
+        ovs_sweep.push_back(0); // sentinel: spec as given
     RateResult last;
     unsigned iter = 0;
-    for (double rate : a.rates) {
-        // Per-rate output files (trace.000.json, ...) unless
-        // --trace-overwrite asked for the old clobbering behavior.
-        ObsArgs it = withIter(obs_args, iter++);
-        RateResult r = a.transport == "ib" ? runIb(a, it, rate)
-                                           : runEth(a, it, rate);
-        row("%10.0f %10.0f %9.1f %9.1f %10.1f %9.1f %8llu %8llu %8llu "
-            "%6llu",
-            r.offered, r.achieved, r.p50, r.p99, r.p999, r.servP99,
-            (unsigned long long)r.timeouts, (unsigned long long)r.retries,
-            (unsigned long long)r.shed, (unsigned long long)r.violations);
-        last = r;
+    for (double f : ovs_sweep) {
+        std::string spec = a.topology;
+        if (f > 0) {
+            spec = withOvsFactor(a.topology, f);
+            row("");
+            row("oversubscription %g:1  (%s)", f, spec.c_str());
+        }
+        row("%10s %10s %9s %9s %10s %9s %8s %8s %8s %6s", "offered/s",
+            "achieved/s", "p50[us]", "p99[us]", "p99.9[us]", "srv-p99",
+            "timeout", "retry", "shed", "slo!");
+        for (double rate : a.rates) {
+            // Per-rate output files (trace.000.json, ...) unless
+            // --trace-overwrite asked for the old clobbering behavior.
+            ObsArgs it = withIter(obs_args, iter++);
+            RateResult r = a.transport == "ib"
+                               ? runIb(a, it, rate, spec)
+                               : runEth(a, it, rate);
+            row("%10.0f %10.0f %9.1f %9.1f %10.1f %9.1f %8llu %8llu "
+                "%8llu %6llu",
+                r.offered, r.achieved, r.p50, r.p99, r.p999, r.servP99,
+                (unsigned long long)r.timeouts,
+                (unsigned long long)r.retries, (unsigned long long)r.shed,
+                (unsigned long long)r.violations);
+            last = r;
+        }
     }
     std::printf("\n%s", last.report.c_str());
-    std::printf("(report covers the last swept rate; latencies are "
-                "coordinated-omission corrected)\n");
+    std::printf("(report covers the last swept rate%s; latencies are "
+                "coordinated-omission corrected)\n",
+                a.ovs.empty() ? "" : " of the last ratio");
     std::fflush(stdout);
     return 0;
 }

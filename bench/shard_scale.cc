@@ -1,0 +1,442 @@
+/**
+ * @file
+ * Scaling gate for the sharded simulation core (docs/SHARDING.md).
+ *
+ * The logical workload is S independent KV-RPC worlds — 1M+ logical
+ * clients total, split evenly — plus a ring of cross-shard RC streams
+ * riding the fabric record plane, so the shards genuinely couple
+ * through BoundaryMsgs rather than running embarrassingly parallel.
+ * The same workload runs on 1 shard and on --shards=N shards; the
+ * bench reports wall-clock events/sec for each, replays the N-shard
+ * run to prove per-seed bit-identical determinism, and writes
+ * BENCH_shard.json.
+ *
+ * The >=3x speedup gate is only meaningful with real cores under the
+ * worker threads: when hardware_concurrency() < 4 the verdict is
+ * recorded as "insufficient_cores" (informational) instead of
+ * failing, and the JSON keeps the honest measured numbers either way.
+ *
+ *   shard_scale [--shards=N] [--clients=N] [--rate=R] [--endpoints=N]
+ *               [--warmup=D] [--duration=D] [--seed=N] [--json=FILE]
+ *               [--no-speed-gate]
+ */
+
+#include <cinttypes>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <deque>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "app/kv_rpc.hh"
+#include "bench/common.hh"
+#include "load/client_pool.hh"
+#include "load/recorder.hh"
+#include "net/fabric.hh"
+#include "sim/shard.hh"
+
+using namespace npf;
+using namespace npf::app;
+using namespace npf::bench;
+
+namespace {
+
+constexpr std::size_t kGiB = 1ull << 30;
+
+struct Args
+{
+    unsigned shards = 4;           ///< the parallel configuration
+    std::uint64_t clients = 1u << 20; ///< total logical clients
+    double rate = 400e3;           ///< total offered req/s
+    unsigned endpoints = 64;       ///< total transport endpoints
+    sim::Time warmup = 20 * sim::kMillisecond;
+    sim::Time duration = 100 * sim::kMillisecond;
+    std::uint64_t seed = 1;
+    const char *json = "BENCH_shard.json";
+    /** Report the speedup but never fail on it (sanitizer smoke
+     *  runs, where wall clock measures the sanitizer). */
+    bool speedGate = true;
+};
+
+Args
+parseArgs(int argc, char **argv)
+{
+    Args a;
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        auto fail = [arg] {
+            std::fprintf(stderr, "bad argument: %s\n", arg);
+            std::exit(2);
+        };
+        if (std::strncmp(arg, "--shards=", 9) == 0) {
+            a.shards = unsigned(std::strtoul(arg + 9, nullptr, 10));
+            if (a.shards < 2)
+                fail();
+        } else if (std::strncmp(arg, "--clients=", 10) == 0) {
+            double v = 0;
+            if (!load::parseRate(arg + 10, &v) || v < 1)
+                fail();
+            a.clients = std::uint64_t(v);
+        } else if (std::strncmp(arg, "--rate=", 7) == 0) {
+            if (!load::parseRate(arg + 7, &a.rate) || a.rate <= 0)
+                fail();
+        } else if (std::strncmp(arg, "--endpoints=", 12) == 0) {
+            a.endpoints = unsigned(std::strtoul(arg + 12, nullptr, 10));
+            if (a.endpoints == 0)
+                fail();
+        } else if (std::strncmp(arg, "--warmup=", 9) == 0) {
+            if (!load::parseDuration(arg + 9, &a.warmup))
+                fail();
+        } else if (std::strncmp(arg, "--duration=", 11) == 0) {
+            if (!load::parseDuration(arg + 11, &a.duration))
+                fail();
+        } else if (std::strncmp(arg, "--seed=", 7) == 0) {
+            a.seed = std::strtoull(arg + 7, nullptr, 10);
+        } else if (std::strncmp(arg, "--json=", 7) == 0) {
+            a.json = arg + 7;
+        } else if (std::strcmp(arg, "--no-speed-gate") == 0) {
+            a.speedGate = false;
+        }
+    }
+    return a;
+}
+
+/** FNV-1a, the digest every replay must reproduce bit-for-bit. */
+struct Digest
+{
+    std::uint64_t h = 1469598103934665603ull;
+    void
+    mix(std::uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i) {
+            h ^= (v >> (i * 8)) & 0xff;
+            h *= 1099511628211ull;
+        }
+    }
+};
+
+/** One shard's private KV world: server, clients and fabric all
+ *  intra-shard (closure plane), exactly the load_sweep IB stack. */
+struct KvWorld
+{
+    sim::EventQueue &eq;
+    net::Fabric fabric;
+    mem::MemoryManager serverMm, clientMm;
+    mem::AddressSpace &serverAs, &clientAs;
+    core::NpfController serverNpfc, clientNpfc;
+    core::ChannelId sch, cch;
+    HostModel host;
+    KvStore kv;
+    KvRpcConfig rpc;
+    KvRcServer server;
+    std::vector<std::unique_ptr<ib::QueuePair>> qps;
+    std::deque<KvRcTransport> transports;
+    load::Recorder rec;
+    load::ClientPool pool;
+
+    KvWorld(sim::EventQueue &q, const load::PoolConfig &pc,
+            unsigned endpoints, sim::Time warmup, sim::Time duration)
+        : eq(q),
+          fabric(eq, 2,
+                 net::FabricConfig{net::LinkConfig{56e9, 300, 32}, 200}),
+          serverMm(2 * kGiB), clientMm(2 * kGiB),
+          serverAs(serverMm.createAddressSpace("kv")),
+          clientAs(clientMm.createAddressSpace("load")),
+          serverNpfc(eq), clientNpfc(eq),
+          sch(serverNpfc.attach(serverAs)),
+          cch(clientNpfc.attach(clientAs)),
+          kv(serverAs, 2 * kGiB / 4, 1024),
+          server(eq, kv, host, serverAs, rpc),
+          rec(load::RecorderConfig{warmup, duration}), pool(eq, pc)
+    {
+        host.addInstance();
+        for (std::uint64_t k = 0; k < pc.workload.keys.keys; ++k)
+            kv.set(k);
+        pool.setRecorder(rec);
+        for (unsigned i = 0; i < endpoints; ++i) {
+            auto qpS = std::make_unique<ib::QueuePair>(eq, fabric, 0,
+                                                       serverNpfc, sch);
+            auto qpC = std::make_unique<ib::QueuePair>(eq, fabric, 1,
+                                                       clientNpfc, cch);
+            qpS->connect(*qpC);
+            qpC->connect(*qpS);
+            auto reqs = std::make_shared<sim::RingDeque<KvRpcRequest>>();
+            auto rsps = std::make_shared<sim::RingDeque<KvRpcResponse>>();
+            server.addSession(*qpS, reqs, rsps);
+            transports.emplace_back(*qpC, clientAs, reqs, rsps, rpc);
+            transports.back().connect(pool);
+            qps.push_back(std::move(qpS));
+            qps.push_back(std::move(qpC));
+        }
+    }
+};
+
+/** Shard s's endpoint of the cross-shard RC ring: node s of an
+ *  S-node fabric facet, streaming Sends to shard (s+1) % S over the
+ *  record plane while receiving from (s-1) % S. With S == 1 the ring
+ *  degenerates to the fabric loopback path — same code, no threads —
+ *  which keeps the 1-shard baseline workload comparable. */
+struct StreamWorld
+{
+    static constexpr std::size_t kMsgBytes = 8192;
+    static constexpr unsigned kRecvDepth = 16;
+    static constexpr unsigned kSendWindow = 4;
+
+    sim::EventQueue &eq;
+    std::unique_ptr<net::Fabric> fabric;
+    mem::MemoryManager mm;
+    mem::AddressSpace &as;
+    core::NpfController npfc;
+    core::ChannelId ch;
+    std::unique_ptr<ib::QueuePair> tx, rx;
+    mem::VirtAddr sbuf = 0, rbuf = 0;
+    std::uint64_t sent = 0, received = 0;
+    bool stopped = false;
+
+    StreamWorld(sim::EventQueue &q, sim::ShardedEngine &engine,
+                unsigned s, unsigned shards)
+        : eq(q), mm(1 * kGiB), as(mm.createAddressSpace("stream")),
+          npfc(eq), ch(npfc.attach(as))
+    {
+        // Long-haul link so the record lookahead (propagation +
+        // switch latency = 2.5 us) buys the engine a useful horizon.
+        net::FabricConfig fc{net::LinkConfig{56e9, 2000, 32}, 500};
+        fabric = std::make_unique<net::Fabric>(eq, shards, fc);
+        std::vector<std::uint16_t> owner(shards);
+        for (unsigned n = 0; n < shards; ++n)
+            owner[n] = std::uint16_t(n);
+        fabric->shardBind(engine, s, std::move(owner));
+
+        sbuf = as.allocRegion(kMsgBytes * kSendWindow, "stream-s");
+        rbuf = as.allocRegion(kMsgBytes * kRecvDepth, "stream-r");
+        as.touch(sbuf, kMsgBytes * kSendWindow, /*write=*/true);
+        as.touch(rbuf, kMsgBytes * kRecvDepth, /*write=*/true);
+
+        tx = std::make_unique<ib::QueuePair>(eq, *fabric, s, npfc, ch,
+                                             ib::QpConfig{},
+                                             0xbeef + s);
+        rx = std::make_unique<ib::QueuePair>(eq, *fabric, s, npfc, ch,
+                                             ib::QpConfig{},
+                                             0xfeed + s);
+        tx->connectRemote((s + 1) % shards, /*my_kind=*/1,
+                          /*peer_kind=*/0);
+        rx->connectRemote((s + shards - 1) % shards, /*my_kind=*/0,
+                          /*peer_kind=*/1);
+
+        rx->onCompletion([this](const ib::Completion &c) {
+            if (!c.isRecv)
+                return;
+            ++received;
+            if (!stopped)
+                postRecv(received % kRecvDepth);
+        });
+        tx->onCompletion([this](const ib::Completion &c) {
+            if (c.isRecv)
+                return;
+            ++sent;
+            if (!stopped)
+                postSend(sent % kSendWindow);
+        });
+        for (unsigned i = 0; i < kRecvDepth; ++i)
+            postRecv(i);
+        for (unsigned i = 0; i < kSendWindow; ++i)
+            postSend(i);
+    }
+
+    void
+    postSend(unsigned slot)
+    {
+        ib::WorkRequest w;
+        w.op = ib::Opcode::Send;
+        w.local = sbuf + slot * kMsgBytes;
+        w.len = kMsgBytes;
+        tx->postSend(w);
+    }
+
+    void
+    postRecv(unsigned slot)
+    {
+        ib::WorkRequest w;
+        w.local = rbuf + slot * kMsgBytes;
+        w.len = kMsgBytes;
+        rx->postRecv(w);
+    }
+};
+
+struct ShardWorld
+{
+    std::unique_ptr<KvWorld> kv;
+    std::unique_ptr<StreamWorld> stream;
+};
+
+struct RunResult
+{
+    std::uint64_t events = 0; ///< executed, summed over shards
+    double seconds = 0;       ///< wall clock around engine.run()
+    std::uint64_t completions = 0;
+    std::uint64_t streamMsgs = 0;
+    std::uint64_t digest = 0;
+};
+
+RunResult
+runConfig(const Args &a, unsigned shards)
+{
+    sim::ShardedEngine::Config ec;
+    ec.shards = shards;
+    // Must not exceed the stream fabric's recordLookahead()
+    // (2000 ns propagation + 500 ns switch = 2500 ns).
+    ec.lookahead = 2500;
+    sim::ShardedEngine engine(ec);
+
+    std::vector<ShardWorld> worlds(shards);
+    for (unsigned s = 0; s < shards; ++s) {
+        engine.invokeOn(s, [&, s] {
+            load::PoolConfig pc;
+            pc.clients = a.clients / shards;
+            // Distinct per-shard streams; identical on every replay.
+            pc.seed = a.seed * 0x9e37 + s;
+            std::string err;
+            auto spec = load::WorkloadSpec::parse(
+                "keys=zipf:n=10k,theta=0.99;get=0.9", &err);
+            pc.workload = *spec;
+            pc.workload.arrival.kind = load::ArrivalSpec::Kind::Poisson;
+            pc.workload.arrival.ratePerSec = a.rate / shards;
+            unsigned eps = a.endpoints / shards;
+            if (eps == 0)
+                eps = 1;
+            worlds[s].stream = std::make_unique<StreamWorld>(
+                engine.queue(s), engine, s, shards);
+            worlds[s].kv = std::make_unique<KvWorld>(
+                engine.queue(s), pc, eps, a.warmup, a.duration);
+            worlds[s].kv->pool.start();
+        });
+    }
+
+    auto t0 = std::chrono::steady_clock::now();
+    engine.run(a.warmup + a.duration);
+    auto t1 = std::chrono::steady_clock::now();
+
+    RunResult r;
+    r.seconds = std::chrono::duration<double>(t1 - t0).count();
+    Digest d;
+    for (unsigned s = 0; s < shards; ++s) {
+        engine.invokeOn(s, [&, s] {
+            ShardWorld &w = worlds[s];
+            w.kv->pool.stop();
+            w.stream->stopped = true;
+
+            const sim::EventQueue::Stats &es = engine.queue(s).stats();
+            r.events += es.executed;
+            r.completions += w.kv->pool.completions();
+            r.streamMsgs += w.stream->received;
+
+            d.mix(s);
+            d.mix(engine.queue(s).now());
+            d.mix(es.executed);
+            d.mix(es.scheduled);
+            d.mix(w.kv->pool.completions());
+            d.mix(w.kv->pool.timeouts());
+            d.mix(w.kv->pool.retries());
+            d.mix(w.kv->rec.completions(0));
+            d.mix(w.kv->rec.completions(1));
+            d.mix(w.kv->serverNpfc.stats().npfs);
+            d.mix(w.kv->clientNpfc.stats().npfs);
+            d.mix(w.stream->sent);
+            d.mix(w.stream->received);
+            d.mix(w.stream->tx->stats().dataPacketsSent);
+            d.mix(w.stream->tx->stats().bytesDelivered);
+            d.mix(w.stream->rx->stats().messagesDelivered);
+            d.mix(w.stream->npfc.stats().npfs);
+            // Worlds die on the thread that built them, before the
+            // engine joins its workers.
+            worlds[s].kv.reset();
+            worlds[s].stream.reset();
+        });
+    }
+    r.digest = d.h;
+    return r;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Args a = parseArgs(argc, argv);
+    unsigned cpus = std::thread::hardware_concurrency();
+
+    header("shard_scale: sharded engine scaling gate");
+    row("clients=%" PRIu64 " rate=%.0f/s endpoints=%u warmup+duration="
+        "%.0fms cpus=%u",
+        a.clients, a.rate, a.endpoints,
+        sim::toSeconds(a.warmup + a.duration) * 1e3, cpus);
+    row("%7s %12s %9s %14s %12s %10s", "shards", "events", "wall[s]",
+        "events/s", "kv-compl", "stream-msg");
+
+    RunResult r1 = runConfig(a, 1);
+    double ev1 = double(r1.events) / r1.seconds;
+    row("%7u %12" PRIu64 " %9.3f %14.0f %12" PRIu64 " %10" PRIu64, 1u,
+        r1.events, r1.seconds, ev1, r1.completions, r1.streamMsgs);
+
+    RunResult rn = runConfig(a, a.shards);
+    double evn = double(rn.events) / rn.seconds;
+    row("%7u %12" PRIu64 " %9.3f %14.0f %12" PRIu64 " %10" PRIu64,
+        a.shards, rn.events, rn.seconds, evn, rn.completions,
+        rn.streamMsgs);
+
+    // Replay the parallel configuration: conservative sync must make
+    // the N-shard run a pure function of the seed, thread timing be
+    // damned.
+    RunResult rr = runConfig(a, a.shards);
+    bool deterministic = rr.digest == rn.digest;
+    row("replay digest %016" PRIx64 " vs %016" PRIx64 " : %s",
+        rr.digest, rn.digest, deterministic ? "identical" : "MISMATCH");
+
+    double speedup = evn / ev1;
+    const char *verdict;
+    if (cpus < 4)
+        verdict = "insufficient_cores";
+    else if (speedup >= 3.0)
+        verdict = "pass";
+    else
+        verdict = "fail";
+    row("speedup %ux vs 1: %.2fx  (gate >=3x: %s)", a.shards, speedup,
+        verdict);
+
+    FILE *f = std::fopen(a.json, "w");
+    if (!f) {
+        std::perror("fopen BENCH_shard.json");
+        return 1;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"shard_scale\",\n");
+    std::fprintf(f, "  \"clients\": %" PRIu64 ",\n", a.clients);
+    std::fprintf(f, "  \"cpus\": %u,\n", cpus);
+    std::fprintf(f, "  \"results\": [\n");
+    std::fprintf(f,
+                 "    {\"shards\": 1, \"events\": %" PRIu64
+                 ", \"seconds\": %.6f, \"events_per_sec\": %.0f, "
+                 "\"digest\": \"%016" PRIx64 "\"},\n",
+                 r1.events, r1.seconds, ev1, r1.digest);
+    std::fprintf(f,
+                 "    {\"shards\": %u, \"events\": %" PRIu64
+                 ", \"seconds\": %.6f, \"events_per_sec\": %.0f, "
+                 "\"digest\": \"%016" PRIx64 "\"}\n",
+                 a.shards, rn.events, rn.seconds, evn, rn.digest);
+    std::fprintf(f, "  ],\n");
+    std::fprintf(f, "  \"speedup_vs_1shard\": %.2f,\n", speedup);
+    std::fprintf(f, "  \"determinism_replay\": \"%s\",\n",
+                 deterministic ? "ok" : "mismatch");
+    std::fprintf(f, "  \"scaling_gate\": \"%s\"\n}\n", verdict);
+    std::fclose(f);
+    row("wrote %s", a.json);
+
+    if (!deterministic)
+        return 1;
+    if (a.speedGate && cpus >= 4 && speedup < 3.0)
+        return 1;
+    return 0;
+}

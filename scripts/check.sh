@@ -296,4 +296,29 @@ if ! ./build/bench/reg_shootout --seed=1 --mode=np-rdma --alloc-gate \
 fi
 grep "reg_steady_allocs" "$smokedir/reg/gate.txt"
 
+echo "== tier 10: sharded core (TSan + differential + scaling gate) =="
+# Debug build so the NDEBUG-gated owner/lookahead assertions stay
+# live under the race detector (docs/SHARDING.md) — this is also the
+# only tier where the owner-assert death tests are compiled in (the
+# RelWithDebInfo tiers define NDEBUG).
+cmake -B build-tsan -S . \
+    -DCMAKE_BUILD_TYPE=Debug \
+    -DCMAKE_CXX_FLAGS="-fsanitize=thread -O1" >/dev/null
+cmake --build build-tsan -j "$jobs" --target shard_test
+cmake --build build-tsan -j "$jobs" --target shard_scale
+TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/shard_test
+# Smoke-scale scaling run under TSan: exercises the rings, the
+# conservative loop and the record plane with the race detector on.
+# The wall-clock speedup gate is meaningless under TSan overhead, so
+# only the determinism-replay half is enforced.
+TSAN_OPTIONS=halt_on_error=1 ./build-tsan/bench/shard_scale \
+    --clients=1M --rate=60k --warmup=5ms --duration=20ms \
+    --no-speed-gate --json="$smokedir/BENCH_shard_tsan.json"
+
+# Full scale on the plain build: regenerates the committed artifact
+# and enforces replay determinism plus (on machines with >= 4
+# hardware threads) the >=3x speedup gate.
+./build/bench/shard_scale --json=BENCH_shard.json
+echo "BENCH_shard.json regenerated"
+
 echo "== all checks passed =="

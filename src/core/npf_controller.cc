@@ -21,7 +21,7 @@ namespace {
 npf::sim::Pool<npf::core::NpfBreakdown> &
 breakdownPool()
 {
-    static auto *p =
+    static thread_local auto *p =
         new npf::sim::Pool<npf::core::NpfBreakdown>("core::breakdownPool");
     return *p;
 }

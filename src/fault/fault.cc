@@ -8,7 +8,7 @@
 
 namespace npf::fault {
 
-FaultInjector *FaultInjector::active_ = nullptr;
+thread_local FaultInjector *FaultInjector::active_ = nullptr;
 
 const char *
 siteName(Site s)

@@ -228,7 +228,9 @@ class FaultInjector
     std::uint64_t injected_[kSiteCount] = {};
     std::uint64_t observed_[kSiteCount] = {};
 
-    static FaultInjector *active_;
+    /** thread_local: each shard worker arms its own injector
+     *  (a fault plan never spans shards). */
+    static thread_local FaultInjector *active_;
 
     obs::Instrumented obs_; ///< last member: deregisters first
 };

@@ -29,10 +29,31 @@ regModeName(RegMode m)
 Cluster::Cluster(sim::EventQueue &eq, ClusterConfig cfg, RegMode mode)
     : eq_(eq), cfg_(cfg), mode_(mode)
 {
+    const bool facet = cfg_.engine != nullptr;
+    assert((!facet || cfg_.topology.empty()) &&
+           "facet mode needs the legacy fabric (record plane)");
     fabric_ = std::make_unique<net::Fabric>(eq_, cfg_.ranks, cfg_.fabric,
                                             cfg_.topology);
+    if (facet) {
+        std::vector<std::uint16_t> owner(cfg_.ranks);
+        for (unsigned r = 0; r < cfg_.ranks; ++r)
+            owner[r] = static_cast<std::uint16_t>(r % cfg_.shards);
+        fabric_->shardBind(*cfg_.engine, cfg_.shard, std::move(owner));
+    }
 
     for (unsigned r = 0; r < cfg_.ranks; ++r) {
+        if (!ownsRank(r)) {
+            // Another facet hosts this rank; keep the slots so rank
+            // indices stay global.
+            hosts_.push_back(nullptr);
+            spaces_.push_back(nullptr);
+            npfcs_.push_back(nullptr);
+            channels_.push_back(0);
+            bounceSend_.push_back(0);
+            bounceRecv_.push_back(0);
+            pinStrategy_.push_back(nullptr);
+            continue;
+        }
         hosts_.push_back(
             std::make_unique<mem::MemoryManager>(cfg_.memoryPerRank));
         spaces_.push_back(
@@ -64,12 +85,14 @@ Cluster::Cluster(sim::EventQueue &eq, ClusterConfig cfg, RegMode mode)
         }
     }
 
-    // Full QP mesh.
+    // Full QP mesh (facet mode: only the rows of owned ranks).
     qps_.resize(cfg_.ranks);
     pending_.resize(cfg_.ranks);
     for (unsigned a = 0; a < cfg_.ranks; ++a) {
         qps_[a].resize(cfg_.ranks);
         pending_[a].resize(cfg_.ranks);
+        if (!ownsRank(a))
+            continue;
         for (unsigned b = 0; b < cfg_.ranks; ++b) {
             if (a == b)
                 continue;
@@ -79,10 +102,21 @@ Cluster::Cluster(sim::EventQueue &eq, ClusterConfig cfg, RegMode mode)
         }
     }
     for (unsigned a = 0; a < cfg_.ranks; ++a) {
+        if (!ownsRank(a))
+            continue;
         for (unsigned b = 0; b < cfg_.ranks; ++b) {
             if (a == b)
                 continue;
-            qps_[a][b]->connect(*qps_[b][a]);
+            if (facet)
+                // Record plane for EVERY pair — also same-shard ones —
+                // so event ordering is independent of the partition
+                // (1-shard and N-shard facets replay bit-identically).
+                // Demux key = the remote rank: unique per node since
+                // the mesh has one QP per ordered rank pair.
+                qps_[a][b]->connectRemote(b, /*my_kind=*/b,
+                                          /*peer_kind=*/a);
+            else
+                qps_[a][b]->connect(*qps_[b][a]);
             qps_[a][b]->onCompletion([this, a, b](const ib::Completion &c) {
                 auto &ops = pending_[a][b];
                 auto &map = c.isRecv ? ops.recvs : ops.sends;
@@ -103,6 +137,7 @@ Cluster::~Cluster() = default;
 mem::VirtAddr
 Cluster::allocBuffer(unsigned rank, std::size_t bytes)
 {
+    assert(ownsRank(rank));
     mem::VirtAddr buf = spaces_[rank]->allocRegion(bytes, "mpi-buf");
     // The application initializes its buffers: CPU-present,
     // IOMMU-cold.
@@ -115,6 +150,7 @@ Cluster::isend(unsigned src, unsigned dst, mem::VirtAddr buf,
                std::size_t len, Done done)
 {
     assert(src != dst);
+    assert(ownsRank(src) && "isend must run on the src rank's facet");
     std::uint64_t id = nextWrId_++;
 
     bool eager = len <= cfg_.eagerThreshold;
@@ -163,6 +199,7 @@ Cluster::irecv(unsigned dst, unsigned src, mem::VirtAddr buf,
                std::size_t len, Done done)
 {
     assert(src != dst);
+    assert(ownsRank(dst) && "irecv must run on the dst rank's facet");
     std::uint64_t id = nextWrId_++;
 
     bool eager = len <= cfg_.eagerThreshold;
@@ -216,7 +253,8 @@ Cluster::totalRnpfs() const
 {
     std::uint64_t n = 0;
     for (const auto &c : npfcs_)
-        n += c->stats().npfs;
+        if (c)
+            n += c->stats().npfs;
     return n;
 }
 

@@ -55,6 +55,22 @@ struct ClusterConfig
     /** NP-RDMA driver translation-table entries per rank. */
     std::size_t npRdmaTableEntries = 256;
     core::MapCosts mapCosts;
+
+    /**
+     * Shard-facet mode. When @p engine is set (with shards > 1 for a
+     * real partition), this Cluster instance is ONE shard's facet of
+     * a logical cluster: it builds hosts/QPs only for the ranks it
+     * owns (rank % shards == shard) and every QP rides the fabric's
+     * record plane — cross-shard pairs via BoundaryMsgs, same-shard
+     * pairs via the identically-keyed local path, so any shard count
+     * replays bit-identically. Construct one facet per shard, each
+     * inside ShardedEngine::invokeOn with eq = engine->queue(shard);
+     * engine lookahead must be <= fabric.recordLookahead(). Requires
+     * an empty `topology` (legacy fabric).
+     */
+    sim::ShardedEngine *engine = nullptr;
+    unsigned shard = 0;
+    unsigned shards = 1;
 };
 
 /**
@@ -72,6 +88,16 @@ class Cluster
 
     unsigned ranks() const { return cfg_.ranks; }
     RegMode mode() const { return mode_; }
+
+    /** True when this instance hosts @p rank (always, outside facet
+     *  mode). Facet accessors (space/npfc/alloc/isend/irecv) are only
+     *  valid for owned ranks. */
+    bool
+    ownsRank(unsigned rank) const
+    {
+        return cfg_.engine == nullptr || cfg_.shards <= 1 ||
+               rank % cfg_.shards == cfg_.shard;
+    }
     sim::EventQueue &eventQueue() { return eq_; }
     mem::AddressSpace &space(unsigned rank) { return *spaces_[rank]; }
     core::NpfController &npfc(unsigned rank) { return *npfcs_[rank]; }

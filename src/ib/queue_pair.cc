@@ -1,6 +1,7 @@
 #include "ib/queue_pair.hh"
 
 #include <cassert>
+#include <type_traits>
 
 #include "fault/fault.hh"
 #include "obs/attribution.hh"
@@ -125,13 +126,40 @@ QueuePair::buildPacketAt(std::uint64_t psn)
 }
 
 void
+QueuePair::connectRemote(unsigned peer_node, std::uint32_t my_kind,
+                         std::uint32_t peer_kind)
+{
+    assert(peer_ == nullptr && "already pointer-connected");
+    static_assert(std::is_trivially_copyable_v<Packet>,
+                  "Packet must serialize into a WireRecord");
+    remote_ = true;
+    peerNode_ = peer_node;
+    txKind_ = peer_kind;
+    fabric_.bindRx(node_, my_kind, [this](const net::WireRecord &rec) {
+        handlePacket(rec.load<Packet>());
+    });
+}
+
+void
+QueuePair::sendPacketRecord(const Packet &pkt, std::size_t bytes)
+{
+    net::WireRecord rec;
+    rec.src = node_;
+    rec.dst = peerNode_;
+    rec.kind = txKind_;
+    rec.bytes = static_cast<std::uint32_t>(bytes);
+    rec.store(pkt);
+    fabric_.sendRecord(rec);
+}
+
+void
 QueuePair::transmitOne()
 {
     if (error_ || senderPaused_ || localFaultPending_)
         return;
     if (txPsn_ >= nextPsn_)
         return;
-    assert(peer_ != nullptr && "QP not connected");
+    assert((peer_ != nullptr || remote_) && "QP not connected");
 
     auto maybe_pkt = buildPacketAt(txPsn_);
     assert(maybe_pkt.has_value() && "txPsn_ outside inflight window");
@@ -175,17 +203,21 @@ QueuePair::transmitOne()
         highestTxPsn_ = txPsn_ + 1;
     ++stats_.dataPacketsSent;
 
-    QueuePair *peer = peer_;
-    // The per-packet delivery closure is the hottest allocation site
-    // in the whole simulator; pin it to the event queue's inline
-    // delegate storage so growing Packet past the small-buffer
-    // capacity fails to compile instead of silently costing a heap
-    // round trip per packet.
-    auto deliver = [peer, pkt] { peer->handlePacket(pkt); };
-    static_assert(sim::Delegate::fitsInline<decltype(deliver)>,
-                  "ib data-path delivery closure must stay inline");
-    fabric_.send(node_, peer->node_, pkt.bytes, cfg_.priority,
-                 flowLabel(), std::move(deliver));
+    if (remote_) {
+        sendPacketRecord(pkt, pkt.bytes);
+    } else {
+        QueuePair *peer = peer_;
+        // The per-packet delivery closure is the hottest allocation
+        // site in the whole simulator; pin it to the event queue's
+        // inline delegate storage so growing Packet past the
+        // small-buffer capacity fails to compile instead of silently
+        // costing a heap round trip per packet.
+        auto deliver = [peer, pkt] { peer->handlePacket(pkt); };
+        static_assert(sim::Delegate::fitsInline<decltype(deliver)>,
+                      "ib data-path delivery closure must stay inline");
+        fabric_.send(node_, peer->node_, pkt.bytes, cfg_.priority,
+                     flowLabel(), std::move(deliver));
+    }
     ++txPsn_;
 
     armRetransmitTimer();
@@ -204,7 +236,7 @@ QueuePair::flowLabel() const
     // One ECMP flow per QP direction: all of a QP's packets take the
     // same path (ordering), distinct QPs spread across paths.
     return (std::uint32_t(node_) << 16) |
-           std::uint32_t(peer_ != nullptr ? peer_->node_ : 0);
+           std::uint32_t(peer_ != nullptr || remote_ ? peerNode_ : 0);
 }
 
 sim::Time
@@ -342,7 +374,11 @@ QueuePair::handleRnrNack(std::uint64_t resumePsn)
 void
 QueuePair::sendControl(Packet pkt)
 {
-    assert(peer_ != nullptr);
+    assert(peer_ != nullptr || remote_);
+    if (remote_) {
+        sendPacketRecord(pkt, cfg_.controlBytes);
+        return;
+    }
     QueuePair *peer = peer_;
     auto deliver = [peer, pkt] { peer->handlePacket(pkt); };
     static_assert(sim::Delegate::fitsInline<decltype(deliver)>,
@@ -732,9 +768,14 @@ QueuePair::pumpReadResponse()
     pkt.lastOfMsg = readResp_.nextPsn + 1 == readResp_.limitPsn;
 
     ++stats_.dataPacketsSent;
-    QueuePair *peer = peer_;
-    fabric_.send(node_, peer->node_, bytes, cfg_.priority, flowLabel(),
-                 [peer, pkt] { peer->handlePacket(pkt); });
+    if (remote_) {
+        sendPacketRecord(pkt, bytes);
+    } else {
+        QueuePair *peer = peer_;
+        fabric_.send(node_, peer->node_, bytes, cfg_.priority,
+                     flowLabel(),
+                     [peer, pkt] { peer->handlePacket(pkt); });
+    }
     ++readResp_.nextPsn;
 
     if (!readRespScheduled_) {

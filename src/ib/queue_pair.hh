@@ -113,10 +113,32 @@ class QueuePair
               QpConfig cfg = {}, std::uint64_t seed = 7);
 
     /** Wire this QP to its remote peer (call on both sides). */
-    void connect(QueuePair &peer) { peer_ = &peer; }
+    void
+    connect(QueuePair &peer)
+    {
+        peer_ = &peer;
+        peerNode_ = peer.node_;
+    }
 
     /** The connected remote peer (nullptr before connect()). */
     QueuePair *peer() { return peer_; }
+
+    /**
+     * Wire this QP to a peer it cannot hold a pointer to — one owned
+     * by another shard. Packets travel the fabric's record plane
+     * (serializable net::WireRecord instead of delivery closures):
+     * this QP binds (node, @p my_kind) for its inbound packets and
+     * addresses outbound ones to (@p peer_node, @p peer_kind). The
+     * two sides' calls must mirror each other, one ordered pair per
+     * (node, kind). Requires a legacy-mode fabric; both facets see
+     * identical wire timing, so a record-connected pair behaves
+     * bit-identically to a pointer-connected one.
+     */
+    void connectRemote(unsigned peer_node, std::uint32_t my_kind,
+                       std::uint32_t peer_kind);
+
+    /** True when connected via the record plane. */
+    bool remote() const { return remote_; }
 
     /**
      * obs::Attributor lane this QP's blocking phases (send NPF, rNPF
@@ -233,6 +255,8 @@ class QueuePair
     void handleAck(std::uint64_t ackPsn);
     void handleRnrNack(std::uint64_t resumePsn);
     void sendControl(Packet pkt);
+    /** Ship @p pkt over the record plane (remote mode). */
+    void sendPacketRecord(const Packet &pkt, std::size_t bytes);
 
     // --- receive machinery -------------------------------------------
     void handlePacket(Packet pkt);
@@ -268,6 +292,9 @@ class QueuePair
     QpConfig cfg_;
     sim::Rng rng_;
     QueuePair *peer_ = nullptr;
+    unsigned peerNode_ = 0;    ///< valid once connected (either way)
+    std::uint32_t txKind_ = 0; ///< peer's bindRx demux key
+    bool remote_ = false;      ///< record-plane connection
     CompletionHandler completionHandler_;
     Stats stats_;
     int attrLane_ = -1; ///< attribution lane (-1 = off)

@@ -15,6 +15,7 @@ Fabric::Fabric(sim::EventQueue &eq, unsigned nodes, FabricConfig cfg)
         up_.push_back(std::make_unique<Link>(eq_, cfg_.link));
         down_.push_back(std::make_unique<Link>(eq_, cfg_.link));
     }
+    nodeSeq_.assign(nodes, 0);
     initObs();
 }
 
@@ -22,6 +23,7 @@ Fabric::Fabric(sim::EventQueue &eq, unsigned nodes, FabricConfig cfg,
                const std::string &topology_spec)
     : eq_(eq), cfg_(cfg)
 {
+    nodeSeq_.assign(nodes, 0);
     if (topology_spec.empty()) {
         for (unsigned i = 0; i < nodes; ++i) {
             up_.push_back(std::make_unique<Link>(eq_, cfg_.link));
@@ -74,6 +76,7 @@ Fabric::initObs()
 void
 Fabric::buildTopology(const Topology &topo)
 {
+    nodeSeq_.assign(topo.hosts, 0);
     topo_ = std::make_unique<Topology>(topo);
     const Topology &t = *topo_;
 
@@ -251,6 +254,193 @@ Fabric::deliverToHost(sim::PoolRef pkt)
     pkt.reset();
     deliver();
     rx_ = RxContext{};
+}
+
+// --- record-based delivery plane ------------------------------------
+
+namespace {
+
+/** BoundaryMsg <-> WireRecord packing for the cross-shard hop. */
+sim::BoundaryMsg
+packRecord(const WireRecord &rec, sim::Time when, std::uint64_t key,
+           std::uint32_t engine_kind, unsigned src_shard,
+           unsigned dst_shard)
+{
+    sim::BoundaryMsg m;
+    m.when = when;
+    m.orderKey = key;
+    m.kind = engine_kind;
+    m.srcShard = static_cast<std::uint16_t>(src_shard);
+    m.dstShard = static_cast<std::uint16_t>(dst_shard);
+    m.a = (std::uint64_t(rec.src) << 32) | rec.dst;
+    m.b = (std::uint64_t(rec.kind) << 32) | rec.bytes;
+    m.c = rec.payloadLen;
+    std::memcpy(m.payload, rec.payload, sizeof(m.payload));
+    m.payloadLen = rec.payloadLen;
+    return m;
+}
+
+WireRecord
+unpackRecord(const sim::BoundaryMsg &m)
+{
+    WireRecord rec;
+    rec.src = static_cast<std::uint32_t>(m.a >> 32);
+    rec.dst = static_cast<std::uint32_t>(m.a);
+    rec.kind = static_cast<std::uint32_t>(m.b >> 32);
+    rec.bytes = static_cast<std::uint32_t>(m.b);
+    rec.payloadLen = static_cast<std::uint32_t>(m.c);
+    std::memcpy(rec.payload, m.payload, sizeof(rec.payload));
+    return rec;
+}
+
+} // namespace
+
+void
+Fabric::bindRx(unsigned node, std::uint32_t kind, RxHandler h)
+{
+    std::uint64_t key = (std::uint64_t(node) << 32) | kind;
+    auto [it, fresh] = rxHandlers_.emplace(key, std::move(h));
+    if (!fresh) {
+        std::fprintf(stderr,
+                     "Fabric: duplicate rx binding node %u kind %u\n",
+                     node, kind);
+        std::abort();
+    }
+}
+
+void
+Fabric::shardBind(sim::ShardedEngine &engine, unsigned my_shard,
+                  std::vector<std::uint16_t> owner_of_node,
+                  std::uint32_t engineKind)
+{
+    if (topo_ != nullptr) {
+        std::fprintf(stderr,
+                     "Fabric: shardBind is legacy-mode only (topology "
+                     "fabrics stay single-shard)\n");
+        std::abort();
+    }
+    if (owner_of_node.size() != up_.size()) {
+        std::fprintf(stderr,
+                     "Fabric: owner map covers %zu nodes, fabric has "
+                     "%zu\n",
+                     owner_of_node.size(), up_.size());
+        std::abort();
+    }
+    engine_ = &engine;
+    myShard_ = my_shard;
+    engineKind_ = engineKind;
+    ownerOf_ = std::move(owner_of_node);
+    engine.bind(my_shard, engineKind,
+                [this](const sim::BoundaryMsg &m) {
+                    recordDownHop(unpackRecord(m));
+                });
+}
+
+void
+Fabric::sendRecord(const WireRecord &rec)
+{
+    if (topo_ != nullptr) {
+        std::fprintf(stderr,
+                     "Fabric: sendRecord is legacy-mode only\n");
+        std::abort();
+    }
+    if (rec.src == rec.dst) {
+        sendRecordLoopback(rec);
+        return;
+    }
+    std::uint64_t key = nextOrderKey(rec.src);
+    Link::TxOutcome tx = up_[rec.src]->transmit(rec.bytes);
+    if (tx.dropped)
+        return;
+    bool local = ownerOf_.empty() || ownerOf_[rec.dst] == myShard_;
+    // The switch hop. Even when the destination is local, it goes
+    // through scheduleBoundary with the cross-shard order key so a
+    // 1-shard world replays an N-shard partitioning bit-identically.
+    auto stage = [&](sim::Time up_arrival, std::uint64_t k) {
+        sim::Time exit = up_arrival + cfg_.switchLatency;
+        if (local) {
+            sim::PoolRef ref = fabricRecordPool().acquire(rec);
+            eq_.scheduleBoundary(
+                exit, k,
+                [this, ref = std::move(ref)] {
+                    recordDownHop(*ref.as<WireRecord>());
+                },
+                "net.fabric.switchrec");
+        } else {
+            engine_->post(packRecord(rec, exit, k, engineKind_,
+                                     myShard_, ownerOf_[rec.dst]));
+        }
+    };
+    if (tx.duplicated)
+        stage(tx.dupArrival, nextOrderKey(rec.src));
+    stage(tx.arrival, key);
+}
+
+void
+Fabric::sendRecordLoopback(const WireRecord &rec)
+{
+    ++stats_.loopbackPackets;
+    stats_.loopbackBytes += rec.bytes;
+    sim::Time latency = cfg_.switchLatency;
+    sim::Time extra = 0;
+    if (fault::FaultInjector *fi = fault::FaultInjector::active()) {
+        if (auto d = fi->decide(fault::Site::Link)) {
+            switch (d->action) {
+              case fault::Action::Drop:
+                ++stats_.loopbackInjDropped;
+                return;
+              case fault::Action::Duplicate:
+                ++stats_.loopbackInjDuplicated;
+                scheduleDispatch(eq_.now() + latency, rec);
+                break;
+              case fault::Action::Reorder:
+              case fault::Action::Delay:
+                ++stats_.loopbackInjDelayed;
+                extra = d->delay;
+                break;
+              default:
+                break;
+            }
+        }
+    }
+    scheduleDispatch(eq_.now() + latency + extra, rec);
+}
+
+void
+Fabric::recordDownHop(const WireRecord &rec)
+{
+    Link::TxOutcome tx = down_[rec.dst]->transmit(rec.bytes);
+    if (tx.dropped)
+        return;
+    if (tx.duplicated)
+        scheduleDispatch(tx.dupArrival, rec);
+    scheduleDispatch(tx.arrival, rec);
+}
+
+void
+Fabric::scheduleDispatch(sim::Time at, const WireRecord &rec)
+{
+    sim::PoolRef ref = fabricRecordPool().acquire(rec);
+    eq_.schedule(
+        at,
+        [this, ref = std::move(ref)] {
+            dispatch(*ref.as<WireRecord>());
+        },
+        "net.fabric.rxrec");
+}
+
+void
+Fabric::dispatch(const WireRecord &rec)
+{
+    auto it =
+        rxHandlers_.find((std::uint64_t(rec.dst) << 32) | rec.kind);
+    if (it == rxHandlers_.end()) {
+        std::fprintf(stderr,
+                     "Fabric: record for unbound (node %u, kind %u)\n",
+                     rec.dst, rec.kind);
+        std::abort();
+    }
+    it->second(rec);
 }
 
 void

@@ -23,8 +23,13 @@
 #define NPF_NET_FABRIC_HH
 
 #include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <functional>
 #include <memory>
 #include <string>
+#include <type_traits>
+#include <unordered_map>
 #include <vector>
 
 #include "net/link.hh"
@@ -33,8 +38,54 @@
 #include "obs/metrics.hh"
 #include "sim/event_queue.hh"
 #include "sim/pool.hh"
+#include "sim/shard.hh"
 
 namespace npf::net {
+
+/**
+ * Serializable wire unit for the record-based delivery plane: what
+ * crosses the fabric when the destination may live on another shard.
+ * Closures cannot cross threads; a WireRecord is a trivially-copyable
+ * POD that carries its protocol payload (e.g. one ib::Packet) by
+ * value and is dispatched to the handler registered under
+ * (dst, kind) — see Fabric::bindRx()/sendRecord().
+ */
+struct WireRecord
+{
+    static constexpr std::size_t kPayloadBytes =
+        sim::BoundaryMsg::kPayloadBytes;
+
+    std::uint32_t src = 0;
+    std::uint32_t dst = 0;
+    std::uint32_t kind = 0;  ///< receiver demux key within dst
+    std::uint32_t bytes = 0; ///< wire size (serialization/overhead)
+    std::uint32_t payloadLen = 0;
+    unsigned char payload[kPayloadBytes] = {};
+
+    template <typename T>
+    void
+    store(const T &v)
+    {
+        static_assert(std::is_trivially_copyable_v<T>,
+                      "only PODs ride the record plane");
+        static_assert(sizeof(T) <= kPayloadBytes, "grow kPayloadBytes");
+        std::memcpy(payload, &v, sizeof(T));
+        payloadLen = sizeof(T);
+    }
+
+    template <typename T>
+    T
+    load() const
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        static_assert(sizeof(T) <= kPayloadBytes);
+        T v;
+        std::memcpy(&v, payload, sizeof(T));
+        return v;
+    }
+};
+
+static_assert(std::is_trivially_copyable_v<WireRecord>);
 
 /**
  * Slab for delivery delegates parked across a fabric's hop chain.
@@ -45,8 +96,18 @@ namespace npf::net {
 inline sim::Pool<sim::EventQueue::Callback> &
 fabricPendingPool()
 {
-    static auto *pool =
+    static thread_local auto *pool =
         new sim::Pool<sim::EventQueue::Callback>("net::Fabric.pending");
+    return *pool;
+}
+
+/** Slab parking WireRecords while they wait in the event queue
+ *  (same lifetime reasoning as fabricPendingPool). */
+inline sim::Pool<WireRecord> &
+fabricRecordPool()
+{
+    static thread_local auto *pool =
+        new sim::Pool<WireRecord>("net::Fabric.record");
     return *pool;
 }
 
@@ -134,6 +195,55 @@ class Fabric
               unsigned priority, std::uint32_t flow,
               sim::EventQueue::Callback deliver);
 
+    // --- record-based delivery plane (legacy mode) -------------------
+    //
+    // The closure path above cannot cross threads; the record path
+    // carries a serializable WireRecord instead, over exactly the
+    // same wire model (shared Link instances, shared fault dice,
+    // same hop structure: uplink -> switch latency -> downlink). In
+    // a sharded world each shard holds a *facet* of the logical
+    // fabric — same node count, private links — and the switch hop
+    // is where a record jumps shards: the source facet accounts the
+    // uplink, the destination facet accounts the downlink. With one
+    // shard (or none), the record path schedules the switch hop
+    // through EventQueue::scheduleBoundary with the *same* order key
+    // it would have carried across shards, which is what makes
+    // 1-shard and N-shard runs execute bit-identically.
+
+    /** Receives records addressed to (dst, kind); runs at arrival
+     *  time on dst's shard. */
+    using RxHandler = std::function<void(const WireRecord &)>;
+
+    /** Register the handler for records addressed to (node, kind).
+     *  One handler per key; re-binding aborts. */
+    void bindRx(unsigned node, std::uint32_t kind, RxHandler h);
+
+    /**
+     * Couple this facet to @p engine: records whose destination node
+     * is owned by another shard cross as BoundaryMsgs of
+     * @p engineKind. @p owner_of_node maps node -> owning shard and
+     * must be identical across facets. Legacy mode only.
+     */
+    void shardBind(sim::ShardedEngine &engine, unsigned my_shard,
+                   std::vector<std::uint16_t> owner_of_node,
+                   std::uint32_t engineKind = 1);
+
+    /**
+     * Send @p rec from rec.src to rec.dst (legacy mode only). The
+     * registered (dst, kind) handler runs at arrival time, on dst's
+     * owning shard when shardBind() is in effect. rec.src must be a
+     * node this facet's shard owns.
+     */
+    void sendRecord(const WireRecord &rec);
+
+    /** Lower bound on any record's src->dst latency: what a
+     *  ShardedEngine coupling fabric facets may use as lookahead. */
+    sim::Time
+    recordLookahead() const
+    {
+        return cfg_.link.propagation + cfg_.switchLatency;
+    }
+
     /** The node's transmit wire: legacy uplink, or the host NIC
      *  port's wire in topology mode. busyUntil() remains the
      *  transport pacing signal in both. */
@@ -203,6 +313,19 @@ class Fabric
                     sim::EventQueue::Callback deliver);
     void sendLoopback(unsigned node, std::size_t bytes,
                       sim::EventQueue::Callback deliver);
+    void sendRecordLoopback(const WireRecord &rec);
+    /** Second wire hop of the record path: the packet left the
+     *  switch; clock the downlink and dispatch at arrival. */
+    void recordDownHop(const WireRecord &rec);
+    void scheduleDispatch(sim::Time at, const WireRecord &rec);
+    void dispatch(const WireRecord &rec);
+    /** Per-source-node record sequence: the same-tick order key,
+     *  identical across shard counts by construction. */
+    std::uint64_t
+    nextOrderKey(unsigned src)
+    {
+        return (std::uint64_t(src + 1) << 40) | nodeSeq_[src]++;
+    }
     /** A packet finished a wire hop at @p vertex; takes ownership. */
     void arrive(unsigned vertex, sim::PoolRef pkt);
     void deliverToHost(sim::PoolRef pkt);
@@ -213,6 +336,14 @@ class Fabric
     // legacy mode
     std::vector<std::unique_ptr<Link>> up_;
     std::vector<std::unique_ptr<Link>> down_;
+
+    // record plane
+    std::unordered_map<std::uint64_t, RxHandler> rxHandlers_;
+    std::vector<std::uint64_t> nodeSeq_;
+    sim::ShardedEngine *engine_ = nullptr;
+    unsigned myShard_ = 0;
+    std::uint32_t engineKind_ = 1;
+    std::vector<std::uint16_t> ownerOf_; ///< node -> shard (empty: all local)
 
     // topology mode
     std::unique_ptr<Topology> topo_;

@@ -91,6 +91,40 @@ class Link
     sim::Time
     send(std::size_t bytes, sim::EventQueue::Callback deliver)
     {
+        TxOutcome tx = transmit(bytes);
+        if (tx.dropped)
+            // deliver is destroyed unscheduled when send() returns,
+            // releasing the captured frame's payload slot.
+            return tx.arrival;
+        if (tx.duplicated)
+            eq_.schedule(tx.dupArrival, deliver, "net.link.deliver");
+        eq_.schedule(tx.arrival, std::move(deliver), "net.link.deliver");
+        return tx.arrival;
+    }
+
+    /**
+     * The timing/fault half of send(), decoupled from closure
+     * scheduling so record-based delivery (the shard boundary path,
+     * fabric.hh) shares one wire model with the closure path.
+     * Occupies the wire and rolls the fault dice exactly like send();
+     * the caller is responsible for acting on the outcome:
+     * schedule/forward nothing when `dropped`, a second copy at
+     * `dupArrival` when `duplicated` (the duplicate consumed its own
+     * wire time and arrives *first*), and the packet itself at
+     * `arrival`.
+     */
+    struct TxOutcome
+    {
+        sim::Time arrival = 0; ///< the packet (meaningless if dropped)
+        sim::Time dupArrival = 0; ///< the extra copy, if duplicated
+        bool dropped = false;
+        bool duplicated = false;
+    };
+
+    TxOutcome
+    transmit(std::size_t bytes)
+    {
+        TxOutcome out;
         sim::Time extra = 0;
         if (fault::FaultInjector *fi = fault::FaultInjector::active()) {
             if (auto d = fi->decide(fault::Site::Link)) {
@@ -99,13 +133,15 @@ class Link
                     // The packet still occupies the wire; it just
                     // never arrives.
                     ++stats_.injDropped;
-                    return occupyWire(bytes);
+                    out.dropped = true;
+                    out.arrival = occupyWire(bytes);
+                    return out;
                   case fault::Action::Duplicate:
                     // The copy consumes wire time of its own and
                     // arrives first; the original follows behind it.
                     ++stats_.injDuplicated;
-                    eq_.schedule(occupyWire(bytes), deliver,
-                                 "net.link.deliver");
+                    out.duplicated = true;
+                    out.dupArrival = occupyWire(bytes);
                     break;
                   case fault::Action::Reorder:
                   case fault::Action::Delay:
@@ -119,9 +155,8 @@ class Link
                 }
             }
         }
-        sim::Time arrival = occupyWire(bytes) + extra;
-        eq_.schedule(arrival, std::move(deliver), "net.link.deliver");
-        return arrival;
+        out.arrival = occupyWire(bytes) + extra;
+        return out;
     }
 
     /** Wire time to clock out @p wire_bytes. */

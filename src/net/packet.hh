@@ -41,7 +41,7 @@ struct FabricPacket
 inline sim::Pool<FabricPacket> &
 fabricPacketPool()
 {
-    static auto *pool = new sim::Pool<FabricPacket>("net::Fabric.packet");
+    static thread_local auto *pool = new sim::Pool<FabricPacket>("net::Fabric.packet");
     return *pool;
 }
 

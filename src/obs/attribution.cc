@@ -19,7 +19,7 @@ phaseName(Phase p)
 Attributor &
 Attributor::global()
 {
-    static Attributor a;
+    static thread_local Attributor a;
     return a;
 }
 

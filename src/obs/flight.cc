@@ -11,7 +11,7 @@ namespace npf::obs {
 FlightRecorder &
 FlightRecorder::global()
 {
-    static FlightRecorder r;
+    static thread_local FlightRecorder r;
     return r;
 }
 

@@ -48,7 +48,7 @@ trackName(int tid)
 FlowTracer &
 FlowTracer::global()
 {
-    static FlowTracer *t = [] {
+    static thread_local FlowTracer *t = [] {
         auto *tr = new FlowTracer;
         sim::setLogAnnotator(&annotateLogLine);
         return tr;

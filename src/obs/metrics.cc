@@ -8,14 +8,18 @@ Registry &
 Registry::global()
 {
     // Leaked intentionally: components may deregister from arbitrary
-    // static-destruction contexts.
-    static Registry *r = new Registry;
+    // static-destruction contexts. thread_local so every shard worker
+    // gets a private registry — components built via
+    // ShardedEngine::invokeOn register with their own shard's
+    // registry and never contend (docs/SHARDING.md).
+    static thread_local Registry *r = new Registry;
     return *r;
 }
 
 std::string
 Registry::instanceName(const std::string &prefix)
 {
+    checkOwner("instanceName");
     unsigned n = instances_[prefix]++;
     return prefix + std::to_string(n);
 }
@@ -23,6 +27,7 @@ Registry::instanceName(const std::string &prefix)
 Registry::Id
 Registry::insert(std::string name, Entry e)
 {
+    checkOwner("insert");
     e.id = nextId_++;
     // Re-registering a name replaces the entry; drop the stale id
     // mapping so a later remove() of the old id cannot delete (or,
@@ -74,6 +79,7 @@ Registry::addDistribution(std::string name,
 void
 Registry::remove(Id id)
 {
+    checkOwner("remove");
     auto it = idToName_.find(id);
     if (it == idToName_.end())
         return;
@@ -113,6 +119,7 @@ Registry::removeAll(const std::vector<Id> &ids)
 void
 Registry::clearRetired()
 {
+    checkOwner("clearRetired");
     retiredCounters_.clear();
     retiredGauges_.clear();
     retiredHistograms_.clear();

@@ -26,6 +26,12 @@
 #include <string>
 #include <vector>
 
+#ifndef NDEBUG
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+#endif
+
 #include "sim/histogram.hh"
 
 namespace npf::obs {
@@ -134,6 +140,28 @@ class Registry
     void writeJson(std::ostream &os) const;
 
   private:
+    /**
+     * Registries are per-thread (global() is thread_local); debug
+     * builds abort on mutation from any other thread — the loud
+     * failure mode for a component leaking across a shard boundary
+     * instead of registering through ShardedEngine::invokeOn.
+     */
+    void
+    checkOwner(const char *op) const
+    {
+#ifndef NDEBUG
+        if (std::this_thread::get_id() == owner_)
+            return;
+        std::fprintf(stderr,
+                     "obs::Registry: %s from non-owner thread "
+                     "(component crossed a shard boundary)\n",
+                     op);
+        std::abort();
+#else
+        (void)op;
+#endif
+    }
+
     enum class Kind { Counter, Gauge, Histogram, Distribution };
 
     struct Entry
@@ -158,6 +186,9 @@ class Registry
     Id nextId_ = 1;
     bool detail_ = false;
     bool retain_ = false;
+#ifndef NDEBUG
+    std::thread::id owner_ = std::this_thread::get_id();
+#endif
 };
 
 /**

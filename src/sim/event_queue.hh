@@ -131,7 +131,11 @@ class EventQueue
         std::uint32_t idx = allocSlot();
         Entry &e = slab_[idx];
         e.when = when;
-        e.seq = nextSeq_++;
+        // Local events live in the odd seq domain; boundary injections
+        // (scheduleBoundary) take the even domain. Relative order among
+        // local events is unchanged, so single-queue runs execute
+        // bit-identically to the pre-split engine.
+        e.seq = (nextSeq_++ << 1) | 1;
         e.cb = std::move(cb);
         e.site = site;
         e.schedAt = now_;
@@ -151,6 +155,45 @@ class EventQueue
     scheduleAfter(Time delay, Callback cb, const char *site = nullptr)
     {
         return schedule(saturatingAdd(now_, delay), std::move(cb), site);
+    }
+
+    /**
+     * Schedule a boundary-message delivery with an explicit same-tick
+     * order key instead of the queue's own schedule-sequence counter.
+     * Shards use this to make cross-shard deliveries sort identically
+     * no matter *when* (in wall-clock terms) the message was drained
+     * from its ring: two runs that inject the same messages at the
+     * same simulated times execute in the same order even if one run
+     * staged them earlier than the other. Keys live in the even seq
+     * domain (top bit forced on) so they can never collide with local
+     * events and always sort *after* same-tick local work — a stable
+     * convention that holds for any shard count — and a given
+     * (when, orderKey) pair must be unique per queue.
+     */
+    EventId
+    scheduleBoundary(Time when, std::uint64_t orderKey, Callback cb,
+                     const char *site = nullptr)
+    {
+        if (when < now_)
+            when = now_;
+        if (liveCount_ == 0) {
+            base_ = when & ~Time(kSlotSpan0 - 1);
+            curWindowEnd_ = saturatingAdd(base_, kSlotSpan0);
+            wheelMin_ = kTimeMax;
+            overflowMin_ = kTimeMax;
+        }
+        std::uint32_t idx = allocSlot();
+        Entry &e = slab_[idx];
+        e.when = when;
+        e.seq = (orderKey << 1) | (std::uint64_t(1) << 63);
+        e.cb = std::move(cb);
+        e.site = site;
+        e.schedAt = now_;
+        EventId id = makeId(idx, e.gen);
+        place(idx, when);
+        ++liveCount_;
+        ++stats_.scheduled;
+        return id;
     }
 
     /**

@@ -30,7 +30,7 @@ levelFromEnv()
 LogAnnotator &
 annotator()
 {
-    static LogAnnotator fn = nullptr;
+    static thread_local LogAnnotator fn = nullptr;
     return fn;
 }
 
@@ -39,7 +39,7 @@ annotator()
 LogLevel &
 logLevel()
 {
-    static LogLevel level = levelFromEnv();
+    static thread_local LogLevel level = levelFromEnv();
     return level;
 }
 

@@ -39,6 +39,10 @@
 #include <utility>
 #include <vector>
 
+#ifndef NDEBUG
+#include <thread>
+#endif
+
 namespace npf::sim {
 
 /**
@@ -192,6 +196,25 @@ class Pool final : public PoolBase
                   std::size_t chunk_objs = 256)
         : name_(name), chunkObjs_(chunk_objs)
     {
+#ifndef NDEBUG
+        owner_ = std::this_thread::get_id();
+#endif
+    }
+
+    /**
+     * Debug builds pin every pool to the thread that constructed it;
+     * touching it from any other thread aborts (a pooled object that
+     * crossed a shard boundary — the bug class sharding must never
+     * paper over). Worlds are built on their shard's worker thread,
+     * so the default owner is almost always right; rebindOwner() is
+     * the explicit escape hatch for deliberate handoff.
+     */
+    void
+    rebindOwner()
+    {
+#ifndef NDEBUG
+        owner_ = std::this_thread::get_id();
+#endif
     }
 
     ~Pool() override
@@ -214,6 +237,7 @@ class Pool final : public PoolBase
     PoolHandle
     create(Args &&...args)
     {
+        checkOwner("create");
         std::uint32_t idx = allocSlot();
         Slot &s = slot(idx);
         new (s.storage) T(std::forward<Args>(args)...);
@@ -240,6 +264,7 @@ class Pool final : public PoolBase
     T *
     get(PoolHandle h)
     {
+        checkOwner("get");
         check(h, "get");
         return ptr(slot(h.idx));
     }
@@ -248,6 +273,7 @@ class Pool final : public PoolBase
     T *
     tryGet(PoolHandle h)
     {
+        checkOwner("tryGet");
         return validHandle(h) ? ptr(slot(h.idx)) : nullptr;
     }
 
@@ -256,6 +282,7 @@ class Pool final : public PoolBase
     void
     release(PoolHandle h)
     {
+        checkOwner("release");
         check(h, "release");
         Slot &s = slot(h.idx);
         ptr(s)->~T();
@@ -337,6 +364,22 @@ class Pool final : public PoolBase
     }
 
     void
+    checkOwner(const char *op) const
+    {
+#ifndef NDEBUG
+        if (std::this_thread::get_id() == owner_)
+            return;
+        std::fprintf(stderr,
+                     "%s: %s from non-owner thread (pooled object "
+                     "crossed a shard boundary)\n",
+                     name_, op);
+        std::abort();
+#else
+        (void)op;
+#endif
+    }
+
+    void
     check(PoolHandle h, const char *op) const
     {
         if (validHandle(h))
@@ -352,6 +395,9 @@ class Pool final : public PoolBase
 
     const char *name_;
     std::size_t chunkObjs_;
+#ifndef NDEBUG
+    std::thread::id owner_;
+#endif
     std::vector<std::unique_ptr<Slot[]>> chunks_;
     std::uint32_t freeHead_ = PoolHandle::kNullIdx;
     std::size_t liveCount_ = 0;

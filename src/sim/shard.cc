@@ -1,0 +1,249 @@
+#include "sim/shard.hh"
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+
+namespace npf::sim {
+
+ShardedEngine::ShardedEngine(Config cfg) : cfg_(cfg)
+{
+    if (cfg_.shards == 0)
+        cfg_.shards = 1;
+    if (cfg_.lookahead == 0)
+        cfg_.lookahead = 1; // conservative sync needs strictly
+                            // positive lookahead to make progress
+    threaded_ = cfg_.shards > 1;
+    shards_.reserve(cfg_.shards);
+    for (unsigned s = 0; s < cfg_.shards; ++s) {
+        auto sh = std::make_unique<Shard>();
+        sh->id = s;
+        sh->in.resize(cfg_.shards);
+        for (unsigned src = 0; src < cfg_.shards; ++src)
+            if (src != s)
+                sh->in[src] =
+                    std::make_unique<SpscRing>(cfg_.ringCapacity);
+        shards_.push_back(std::move(sh));
+    }
+    if (threaded_) {
+        for (auto &sh : shards_)
+            sh->th = std::thread([this, p = sh.get()] { workerLoop(*p); });
+        // Hand each shard's message pool to its worker: debug builds
+        // assert pool ownership, and deliveries acquire from it on
+        // the worker thread.
+        for (auto &sh : shards_) {
+            Pool<BoundaryMsg> *pool = &sh->msgPool;
+            invokeOn(sh->id, [pool] { pool->rebindOwner(); });
+        }
+    }
+}
+
+ShardedEngine::~ShardedEngine()
+{
+    if (threaded_) {
+        for (auto &sh : shards_) {
+            // Destroy the queue on its worker: undelivered event
+            // closures hold PoolRefs into that thread's thread-local
+            // pools (fabric record parking, oversized delegate
+            // captures), and release asserts thread ownership in
+            // debug builds.
+            invokeOn(sh->id, [&sh] { sh->eq.reset(); });
+            startJob(*sh, 3, nullptr, 0);
+            waitJob(*sh);
+            sh->th.join();
+        }
+    }
+}
+
+void
+ShardedEngine::startJob(Shard &s, int job, const std::function<void()> *fn,
+                        Time until)
+{
+    std::lock_guard<std::mutex> lk(s.mu);
+    s.job = job;
+    s.fn = fn;
+    s.until = until;
+    s.done = false;
+    s.cv.notify_all();
+}
+
+void
+ShardedEngine::waitJob(Shard &s)
+{
+    std::unique_lock<std::mutex> lk(s.mu);
+    s.cv.wait(lk, [&s] { return s.done; });
+}
+
+void
+ShardedEngine::workerLoop(Shard &s)
+{
+    for (;;) {
+        int job;
+        const std::function<void()> *fn;
+        Time until;
+        {
+            std::unique_lock<std::mutex> lk(s.mu);
+            s.cv.wait(lk, [&s] { return s.job != 0; });
+            job = s.job;
+            fn = s.fn;
+            until = s.until;
+            s.job = 0;
+        }
+        if (job == 1)
+            (*fn)();
+        else if (job == 2)
+            runShard(s, until);
+        {
+            std::lock_guard<std::mutex> lk(s.mu);
+            s.done = true;
+            s.cv.notify_all();
+        }
+        if (job == 3)
+            return;
+    }
+}
+
+void
+ShardedEngine::invokeOn(unsigned s, const std::function<void()> &fn)
+{
+    Shard &sh = *shards_[s];
+    if (!threaded_) {
+        fn();
+        return;
+    }
+    if (std::this_thread::get_id() == sh.th.get_id()) {
+        fn(); // already on the owning worker (nested use)
+        return;
+    }
+    startJob(sh, 1, &fn, 0);
+    waitJob(sh);
+}
+
+void
+ShardedEngine::bind(unsigned s, std::uint32_t kind, Handler h)
+{
+    Shard &sh = *shards_[s];
+    auto [it, fresh] = sh.handlers.emplace(kind, std::move(h));
+    if (!fresh) {
+        std::fprintf(stderr,
+                     "ShardedEngine: duplicate handler kind %u on "
+                     "shard %u\n",
+                     kind, s);
+        std::abort();
+    }
+}
+
+void
+ShardedEngine::deliver(Shard &s, const BoundaryMsg &m)
+{
+    auto it = s.handlers.find(m.kind);
+    if (it == s.handlers.end()) {
+        std::fprintf(stderr,
+                     "ShardedEngine: no handler for kind %u on shard "
+                     "%u (srcShard %u, when %llu)\n",
+                     m.kind, unsigned(m.dstShard), unsigned(m.srcShard),
+                     static_cast<unsigned long long>(m.when));
+        std::abort();
+    }
+    // Handler address is stable: unordered_map never moves nodes.
+    const Handler *h = &it->second;
+    PoolRef ref = s.msgPool.acquire(m);
+    s.eq->scheduleBoundary(
+        m.when, m.orderKey,
+        [h, ref = std::move(ref)] { (*h)(*ref.as<BoundaryMsg>()); },
+        "shard::boundary");
+}
+
+void
+ShardedEngine::post(const BoundaryMsg &m)
+{
+    Shard &src = *shards_[m.srcShard];
+    Shard &dst = *shards_[m.dstShard];
+    ++src.posted;
+    if (&src == &dst) {
+        deliver(dst, m);
+        return;
+    }
+    assert(m.when >= saturatingAdd(src.eq->now(), cfg_.lookahead) &&
+           "boundary message inside the lookahead window");
+    SpscRing &ring = *dst.in[m.srcShard];
+    // Full ring = backpressure: the sender stalls (its clock stops
+    // advancing, so the receiver eventually catches up and drains).
+    while (!ring.tryPush(m))
+        std::this_thread::yield();
+}
+
+void
+ShardedEngine::drainInto(Shard &s)
+{
+    BoundaryMsg m;
+    for (auto &ring : s.in)
+        if (ring)
+            while (ring->tryPop(m))
+                deliver(s, m);
+}
+
+void
+ShardedEngine::runShard(Shard &s, Time until)
+{
+    const Time lookahead = cfg_.lookahead;
+    for (;;) {
+        // Load clocks BEFORE draining: once clock_j = C is observed,
+        // every message from j with when < C + lookahead is already
+        // in the ring (push happens-before the clock release-store).
+        Time horizon = kTimeMax; // exclusive
+        for (auto &other : shards_)
+            if (other.get() != &s)
+                horizon = std::min(
+                    horizon,
+                    saturatingAdd(
+                        other->clock.load(std::memory_order_acquire),
+                        lookahead));
+        drainInto(s);
+        Time runTo = std::min(until, horizon - 1);
+        Time before = s.eq->now();
+        s.eq->runUntil(runTo);
+        s.clock.store(runTo, std::memory_order_release);
+        if (runTo == until && horizon > until)
+            return; // every message with when <= until is accounted for
+        if (runTo <= before)
+            std::this_thread::yield(); // blocked on a neighbor
+    }
+}
+
+void
+ShardedEngine::run(Time until)
+{
+    assert(until >= lastRunUntil_ && "run() deadlines must not go back");
+    lastRunUntil_ = until;
+    if (!threaded_) {
+        Shard &s = *shards_[0];
+        s.eq->runUntil(until);
+        s.clock.store(until, std::memory_order_release);
+        return;
+    }
+    for (auto &sh : shards_)
+        startJob(*sh, 2, nullptr, until);
+    for (auto &sh : shards_)
+        waitJob(*sh);
+}
+
+std::uint64_t
+ShardedEngine::posted() const
+{
+    std::uint64_t n = 0;
+    for (const auto &sh : shards_)
+        n += sh->posted;
+    return n;
+}
+
+std::uint64_t
+ShardedEngine::executed() const
+{
+    std::uint64_t n = 0;
+    for (const auto &sh : shards_)
+        n += sh->eq->stats().executed;
+    return n;
+}
+
+} // namespace npf::sim

@@ -1,0 +1,294 @@
+/**
+ * @file
+ * Sharded conservative parallel simulation core.
+ *
+ * The world is partitioned into N shards; each shard owns a private
+ * sim::EventQueue (and private pools — sim::Pool asserts ownership in
+ * debug builds) and runs on its own worker thread. The ONLY coupling
+ * between shards is the explicit, timestamped BoundaryMsg: a
+ * trivially-copyable record carried over single-producer/single-
+ * consumer rings, one ring per directed shard pair, alloc-free in
+ * steady state.
+ *
+ * Synchronization is conservative null-message/lower-bound-timestamp
+ * (the SimBricks recipe): every boundary message must be stamped at
+ * least `lookahead` past the sender's clock — physically, lookahead
+ * is the minimum link latency between any two hosts in different
+ * shards, so a packet leaving shard A at time t cannot affect shard B
+ * before t + lookahead. Each worker repeatedly
+ *
+ *   1. loads every neighbor's published clock (acquire),
+ *   2. drains its inbound rings into its event queue,
+ *   3. executes events strictly below the safe horizon
+ *      `min_j(clock_j + lookahead)`,
+ *   4. publishes its own clock (release).
+ *
+ * The load-then-drain order is what makes step 3 safe: a sender
+ * pushes a message into the ring *before* the release-store of the
+ * clock value that made it possible, so once a receiver has
+ * acquire-loaded clock C from shard j, every message from j with
+ * `when < C + lookahead` is already visible in the ring.
+ *
+ * Determinism: delivered messages are injected with
+ * EventQueue::scheduleBoundary(when, orderKey), whose (when, key)
+ * priority is independent of *wall-clock* drain timing — two replays
+ * (or a 1-shard and an N-shard run using the same record path)
+ * execute every shard's events in exactly the same order. With
+ * shards == 1 no threads are spawned and run() degenerates to a plain
+ * runUntil(), reducing bit-identically to the single-queue engine.
+ */
+
+#ifndef NPF_SIM_SHARD_HH
+#define NPF_SIM_SHARD_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/pool.hh"
+#include "sim/time.hh"
+
+namespace npf::sim {
+
+/**
+ * One timestamped message crossing a shard boundary. Trivially
+ * copyable by construction: closures do not cross shards, records do.
+ * The fixed scalar fields cover the common wire cases (node ids,
+ * byte counts); anything richer travels as a POD payload via
+ * store()/load().
+ */
+struct BoundaryMsg
+{
+    static constexpr std::size_t kPayloadBytes = 96;
+
+    Time when = 0;             ///< delivery time at the destination
+    std::uint64_t orderKey = 0;///< same-tick tie-break, globally unique
+    std::uint32_t kind = 0;    ///< receiver dispatch key (see bind())
+    std::uint16_t srcShard = 0;
+    std::uint16_t dstShard = 0;
+    std::uint64_t a = 0;       ///< scalar args, meaning is kind-private
+    std::uint64_t b = 0;
+    std::uint64_t c = 0;
+    std::uint64_t d = 0;
+    std::uint32_t payloadLen = 0;
+    unsigned char payload[kPayloadBytes] = {};
+
+    /** Serialize a POD into the payload bytes. */
+    template <typename T>
+    void
+    store(const T &v)
+    {
+        static_assert(std::is_trivially_copyable_v<T>,
+                      "only PODs cross shard boundaries");
+        static_assert(sizeof(T) <= kPayloadBytes, "grow kPayloadBytes");
+        std::memcpy(payload, &v, sizeof(T));
+        payloadLen = sizeof(T);
+    }
+
+    /** Deserialize the payload back into a POD. */
+    template <typename T>
+    T
+    load() const
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        static_assert(sizeof(T) <= kPayloadBytes);
+        T v;
+        std::memcpy(&v, payload, sizeof(T));
+        return v;
+    }
+};
+
+static_assert(std::is_trivially_copyable_v<BoundaryMsg>);
+
+/**
+ * Fixed-capacity single-producer/single-consumer ring of
+ * BoundaryMsg. Lock-free, alloc-free after construction; the
+ * producer spins (with yields) when full — backpressure, never loss.
+ */
+class SpscRing
+{
+  public:
+    /** @param capacity rounded up to a power of two. */
+    explicit SpscRing(std::size_t capacity)
+    {
+        std::size_t cap = 1;
+        while (cap < capacity)
+            cap <<= 1;
+        slots_.resize(cap);
+        mask_ = cap - 1;
+    }
+
+    bool
+    tryPush(const BoundaryMsg &m)
+    {
+        std::uint64_t t = tail_.load(std::memory_order_relaxed);
+        if (t - head_.load(std::memory_order_acquire) > mask_)
+            return false; // full
+        slots_[t & mask_] = m;
+        tail_.store(t + 1, std::memory_order_release);
+        return true;
+    }
+
+    bool
+    tryPop(BoundaryMsg &out)
+    {
+        std::uint64_t h = head_.load(std::memory_order_relaxed);
+        if (h == tail_.load(std::memory_order_acquire))
+            return false; // empty
+        out = slots_[h & mask_];
+        head_.store(h + 1, std::memory_order_release);
+        return true;
+    }
+
+    std::size_t capacity() const { return mask_ + 1; }
+
+    bool
+    empty() const
+    {
+        return head_.load(std::memory_order_acquire) ==
+               tail_.load(std::memory_order_acquire);
+    }
+
+  private:
+    std::size_t mask_ = 0;
+    std::vector<BoundaryMsg> slots_;
+    /// Consumer cursor (next pop). Separate cache lines: the producer
+    /// and consumer each write one cursor and only read the other.
+    alignas(64) std::atomic<std::uint64_t> head_{0};
+    alignas(64) std::atomic<std::uint64_t> tail_{0}; ///< next push
+};
+
+/**
+ * N event queues, N worker threads, conservative sync. See the file
+ * comment for the protocol. Construction, world setup (invokeOn),
+ * run(), and stats reads all happen on the controlling thread; only
+ * the bodies passed to invokeOn and the simulation callbacks execute
+ * on shard workers.
+ */
+class ShardedEngine
+{
+  public:
+    /** Called on the destination shard's thread to deliver one
+     *  boundary message at exactly msg.when. */
+    using Handler = std::function<void(const BoundaryMsg &)>;
+
+    struct Config
+    {
+        unsigned shards = 1;
+        /**
+         * Minimum cross-shard latency: every post()ed message must
+         * satisfy `when >= sender now + lookahead`. Larger lookahead
+         * means longer lock-free stretches per shard; it must never
+         * exceed the true minimum cross-shard link latency.
+         */
+        Time lookahead = 1;
+        /** Per-directed-pair ring capacity (messages). */
+        std::size_t ringCapacity = 4096;
+    };
+
+    explicit ShardedEngine(Config cfg);
+    ~ShardedEngine();
+
+    ShardedEngine(const ShardedEngine &) = delete;
+    ShardedEngine &operator=(const ShardedEngine &) = delete;
+
+    unsigned shards() const { return unsigned(shards_.size()); }
+    Time lookahead() const { return cfg_.lookahead; }
+
+    /** Shard @p s's private queue. Touch it only from shard s (or
+     *  between runs, from the controlling thread). */
+    EventQueue &queue(unsigned s) { return *shards_[s]->eq; }
+
+    /**
+     * Execute @p fn on shard @p s's worker thread and wait for it.
+     * World construction and teardown go through here so thread_local
+     * singletons (obs registry, pooled slabs) and pool owners land on
+     * the owning thread. Runs inline when the engine is single-shard.
+     */
+    void invokeOn(unsigned s, const std::function<void()> &fn);
+
+    /**
+     * Register the handler for messages of @p kind arriving at shard
+     * @p s. Call during setup (typically from within invokeOn), never
+     * while run() is in flight.
+     */
+    void bind(unsigned s, std::uint32_t kind, Handler h);
+
+    /**
+     * Send a boundary message. Must be called on the srcShard's
+     * thread; `m.when >= queue(srcShard).now() + lookahead` is
+     * asserted for cross-shard sends. Loopback (src == dst) schedules
+     * directly with no latency floor.
+     */
+    void post(const BoundaryMsg &m);
+
+    /**
+     * Run every shard up to and including @p until (simulated time),
+     * in parallel, then return with all shards quiescent at `until`.
+     * Callable repeatedly with nondecreasing deadlines.
+     */
+    void run(Time until);
+
+    /** Total boundary messages posted so far (all shards). */
+    std::uint64_t posted() const;
+
+    /** Total events executed so far, summed over all shard queues. */
+    std::uint64_t executed() const;
+
+  private:
+    struct Shard
+    {
+        unsigned id = 0;
+        /// Parks delivered messages while they wait in the queue
+        /// (BoundaryMsg outgrows the Delegate SBO). Declared before
+        /// eq so queue teardown can still release into it.
+        Pool<BoundaryMsg> msgPool{"sim::Shard.msg"};
+        /// unique_ptr so the engine dtor can destroy it *on the
+        /// worker thread*: undelivered event closures hold PoolRefs
+        /// into that thread's thread-local pools (fabric record
+        /// parking, oversized delegate captures), and release asserts
+        /// thread ownership in debug builds.
+        std::unique_ptr<EventQueue> eq = std::make_unique<EventQueue>();
+        std::atomic<Time> clock{0}; ///< published: ran through here
+        std::vector<std::unique_ptr<SpscRing>> in; ///< [srcShard]
+        std::unordered_map<std::uint32_t, Handler> handlers;
+        std::uint64_t posted = 0;
+
+        // Job mailbox (controlling thread <-> worker).
+        std::mutex mu;
+        std::condition_variable cv;
+        int job = 0; ///< 0 idle, 1 invoke, 2 run, 3 exit
+        const std::function<void()> *fn = nullptr;
+        Time until = 0;
+        bool done = false;
+        std::thread th;
+    };
+
+    void workerLoop(Shard &s);
+    void runShard(Shard &s, Time until);
+    /** Pop everything available and inject it into s.eq. */
+    void drainInto(Shard &s);
+    /** scheduleBoundary the dispatch of @p m on shard @p s. */
+    void deliver(Shard &s, const BoundaryMsg &m);
+    void startJob(Shard &s, int job, const std::function<void()> *fn,
+                  Time until);
+    void waitJob(Shard &s);
+
+    Config cfg_;
+    std::vector<std::unique_ptr<Shard>> shards_;
+    bool threaded_ = false;
+    Time lastRunUntil_ = 0;
+};
+
+} // namespace npf::sim
+
+#endif // NPF_SIM_SHARD_HH

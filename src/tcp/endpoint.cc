@@ -7,7 +7,7 @@ namespace npf::tcp {
 sim::Pool<Segment> &
 segmentPool()
 {
-    static auto *pool = new sim::Pool<Segment>("tcp::segmentPool");
+    static thread_local auto *pool = new sim::Pool<Segment>("tcp::segmentPool");
     return *pool; // leaked intentionally: outlives all frames
 }
 

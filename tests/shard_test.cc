@@ -1,0 +1,351 @@
+/**
+ * @file
+ * Sharded-engine tests (docs/SHARDING.md): the differential oracle —
+ * the same cluster workload partitioned over 1, 2 and 4 shards must
+ * produce bit-identical per-rank observables — plus SPSC-ring FIFO
+ * properties, boundary-event ordering, and the debug-build
+ * owner-thread assertions on pools and the metrics registry.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "hpc/cluster.hh"
+#include "obs/metrics.hh"
+#include "sim/event_queue.hh"
+#include "sim/pool.hh"
+#include "sim/shard.hh"
+
+using namespace npf;
+
+namespace {
+
+/** FNV-1a over 64-bit words. */
+struct Digest
+{
+    std::uint64_t h = 1469598103934665603ull;
+    void
+    mix(std::uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i) {
+            h ^= (v >> (i * 8)) & 0xff;
+            h *= 1099511628211ull;
+        }
+    }
+};
+
+} // namespace
+
+// ---------------------------------------------------------------
+// SPSC ring properties
+// ---------------------------------------------------------------
+
+TEST(SpscRing, FifoUnderConcurrentStress)
+{
+    // Small capacity so the test exercises wraparound and the full
+    // ring (producer-side) path many times over.
+    sim::SpscRing ring(64);
+    constexpr std::uint64_t kMsgs = 200000;
+
+    std::thread producer([&ring] {
+        for (std::uint64_t i = 0; i < kMsgs; ++i) {
+            sim::BoundaryMsg m{};
+            m.when = i * 3 + 1; // monotone, like a real sender clock
+            m.orderKey = i;
+            m.a = i ^ 0xabcdef;
+            while (!ring.tryPush(m))
+                std::this_thread::yield();
+        }
+    });
+
+    std::uint64_t next = 0;
+    sim::Time lastWhen = 0;
+    bool ordered = true, payloadOk = true, monotone = true;
+    while (next < kMsgs) {
+        sim::BoundaryMsg m;
+        if (!ring.tryPop(m)) {
+            std::this_thread::yield();
+            continue;
+        }
+        ordered = ordered && m.orderKey == next;
+        payloadOk = payloadOk && m.a == (next ^ 0xabcdef);
+        monotone = monotone && m.when >= lastWhen;
+        lastWhen = m.when;
+        ++next;
+    }
+    producer.join();
+    EXPECT_TRUE(ordered) << "ring reordered messages";
+    EXPECT_TRUE(payloadOk) << "ring corrupted a payload";
+    EXPECT_TRUE(monotone) << "timestamps regressed across the ring";
+    sim::BoundaryMsg m;
+    EXPECT_FALSE(ring.tryPop(m)) << "ring invented a message";
+}
+
+TEST(SpscRing, CapacityRoundsUpToPowerOfTwo)
+{
+    sim::SpscRing ring(100);
+    EXPECT_GE(ring.capacity(), 100u);
+    EXPECT_EQ(ring.capacity() & (ring.capacity() - 1), 0u);
+}
+
+// ---------------------------------------------------------------
+// Boundary-event ordering in the event queue
+// ---------------------------------------------------------------
+
+TEST(BoundarySchedule, ExecutesInTimestampThenKeyOrder)
+{
+    sim::EventQueue eq;
+    struct Rec
+    {
+        sim::Time when;
+        std::uint64_t key;
+        bool boundary;
+    };
+    std::vector<Rec> order;
+
+    // Deterministically shuffled insertion: an LCG walks a set of
+    // (when, key) pairs in scrambled order; execution must come out
+    // sorted by (when, key) regardless.
+    std::uint64_t lcg = 12345;
+    constexpr unsigned kN = 512;
+    std::vector<std::pair<sim::Time, std::uint64_t>> pairs;
+    for (unsigned i = 0; i < kN; ++i)
+        pairs.emplace_back(100 + (i % 17) * 50, i);
+    for (unsigned i = kN; i > 1; --i) {
+        lcg = lcg * 6364136223846793005ull + 1442695040888963407ull;
+        std::swap(pairs[i - 1], pairs[(lcg >> 33) % i]);
+    }
+    for (auto [when, key] : pairs)
+        eq.scheduleBoundary(when, key, [&order, when = when, key = key] {
+            order.push_back({when, key, true});
+        });
+    // Local events at the same ticks must run before same-tick
+    // boundary events (the seq-domain split).
+    for (unsigned t = 0; t < 17; ++t)
+        eq.schedule(100 + t * 50, [&order, t] {
+            order.push_back({100 + t * 50, t, false});
+        });
+
+    eq.runUntil(10000);
+    ASSERT_EQ(order.size(), kN + 17);
+    for (std::size_t i = 1; i < order.size(); ++i) {
+        const Rec &a = order[i - 1], &b = order[i];
+        ASSERT_LE(a.when, b.when) << "timestamp regressed at " << i;
+        if (a.when == b.when) {
+            // local-before-boundary, then key-ascending boundaries
+            ASSERT_TRUE(!(a.boundary && !b.boundary))
+                << "boundary ran before a same-tick local event";
+            if (a.boundary && b.boundary)
+                ASSERT_LT(a.key, b.key) << "orderKey inversion at " << i;
+        }
+    }
+}
+
+TEST(ShardedEngine, LoopbackAndCrossShardDelivery)
+{
+    sim::ShardedEngine::Config cfg;
+    cfg.shards = 2;
+    cfg.lookahead = 100;
+    sim::ShardedEngine engine(cfg);
+
+    std::atomic<int> at0{0}, at1{0};
+    engine.invokeOn(0, [&] {
+        engine.bind(0, 7, [&at0](const sim::BoundaryMsg &m) {
+            EXPECT_EQ(m.a, 42u);
+            ++at0;
+        });
+    });
+    engine.invokeOn(1, [&] {
+        engine.bind(1, 7, [&at1](const sim::BoundaryMsg &m) {
+            EXPECT_EQ(m.a, 43u);
+            ++at1;
+        });
+    });
+
+    engine.invokeOn(0, [&] {
+        sim::BoundaryMsg m{};
+        m.when = 150;
+        m.orderKey = 1;
+        m.kind = 7;
+        m.srcShard = 0;
+        m.dstShard = 1;
+        m.a = 43;
+        engine.post(m); // cross-shard, honors the lookahead floor
+        sim::BoundaryMsg l = m;
+        l.dstShard = 0;
+        l.a = 42;
+        l.when = 10;
+        engine.post(l); // loopback, no floor
+    });
+    engine.run(1000);
+    EXPECT_EQ(at0.load(), 1);
+    EXPECT_EQ(at1.load(), 1);
+}
+
+// ---------------------------------------------------------------
+// Differential oracle: 1 shard vs N shards, bit-identical
+// ---------------------------------------------------------------
+
+namespace {
+
+/**
+ * Run a fixed ring-exchange workload on @p shards facets and digest
+ * every per-rank observable that must not depend on the partition:
+ * completion times, delivery order, QP wire counters, NPF counts.
+ * (wrIds are facet-local and deliberately excluded.)
+ */
+std::uint64_t
+runPartitioned(unsigned ranks, unsigned shards)
+{
+    sim::ShardedEngine::Config ec;
+    ec.shards = shards;
+    ec.lookahead = 500; // == default cluster fabric recordLookahead()
+    sim::ShardedEngine engine(ec);
+
+    std::vector<std::unique_ptr<hpc::Cluster>> facets(shards);
+    // completions[rank] = times of that rank's sends+recvs, in the
+    // order they completed on the owning shard (single-threaded per
+    // rank, so no synchronization needed).
+    std::vector<std::vector<sim::Time>> completions(ranks);
+
+    for (unsigned s = 0; s < shards; ++s) {
+        engine.invokeOn(s, [&, s] {
+            hpc::ClusterConfig cfg;
+            cfg.ranks = ranks;
+            cfg.memoryPerRank = 1ull << 30;
+            cfg.engine = &engine;
+            cfg.shard = s;
+            cfg.shards = shards;
+            facets[s] = std::make_unique<hpc::Cluster>(
+                engine.queue(s), cfg, hpc::RegMode::Npf);
+        });
+    }
+    for (unsigned s = 0; s < shards; ++s) {
+        engine.invokeOn(s, [&, s] {
+            hpc::Cluster &c = *facets[s];
+            // Ring exchange, one eager and one rendezvous message per
+            // direction, posted up front.
+            for (unsigned r = 0; r < ranks; ++r) {
+                if (!c.ownsRank(r))
+                    continue;
+                unsigned next = (r + 1) % ranks;
+                unsigned prev = (r + ranks - 1) % ranks;
+                for (std::size_t len : {std::size_t(4096),
+                                        std::size_t(256 * 1024)}) {
+                    mem::VirtAddr sb = c.allocBuffer(r, len);
+                    mem::VirtAddr rb = c.allocBuffer(r, len);
+                    c.irecv(r, prev, rb, len, [&, r, s] {
+                        completions[r].push_back(
+                            engine.queue(s).now());
+                    });
+                    c.isend(r, next, sb, len, [&, r, s] {
+                        completions[r].push_back(
+                            engine.queue(s).now());
+                    });
+                }
+            }
+        });
+    }
+
+    engine.run(100 * sim::kMillisecond);
+
+    // Gather per-rank counters first (on the owning threads), then
+    // digest strictly in rank order so the digest cannot depend on
+    // which shard owned which rank.
+    std::vector<std::uint64_t> npfs(ranks), pages(ranks);
+    for (unsigned s = 0; s < shards; ++s) {
+        engine.invokeOn(s, [&] {
+            hpc::Cluster &c = *facets[s];
+            for (unsigned r = 0; r < ranks; ++r) {
+                if (!c.ownsRank(r))
+                    continue;
+                npfs[r] = c.npfc(r).stats().npfs;
+                pages[r] = c.npfc(r).stats().pagesMapped;
+            }
+            facets[s].reset(); // die on the thread that built them
+        });
+    }
+    Digest d;
+    for (unsigned r = 0; r < ranks; ++r) {
+        // 2 sends + 2 recvs per rank must all have completed.
+        EXPECT_EQ(completions[r].size(), 4u)
+            << "rank " << r << " with " << shards << " shards";
+        d.mix(r);
+        for (sim::Time t : completions[r])
+            d.mix(t);
+        d.mix(npfs[r]);
+        d.mix(pages[r]);
+    }
+    return d.h;
+}
+
+} // namespace
+
+TEST(ShardDifferential, PartitionCountDoesNotChangeObservables)
+{
+    const unsigned ranks = 4;
+    std::uint64_t one = runPartitioned(ranks, 1);
+    std::uint64_t two = runPartitioned(ranks, 2);
+    std::uint64_t four = runPartitioned(ranks, 4);
+    EXPECT_EQ(one, two) << "2-shard run diverged from the 1-shard oracle";
+    EXPECT_EQ(one, four)
+        << "4-shard run diverged from the 1-shard oracle";
+}
+
+TEST(ShardDifferential, ReplayIsBitIdentical)
+{
+    std::uint64_t a = runPartitioned(4, 2);
+    std::uint64_t b = runPartitioned(4, 2);
+    EXPECT_EQ(a, b) << "same partition, same seed, different digest";
+}
+
+// ---------------------------------------------------------------
+// Debug-build ownership assertions
+// ---------------------------------------------------------------
+
+#ifndef NDEBUG
+
+TEST(OwnerAssertDeath, PoolUseFromForeignThreadAborts)
+{
+    ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+    EXPECT_DEATH(
+        {
+            sim::Pool<int> pool;
+            std::thread([&pool] { (void)pool.create(7); }).join();
+        },
+        "non-owner");
+}
+
+TEST(OwnerAssertDeath, RegistryMutationFromForeignThreadAborts)
+{
+    ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+    EXPECT_DEATH(
+        {
+            obs::Registry reg;
+            static std::uint64_t v = 0;
+            std::thread([&reg] { reg.addCounter("x", &v); }).join();
+        },
+        "non-owner");
+}
+
+TEST(OwnerAssert, RebindMovesOwnership)
+{
+    sim::Pool<int> pool;
+    std::thread([&pool] {
+        pool.rebindOwner();
+        auto h = pool.create(1);
+        EXPECT_EQ(*pool.get(h), 1);
+        pool.release(h);
+        pool.rebindOwner(); // hand back is the worker's job too --
+    }).join();
+    // -- but this rebind ran on the worker; take it back here.
+    pool.rebindOwner();
+    auto h = pool.create(2);
+    EXPECT_EQ(*pool.get(h), 2);
+    pool.release(h);
+}
+
+#endif // !NDEBUG
