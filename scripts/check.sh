@@ -297,10 +297,11 @@ fi
 grep "reg_steady_allocs" "$smokedir/reg/gate.txt"
 
 echo "== tier 10: sharded core (TSan + differential + scaling gate) =="
-# Debug build so the NDEBUG-gated owner/lookahead assertions stay
-# live under the race detector (docs/SHARDING.md) — this is also the
-# only tier where the owner-assert death tests are compiled in (the
-# RelWithDebInfo tiers define NDEBUG).
+# Debug build so the NDEBUG-gated owner assertions stay live under
+# the race detector (docs/SHARDING.md); the lookahead-floor and
+# boundary-in-the-past checks abort in every build type. This is also
+# the only tier where the owner-assert death tests are compiled in
+# (the RelWithDebInfo tiers define NDEBUG).
 cmake -B build-tsan -S . \
     -DCMAKE_BUILD_TYPE=Debug \
     -DCMAKE_CXX_FLAGS="-fsanitize=thread -O1" >/dev/null

@@ -55,7 +55,7 @@ struct DistSnapshot
 };
 
 /**
- * Registry of named metrics. One process-wide instance (global());
+ * Registry of named metrics. One instance per thread via global();
  * separate registries can be created for tests.
  */
 class Registry
@@ -63,7 +63,20 @@ class Registry
   public:
     using Id = std::uint64_t;
 
-    /** The process-wide registry every component registers into. */
+    /**
+     * The calling thread's registry. PER-THREAD, not process-wide:
+     * global() is thread_local so that components built on a shard
+     * worker (via ShardedEngine::invokeOn) register into that
+     * shard's private registry with no locking. The flip side: a
+     * registry only ever sees metrics registered on its own thread,
+     * and writeJson() from the main thread reports none of the shard
+     * workers' entries — snapshot each shard's registry on its own
+     * thread (inside an invokeOn body) and merge the dumps. Debug
+     * builds abort on any cross-thread mutation (checkOwner); in
+     * release builds a component constructed on the wrong thread
+     * silently lands in that thread's registry, so audit with a
+     * debug run when metrics seem to be missing.
+     */
     static Registry &global();
 
     /**

@@ -26,6 +26,8 @@
 #include <cassert>
 #include <chrono>
 #include <cstdint>
+#include <cstdio>
+#include <cstdlib>
 #include <functional>
 #include <unordered_map>
 #include <vector>
@@ -174,8 +176,22 @@ class EventQueue
     scheduleBoundary(Time when, std::uint64_t orderKey, Callback cb,
                      const char *site = nullptr)
     {
-        if (when < now_)
-            when = now_;
+        // A boundary delivery in the past is a causality violation —
+        // the conservative protocol guarantees every cross-shard
+        // message is drained before the receiver runs past it, and a
+        // loopback post in the past is a sender bug. Clamping here
+        // would turn either into silent nondeterminism between shard
+        // counts, so fail loudly in all builds.
+        if (when < now_) {
+            std::fprintf(stderr,
+                         "EventQueue: boundary event in the past: "
+                         "when %llu < now %llu (orderKey %llu%s%s)\n",
+                         static_cast<unsigned long long>(when),
+                         static_cast<unsigned long long>(now_),
+                         static_cast<unsigned long long>(orderKey),
+                         site ? ", site " : "", site ? site : "");
+            std::abort();
+        }
         if (liveCount_ == 0) {
             base_ = when & ~Time(kSlotSpan0 - 1);
             curWindowEnd_ = saturatingAdd(base_, kSlotSpan0);

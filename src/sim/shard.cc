@@ -12,7 +12,9 @@ ShardedEngine::ShardedEngine(Config cfg) : cfg_(cfg)
         cfg_.shards = 1;
     if (cfg_.lookahead == 0)
         cfg_.lookahead = 1; // conservative sync needs strictly
-                            // positive lookahead to make progress
+                            // positive lookahead to make progress;
+                            // 1 suffices because published clocks are
+                            // floors on *future* work (see runShard)
     threaded_ = cfg_.shards > 1;
     shards_.reserve(cfg_.shards);
     for (unsigned s = 0; s < cfg_.shards; ++s) {
@@ -164,13 +166,34 @@ ShardedEngine::post(const BoundaryMsg &m)
         deliver(dst, m);
         return;
     }
-    assert(m.when >= saturatingAdd(src.eq->now(), cfg_.lookahead) &&
-           "boundary message inside the lookahead window");
+    // The lookahead floor is THE safety invariant of the conservative
+    // protocol; a violation in a release build would otherwise decay
+    // into silent nondeterminism between shard counts (the delivery
+    // would be clamped into the receiver's past), so check it in all
+    // builds.
+    if (m.when < saturatingAdd(src.eq->now(), cfg_.lookahead)) {
+        std::fprintf(stderr,
+                     "ShardedEngine: boundary message inside the "
+                     "lookahead window: when %llu < now %llu + "
+                     "lookahead %llu (kind %u, shard %u -> %u)\n",
+                     static_cast<unsigned long long>(m.when),
+                     static_cast<unsigned long long>(src.eq->now()),
+                     static_cast<unsigned long long>(cfg_.lookahead),
+                     m.kind, unsigned(m.srcShard), unsigned(m.dstShard));
+        std::abort();
+    }
     SpscRing &ring = *dst.in[m.srcShard];
     // Full ring = backpressure: the sender stalls (its clock stops
-    // advancing, so the receiver eventually catches up and drains).
-    while (!ring.tryPush(m))
+    // advancing) until the receiver drains. While waiting, drain our
+    // own inbound rings: if two shards burst into each other's full
+    // rings inside one horizon window, each is popping exactly the
+    // ring the other is spinning on, so the cycle cannot deadlock.
+    // (Drained messages are future events by the lookahead invariant;
+    // they are scheduled, never executed, from here.)
+    while (!ring.tryPush(m)) {
+        drainInto(src);
         std::this_thread::yield();
+    }
 }
 
 void
@@ -187,10 +210,12 @@ void
 ShardedEngine::runShard(Shard &s, Time until)
 {
     const Time lookahead = cfg_.lookahead;
+    bool finished = false;
     for (;;) {
         // Load clocks BEFORE draining: once clock_j = C is observed,
-        // every message from j with when < C + lookahead is already
-        // in the ring (push happens-before the clock release-store).
+        // every message from j sent below C is already in the ring
+        // (push happens-before the clock release-store), and every
+        // message still in flight has when >= C + lookahead.
         Time horizon = kTimeMax; // exclusive
         for (auto &other : shards_)
             if (other.get() != &s)
@@ -200,13 +225,35 @@ ShardedEngine::runShard(Shard &s, Time until)
                         other->clock.load(std::memory_order_acquire),
                         lookahead));
         drainInto(s);
+        if (finished) {
+            // Ran through `until`, but keep draining: a neighbor may
+            // still be spinning on a full ring into us while it
+            // executes its own final window.
+            if (runDone_.load(std::memory_order_acquire) ==
+                shards_.size())
+                return;
+            std::this_thread::yield();
+            continue;
+        }
+        // clock_j is a floor on j's FUTURE executions (it never again
+        // runs an event below clock_j), so every in-flight message
+        // from j has when >= clock_j + lookahead = horizon_j: times
+        // strictly below horizon are safe. Running through horizon-1
+        // and publishing horizon-1 + 1 is what makes lookahead == 1
+        // sufficient for progress — the old "ran through here" clock
+        // pinned every shard at min_j(clock_j) and livelocked there.
         Time runTo = std::min(until, horizon - 1);
-        Time before = s.eq->now();
+        Time prev = s.clock.load(std::memory_order_relaxed);
         s.eq->runUntil(runTo);
-        s.clock.store(runTo, std::memory_order_release);
-        if (runTo == until && horizon > until)
-            return; // every message with when <= until is accounted for
-        if (runTo <= before)
+        Time next = saturatingAdd(runTo, 1);
+        s.clock.store(next, std::memory_order_release);
+        if (runTo == until && horizon > until) {
+            // Every message with when <= until is accounted for.
+            finished = true;
+            runDone_.fetch_add(1, std::memory_order_acq_rel);
+            continue;
+        }
+        if (next <= prev)
             std::this_thread::yield(); // blocked on a neighbor
     }
 }
@@ -219,9 +266,11 @@ ShardedEngine::run(Time until)
     if (!threaded_) {
         Shard &s = *shards_[0];
         s.eq->runUntil(until);
-        s.clock.store(until, std::memory_order_release);
+        s.clock.store(saturatingAdd(until, 1),
+                      std::memory_order_release);
         return;
     }
+    runDone_.store(0, std::memory_order_relaxed);
     for (auto &sh : shards_)
         startJob(*sh, 2, nullptr, until);
     for (auto &sh : shards_)

@@ -12,22 +12,32 @@
  *
  * Synchronization is conservative null-message/lower-bound-timestamp
  * (the SimBricks recipe): every boundary message must be stamped at
- * least `lookahead` past the sender's clock — physically, lookahead
- * is the minimum link latency between any two hosts in different
- * shards, so a packet leaving shard A at time t cannot affect shard B
- * before t + lookahead. Each worker repeatedly
+ * least `lookahead` past the sender's current time — physically,
+ * lookahead is the minimum link latency between any two hosts in
+ * different shards, so a packet leaving shard A at time t cannot
+ * affect shard B before t + lookahead. Each shard publishes a clock
+ * that is a *floor on its future executions*: it will never again run
+ * an event at a time below its published clock (after running through
+ * time T it publishes T + 1). Each worker repeatedly
  *
  *   1. loads every neighbor's published clock (acquire),
  *   2. drains its inbound rings into its event queue,
  *   3. executes events strictly below the safe horizon
  *      `min_j(clock_j + lookahead)`,
- *   4. publishes its own clock (release).
+ *   4. publishes its own new floor (release).
  *
- * The load-then-drain order is what makes step 3 safe: a sender
- * pushes a message into the ring *before* the release-store of the
- * clock value that made it possible, so once a receiver has
- * acquire-loaded clock C from shard j, every message from j with
- * `when < C + lookahead` is already visible in the ring.
+ * The floor semantics make step 3 safe AND live for any lookahead
+ * >= 1: every message still in flight from shard j was (or will be)
+ * sent while j executes at some t >= clock_j, so it is stamped
+ * `when >= clock_j + lookahead` — strictly beyond the horizon — and
+ * running through horizon - 1 then publishing `horizon` always makes
+ * progress. (A "ran through here" clock, by contrast, livelocks at
+ * lookahead == 1: no shard could ever pass min_j(clock_j).) The
+ * load-then-drain order closes the race: a sender pushes a message
+ * into the ring *before* the release-store of the clock value that
+ * made it possible, so once a receiver has acquire-loaded clock C
+ * from shard j, every message from j stamped below C + lookahead is
+ * already visible in the ring.
  *
  * Determinism: delivered messages are injected with
  * EventQueue::scheduleBoundary(when, orderKey), whose (when, key)
@@ -226,8 +236,10 @@ class ShardedEngine
     /**
      * Send a boundary message. Must be called on the srcShard's
      * thread; `m.when >= queue(srcShard).now() + lookahead` is
-     * asserted for cross-shard sends. Loopback (src == dst) schedules
-     * directly with no latency floor.
+     * enforced (abort, in all builds) for cross-shard sends — a
+     * violation would silently break determinism, so it is never
+     * tolerated. Loopback (src == dst) schedules directly with no
+     * latency floor.
      */
     void post(const BoundaryMsg &m);
 
@@ -258,7 +270,9 @@ class ShardedEngine
         /// parking, oversized delegate captures), and release asserts
         /// thread ownership in debug builds.
         std::unique_ptr<EventQueue> eq = std::make_unique<EventQueue>();
-        std::atomic<Time> clock{0}; ///< published: ran through here
+        /// Published floor on future executions: this shard will
+        /// never again run an event at a time below `clock`.
+        std::atomic<Time> clock{0};
         std::vector<std::unique_ptr<SpscRing>> in; ///< [srcShard]
         std::unordered_map<std::uint32_t, Handler> handlers;
         std::uint64_t posted = 0;
@@ -287,6 +301,11 @@ class ShardedEngine
     std::vector<std::unique_ptr<Shard>> shards_;
     bool threaded_ = false;
     Time lastRunUntil_ = 0;
+    /// Shards that reached `until` in the current run(). Finished
+    /// shards keep draining their inbound rings until every shard is
+    /// done, so a neighbor spinning on a full ring into a finished
+    /// shard cannot hang.
+    std::atomic<std::size_t> runDone_{0};
 };
 
 } // namespace npf::sim

@@ -185,6 +185,134 @@ TEST(ShardedEngine, LoopbackAndCrossShardDelivery)
     EXPECT_EQ(at1.load(), 1);
 }
 
+TEST(ShardedEngine, MakesProgressAtMinimalLookahead)
+{
+    // Regression: clocks used to publish "ran through here", which
+    // livelocks at lookahead 1 — runTo = min(until, horizon - 1)
+    // could never pass min_j(clock_j), every clock stayed at 0, and
+    // run() never returned. Floor-semantics clocks (publish
+    // runTo + 1) make one tick of lookahead sufficient: this
+    // ping-pong relays a message every single tick, the worst case.
+    sim::ShardedEngine::Config cfg;
+    cfg.shards = 2;
+    cfg.lookahead = 1;
+    sim::ShardedEngine engine(cfg);
+
+    constexpr sim::Time kUntil = 4000;
+    std::atomic<std::uint64_t> hops{0};
+    for (unsigned s = 0; s < 2; ++s) {
+        engine.invokeOn(s, [&, s] {
+            engine.bind(s, 1, [&, s](const sim::BoundaryMsg &m) {
+                ++hops;
+                sim::BoundaryMsg next = m;
+                next.srcShard = std::uint16_t(s);
+                next.dstShard = std::uint16_t(1 - s);
+                next.when = m.when + 1; // == now + lookahead
+                next.orderKey = m.orderKey + 1;
+                if (next.when <= kUntil)
+                    engine.post(next);
+            });
+        });
+    }
+    engine.invokeOn(0, [&] {
+        sim::BoundaryMsg m{};
+        m.when = 1;
+        m.orderKey = 1;
+        m.kind = 1;
+        m.srcShard = 0;
+        m.dstShard = 1;
+        engine.post(m);
+    });
+    engine.run(kUntil);
+    EXPECT_EQ(hops.load(), kUntil) << "one hop per tick, 1..kUntil";
+}
+
+TEST(ShardedEngine, MutualBurstThroughFullRingsDoesNotDeadlock)
+{
+    // Both shards burst far past the ring capacity at each other
+    // inside one horizon window. The producers overrun both full
+    // rings at once; post() must drain its own inbound rings while
+    // spinning, or A blocks pushing to B's full ring while B blocks
+    // pushing to A's and neither ever drains.
+    sim::ShardedEngine::Config cfg;
+    cfg.shards = 2;
+    cfg.lookahead = 10;
+    cfg.ringCapacity = 4;
+    sim::ShardedEngine engine(cfg);
+
+    constexpr unsigned kBurst = 64;
+    std::atomic<unsigned> got0{0}, got1{0};
+    engine.invokeOn(0, [&] {
+        engine.bind(0, 1, [&got0](const sim::BoundaryMsg &) { ++got0; });
+    });
+    engine.invokeOn(1, [&] {
+        engine.bind(1, 1, [&got1](const sim::BoundaryMsg &) { ++got1; });
+    });
+    for (unsigned s = 0; s < 2; ++s) {
+        engine.invokeOn(s, [&, s] {
+            engine.queue(s).schedule(1, [&, s] {
+                for (unsigned i = 0; i < kBurst; ++i) {
+                    sim::BoundaryMsg m{};
+                    m.when = engine.queue(s).now() + cfg.lookahead;
+                    m.orderKey = (std::uint64_t(s + 1) << 32) | i;
+                    m.kind = 1;
+                    m.srcShard = std::uint16_t(s);
+                    m.dstShard = std::uint16_t(1 - s);
+                    m.a = i;
+                    engine.post(m);
+                }
+            });
+        });
+    }
+    engine.run(100);
+    EXPECT_EQ(got0.load(), kBurst);
+    EXPECT_EQ(got1.load(), kBurst);
+}
+
+TEST(ShardedEngineDeath, LookaheadViolationAborts)
+{
+    // The lookahead floor is enforced in ALL builds: a violating send
+    // clamped into the receiver's past would silently break the
+    // determinism contract, so post() aborts instead.
+    ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+    EXPECT_DEATH(
+        {
+            sim::ShardedEngine::Config cfg;
+            cfg.shards = 2;
+            cfg.lookahead = 100;
+            sim::ShardedEngine engine(cfg);
+            engine.invokeOn(1, [&] {
+                engine.bind(1, 1, [](const sim::BoundaryMsg &) {});
+            });
+            engine.invokeOn(0, [&] {
+                sim::BoundaryMsg m{};
+                m.when = 99; // sender now() == 0: inside the window
+                m.orderKey = 1;
+                m.kind = 1;
+                m.srcShard = 0;
+                m.dstShard = 1;
+                engine.post(m);
+            });
+            engine.run(1000);
+        },
+        "lookahead window");
+}
+
+TEST(EventQueueDeath, BoundaryScheduledInThePastAborts)
+{
+    // scheduleBoundary never clamps a past delivery to now: that
+    // would hide a causality violation as silent nondeterminism.
+    ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+    EXPECT_DEATH(
+        {
+            sim::EventQueue eq;
+            eq.schedule(50, [] {});
+            eq.runUntil(50);
+            eq.scheduleBoundary(49, 1, [] {});
+        },
+        "boundary event in the past");
+}
+
 // ---------------------------------------------------------------
 // Differential oracle: 1 shard vs N shards, bit-identical
 // ---------------------------------------------------------------
@@ -198,11 +326,14 @@ namespace {
  * (wrIds are facet-local and deliberately excluded.)
  */
 std::uint64_t
-runPartitioned(unsigned ranks, unsigned shards)
+runPartitioned(unsigned ranks, unsigned shards,
+               sim::Time lookahead = 500)
 {
     sim::ShardedEngine::Config ec;
     ec.shards = shards;
-    ec.lookahead = 500; // == default cluster fabric recordLookahead()
+    // Any lookahead <= the cluster fabric's recordLookahead() (500
+    // with the default config) is legal; smaller just syncs more.
+    ec.lookahead = lookahead;
     sim::ShardedEngine engine(ec);
 
     std::vector<std::unique_ptr<hpc::Cluster>> facets(shards);
@@ -300,6 +431,17 @@ TEST(ShardDifferential, ReplayIsBitIdentical)
     std::uint64_t a = runPartitioned(4, 2);
     std::uint64_t b = runPartitioned(4, 2);
     EXPECT_EQ(a, b) << "same partition, same seed, different digest";
+}
+
+TEST(ShardDifferential, LookaheadDoesNotChangeObservables)
+{
+    // Lookahead only sets how far shards run between syncs; any legal
+    // value must produce the same simulation. A divergence here means
+    // the horizon math executed an event it should not have.
+    std::uint64_t coarse = runPartitioned(4, 2, 500);
+    std::uint64_t fine = runPartitioned(4, 2, 100);
+    EXPECT_EQ(coarse, fine)
+        << "lookahead changed the simulation's observables";
 }
 
 // ---------------------------------------------------------------
